@@ -1,0 +1,87 @@
+// Package cavenet is a Go reproduction of CAVENET, the Cellular Automaton
+// based VEhicular NETwork simulation tool of Barolli et al. (ICDCS
+// Workshops 2010).
+//
+// CAVENET separates vehicular-network simulation into two blocks:
+//
+//   - the Behavioural Analyzer generates and analyses vehicle mobility with
+//     a 1-dimensional Nagel–Schreckenberg cellular automaton (fundamental
+//     diagrams, space-time plots, stationarity and long-range-dependence
+//     analysis);
+//   - the Communication Protocol Simulator evaluates MANET routing
+//     protocols (AODV, OLSR, DYMO) over those mobility patterns on an
+//     IEEE 802.11 DCF / two-ray-ground network substrate.
+//
+// This package is the public facade. The quickstart:
+//
+//	res, err := cavenet.Run(cavenet.Scenario{Protocol: cavenet.DYMO, Seed: 1})
+//	fmt.Println(res.TotalPDR())
+//
+// runs the paper's Table I scenario (30 vehicles on a 3000 m circuit, CBR
+// traffic from nodes 1–8 to node 0) and returns the goodput and packet
+// delivery metrics of Figs. 8–11.
+package cavenet
+
+import (
+	"io"
+
+	"cavenet/internal/core"
+	"cavenet/internal/mobility"
+	"cavenet/internal/trace"
+)
+
+// Protocol names a routing protocol under test.
+type Protocol = core.Protocol
+
+// The routing protocols evaluated by the paper.
+const (
+	AODV = core.AODV
+	OLSR = core.OLSR
+	DYMO = core.DYMO
+)
+
+// Scenario configures a protocol evaluation; the zero value reproduces the
+// paper's Table I exactly. See core.ScenarioConfig for every knob.
+type Scenario = core.ScenarioConfig
+
+// Result carries the evaluation outputs: per-sender goodput series
+// (Figs. 8–10), PDR (Fig. 11), delays, routing overhead and MAC counters.
+type Result = core.ScenarioResult
+
+// Run executes one protocol scenario.
+func Run(s Scenario) (*Result, error) { return core.RunScenario(s) }
+
+// RunOnTrace executes a scenario over a caller-supplied mobility trace,
+// e.g. one parsed from an ns-2 scenario file.
+func RunOnTrace(s Scenario, t *mobility.SampledTrace) (*Result, error) {
+	return core.RunScenarioOnTrace(s, t)
+}
+
+// Compare runs the same scenario (and the same mobility trace) once per
+// protocol, the way the paper compares AODV, OLSR and DYMO.
+func Compare(s Scenario, protocols []Protocol) (map[Protocol]*Result, error) {
+	return core.CompareProtocols(s, protocols)
+}
+
+// CircuitTrace generates the Table I mobility input: vehicles on a ring
+// ("circuit") driven by the NaS cellular automaton, recorded after warmup.
+func CircuitTrace(s Scenario) (*mobility.SampledTrace, error) {
+	return core.BuildCircuitTrace(s)
+}
+
+// ExportNS2 writes a mobility trace as an ns-2 scenario file, the coupling
+// format of the paper's Fig. 3.
+func ExportNS2(w io.Writer, t *mobility.SampledTrace) error {
+	return trace.Write(w, trace.FromSampled(t))
+}
+
+// ImportNS2 parses an ns-2 scenario file into a sampled mobility trace.
+// interval and duration (seconds) control the re-sampling of the setdest
+// playback.
+func ImportNS2(r io.Reader, interval, duration float64) (*mobility.SampledTrace, error) {
+	script, err := trace.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return script.Sample(interval, duration), nil
+}

@@ -1,0 +1,81 @@
+// Command cavenet regenerates every table and figure of the CAVENET paper
+// from the command line.
+//
+// Usage:
+//
+//	cavenet <experiment> [flags]
+//
+// Experiments:
+//
+//	fundamental   Fig. 4  — flow vs. density diagram (CSV)
+//	spacetime     Fig. 5  — space-time plot (ASCII art)
+//	velocity      Fig. 6  — sample realizations of the mean velocity (CSV)
+//	periodogram   Fig. 7  — spectrum of the mean velocity + LRD indicators
+//	protocols     Figs. 8–11 + Table I — protocol evaluation
+//	transient     §IV-B  — transient time of the CA model
+//	rwdecay       §IV-B  — Random Waypoint velocity-decay contrast
+//	trace         Fig. 3 — export the Table I mobility as an ns-2 scenario
+//
+// Every experiment takes -seed and writes CSV or ASCII to stdout.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "fundamental":
+		err = cmdFundamental(args)
+	case "spacetime":
+		err = cmdSpaceTime(args)
+	case "velocity":
+		err = cmdVelocity(args)
+	case "periodogram":
+		err = cmdPeriodogram(args)
+	case "protocols":
+		err = cmdProtocols(args)
+	case "transient":
+		err = cmdTransient(args)
+	case "rwdecay":
+		err = cmdRWDecay(args)
+	case "trace":
+		err = cmdTrace(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "cavenet: unknown experiment %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cavenet %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `cavenet — CAVENET vehicular-network simulation tool
+
+usage: cavenet <experiment> [flags]
+
+experiments:
+  fundamental   Fig. 4  flow vs. density (CSV)
+  spacetime     Fig. 5  space-time plot (ASCII)
+  velocity      Fig. 6  mean-velocity realizations (CSV)
+  periodogram   Fig. 7  spectrum + SRD/LRD indicators (CSV + summary)
+  protocols     Figs. 8-11, Table I  protocol evaluation (CSV)
+  transient     transient-time measurement
+  rwdecay       Random Waypoint velocity decay (CSV)
+  trace         export Table I mobility as an ns-2 scenario file
+
+run 'cavenet <experiment> -h' for flags.
+`)
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"cavenet"
+	"cavenet/internal/plot"
+	"cavenet/internal/sim"
+)
+
+func secondsToSim(s float64) sim.Time { return sim.Seconds(s) }
+
+func cmdProtocols(args []string) error {
+	fs := flag.NewFlagSet("protocols", flag.ExitOnError)
+	protocol := fs.String("protocol", "all", "aodv, olsr, dymo or all")
+	nodes := fs.Int("nodes", 30, "vehicles on the circuit (Table I: 30)")
+	circuit := fs.Float64("circuit", 3000, "circuit length in meters (Table I: 3000)")
+	simTime := fs.Float64("time", 100, "simulated seconds (Table I: 100)")
+	seed := fs.Int64("seed", 1, "root seed")
+	etx := fs.Bool("etx", false, "use the OLSR ETX/LQ metric")
+	surface := fs.Bool("surface", false, "print the full goodput surface CSV (Figs. 8-10)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := cavenet.Scenario{
+		Nodes:         *nodes,
+		CircuitMeters: *circuit,
+		SimTime:       secondsToSim(*simTime),
+		Seed:          *seed,
+		OLSRETX:       *etx,
+	}
+	var protocols []cavenet.Protocol
+	switch strings.ToLower(*protocol) {
+	case "all":
+		protocols = []cavenet.Protocol{cavenet.AODV, cavenet.OLSR, cavenet.DYMO}
+	case "aodv":
+		protocols = []cavenet.Protocol{cavenet.AODV}
+	case "olsr":
+		protocols = []cavenet.Protocol{cavenet.OLSR}
+	case "dymo":
+		protocols = []cavenet.Protocol{cavenet.DYMO}
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+
+	results, err := cavenet.Compare(cfg, protocols)
+	if err != nil {
+		return err
+	}
+
+	// Fig. 11: PDR per sender, one column per protocol.
+	fmt.Println("# Fig. 11 — packet delivery ratio per sender")
+	fmt.Printf("sender")
+	for _, p := range protocols {
+		fmt.Printf(",%s", p)
+	}
+	fmt.Println()
+	for _, s := range results[protocols[0]].Config.Senders {
+		fmt.Printf("%d", s)
+		for _, p := range protocols {
+			fmt.Printf(",%.3f", results[p].PDR[s])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// Summary (Table I scenario totals + the paper's future-work metrics).
+	fmt.Println("# summary")
+	fmt.Println("protocol,totalPDR,ctrlPackets,ctrlBytes,meanDelayMaxSender_s,macRetries,peakGoodput_bps")
+	for _, p := range protocols {
+		r := results[p]
+		maxSender := r.Config.Senders[len(r.Config.Senders)-1]
+		peak := 0.0
+		for _, s := range r.Config.Senders {
+			for _, bps := range r.Goodput[s] {
+				peak = math.Max(peak, bps)
+			}
+		}
+		fmt.Printf("%s,%.3f,%d,%d,%.4f,%d,%.0f\n",
+			p, r.TotalPDR(), r.ControlPackets, r.ControlBytes,
+			r.MeanDelaySec[maxSender], r.MACStats.Retries, peak)
+	}
+
+	if *surface {
+		for _, p := range protocols {
+			r := results[p]
+			fmt.Printf("\n# goodput surface for %s (Figs. 8-10): rows senders, cols seconds, values bps\n", p)
+			rows := r.Config.Senders
+			bins := len(r.Goodput[rows[0]])
+			cols := make([]float64, bins)
+			for i := range cols {
+				cols[i] = float64(i)
+			}
+			vals := make([][]float64, len(rows))
+			for i, s := range rows {
+				vals[i] = r.Goodput[s]
+			}
+			if err := plot.Surface(os.Stdout, "sender", rows, "t", cols, vals); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package ca
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchLane(b *testing.B, rho, p float64) *Lane {
+	b.Helper()
+	lane, err := NewLane(Config{
+		Length:    1000,
+		Vehicles:  int(rho * 1000),
+		SlowdownP: p,
+		Placement: RandomPlacement,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lane
+}
+
+func BenchmarkLaneStepFreeFlow(b *testing.B) {
+	lane := benchLane(b, 0.1, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lane.Step()
+	}
+}
+
+func BenchmarkLaneStepCongested(b *testing.B) {
+	lane := benchLane(b, 0.5, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lane.Step()
+	}
+}
+
+func BenchmarkLaneStepDeterministic(b *testing.B) {
+	lane := benchLane(b, 0.2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lane.Step()
+	}
+}
+
+func BenchmarkOccupancySnapshot(b *testing.B) {
+	lane := benchLane(b, 0.3, 0.3)
+	buf := make([]int, lane.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = lane.Occupancy(buf)
+	}
+}
+
+func BenchmarkLaneWithSignal(b *testing.B) {
+	lane := benchLane(b, 0.3, 0.3)
+	if err := lane.AddSignal(Signal{Site: 500, GreenSteps: 30, RedSteps: 30}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lane.Step()
+	}
+}

@@ -1,0 +1,446 @@
+// Package ca implements the 1-dimensional Nagel–Schreckenberg (NaS)
+// cellular-automaton traffic model that is the core of CAVENET's
+// Behavioural Analyzer block (§III-A of the paper).
+//
+// Time advances in discrete steps Δt. A lane is a vector of L sites; each
+// site is either empty or holds one vehicle with an integer velocity in
+// [0, vmax]. At every step the three NaS rules are applied in parallel to
+// all vehicles:
+//
+//  1. acceleration:  v ← min(v+1, vmax)
+//  2. slowing down:  v ← min(v, gap)      (gap = empty sites ahead)
+//     2'. randomization: v ← max(v-1, 0)      with probability p (stochastic)
+//  3. motion:        x ← x + v
+//
+// With the paper's calibration vmax = 135 km/h and Δt = 1 s, one site is
+// s = 7.5 m, so vmax = 5 sites/step.
+package ca
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Paper calibration constants (§III-A).
+const (
+	// CellLength is the physical length of one site in meters.
+	CellLength = 7.5
+	// DefaultVMax is 135 km/h expressed in sites per step (37.5 m/s ÷ 7.5 m).
+	DefaultVMax = 5
+	// StepSeconds is the duration Δt of one CA step in seconds.
+	StepSeconds = 1.0
+)
+
+// Boundary selects how the lane ends are handled.
+type Boundary int
+
+const (
+	// RingBoundary wraps position L back to 0 — the paper's improved
+	// "circuit" movement pattern, giving a closed system with constant
+	// density and no communication gap between head and tail.
+	RingBoundary Boundary = iota + 1
+	// OpenBoundary is the first-version "straight line": a vehicle leaving
+	// the right end is teleported to the leftmost free site. The paper
+	// reports this causes a delay and breaks head/tail communication, which
+	// motivated the circuit improvement.
+	OpenBoundary
+)
+
+// String implements fmt.Stringer.
+func (b Boundary) String() string {
+	switch b {
+	case RingBoundary:
+		return "ring"
+	case OpenBoundary:
+		return "open"
+	default:
+		return fmt.Sprintf("Boundary(%d)", int(b))
+	}
+}
+
+// Vehicle is the per-vehicle data structure VE_i of §III-C: it stores the
+// gap, the velocity and the current lane position. Laps counts completed
+// wrap-arounds so trace generation can reconstruct the unbounded coordinate
+// (the paper: "for closed boundaries ... we check if a shift has taken
+// place").
+type Vehicle struct {
+	// ID is a stable identifier, assigned in initial-position order.
+	ID int
+	// Pos is the current site index in [0, L).
+	Pos int
+	// Vel is the current velocity in sites per step.
+	Vel int
+	// Gap is the number of empty sites to the vehicle ahead, refreshed each
+	// step before the rules are applied.
+	Gap int
+	// Laps counts completed traversals of the lane (ring boundary), or
+	// teleports (open boundary).
+	Laps int
+}
+
+// Config parameterizes a lane.
+type Config struct {
+	// Length is the number of sites L. Must be positive.
+	Length int
+	// Vehicles is the number of cars N placed on the lane. Must satisfy
+	// 0 <= N <= L.
+	Vehicles int
+	// VMax is the speed limit in sites per step; DefaultVMax if zero.
+	VMax int
+	// SlowdownP is the randomization probability p of rule 2'. Zero gives
+	// the deterministic model.
+	SlowdownP float64
+	// Boundary defaults to RingBoundary (the improved CAVENET).
+	Boundary Boundary
+	// Placement selects the initial arrangement; defaults to EvenPlacement.
+	Placement Placement
+	// InitialVel is the velocity assigned to every vehicle at t=0.
+	InitialVel int
+}
+
+// Placement selects the initial vehicle arrangement.
+type Placement int
+
+const (
+	// EvenPlacement spreads vehicles uniformly around the lane.
+	EvenPlacement Placement = iota + 1
+	// RandomPlacement samples distinct sites uniformly at random.
+	RandomPlacement
+	// CompactPlacement packs all vehicles into consecutive sites starting at
+	// 0 — the worst-case jam used to probe transient behaviour.
+	CompactPlacement
+)
+
+func (c *Config) normalize() error {
+	if c.Length <= 0 {
+		return fmt.Errorf("ca: lane length %d must be positive", c.Length)
+	}
+	if c.Vehicles < 0 || c.Vehicles > c.Length {
+		return fmt.Errorf("ca: %d vehicles do not fit %d sites", c.Vehicles, c.Length)
+	}
+	if c.VMax == 0 {
+		c.VMax = DefaultVMax
+	}
+	if c.VMax < 0 {
+		return fmt.Errorf("ca: vmax %d must be non-negative", c.VMax)
+	}
+	if c.SlowdownP < 0 || c.SlowdownP > 1 {
+		return fmt.Errorf("ca: slowdown probability %v outside [0,1]", c.SlowdownP)
+	}
+	if c.Boundary == 0 {
+		c.Boundary = RingBoundary
+	}
+	if c.Placement == 0 {
+		c.Placement = EvenPlacement
+	}
+	if c.InitialVel < 0 || c.InitialVel > c.VMax {
+		return fmt.Errorf("ca: initial velocity %d outside [0,%d]", c.InitialVel, c.VMax)
+	}
+	return nil
+}
+
+// Lane is one NaS lane: the vector L_n of the paper plus the vehicle
+// structures. All updates are parallel (synchronous), per footnote 1 of the
+// paper.
+type Lane struct {
+	cfg      Config
+	cells    []int // vehicle index occupying each site, or -1
+	vehicles []Vehicle
+	step     int
+	rnd      *rand.Rand
+	signals  []Signal
+}
+
+// NewLane builds a lane from cfg using rnd for the stochastic rule and for
+// random placement. rnd may be nil when cfg is fully deterministic
+// (SlowdownP == 0 and Placement != RandomPlacement).
+func NewLane(cfg Config, rnd *rand.Rand) (*Lane, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if rnd == nil && (cfg.SlowdownP > 0 || cfg.Placement == RandomPlacement) {
+		return nil, fmt.Errorf("ca: config requires randomness but rnd is nil")
+	}
+	l := &Lane{
+		cfg:      cfg,
+		cells:    make([]int, cfg.Length),
+		vehicles: make([]Vehicle, cfg.Vehicles),
+		rnd:      rnd,
+	}
+	for i := range l.cells {
+		l.cells[i] = -1
+	}
+	positions, err := initialPositions(cfg, rnd)
+	if err != nil {
+		return nil, err
+	}
+	for i, pos := range positions {
+		l.vehicles[i] = Vehicle{ID: i, Pos: pos, Vel: cfg.InitialVel}
+		l.cells[pos] = i
+	}
+	l.refreshGaps()
+	return l, nil
+}
+
+func initialPositions(cfg Config, rnd *rand.Rand) ([]int, error) {
+	n := cfg.Vehicles
+	positions := make([]int, 0, n)
+	switch cfg.Placement {
+	case EvenPlacement:
+		for i := 0; i < n; i++ {
+			positions = append(positions, i*cfg.Length/n)
+		}
+	case CompactPlacement:
+		for i := 0; i < n; i++ {
+			positions = append(positions, i)
+		}
+	case RandomPlacement:
+		perm := rnd.Perm(cfg.Length)[:n]
+		positions = append(positions, perm...)
+		sortInts(positions)
+	default:
+		return nil, fmt.Errorf("ca: unknown placement %d", cfg.Placement)
+	}
+	return positions, nil
+}
+
+func sortInts(s []int) {
+	// Insertion sort: n is small and this avoids importing sort for one call.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// Config returns the lane configuration after normalization.
+func (l *Lane) Config() Config { return l.cfg }
+
+// Len reports the number of sites L.
+func (l *Lane) Len() int { return l.cfg.Length }
+
+// NumVehicles reports the number of cars N.
+func (l *Lane) NumVehicles() int { return len(l.vehicles) }
+
+// Density reports ρ = N/L in vehicles per site.
+func (l *Lane) Density() float64 {
+	return float64(len(l.vehicles)) / float64(l.cfg.Length)
+}
+
+// StepCount reports how many steps have been executed.
+func (l *Lane) StepCount() int { return l.step }
+
+// Vehicle returns a copy of the i-th vehicle structure.
+func (l *Lane) Vehicle(i int) Vehicle { return l.vehicles[i] }
+
+// Vehicles appends copies of all vehicle structures to dst and returns it.
+func (l *Lane) Vehicles(dst []Vehicle) []Vehicle {
+	return append(dst, l.vehicles...)
+}
+
+// Occupancy returns the site vector: for each site, the velocity of the
+// occupying vehicle or -1 when empty (the paper's L_{i,n} encoding).
+func (l *Lane) Occupancy(dst []int) []int {
+	if cap(dst) < len(l.cells) {
+		dst = make([]int, len(l.cells))
+	}
+	dst = dst[:len(l.cells)]
+	for i, v := range l.cells {
+		if v < 0 {
+			dst[i] = -1
+		} else {
+			dst[i] = l.vehicles[v].Vel
+		}
+	}
+	return dst
+}
+
+// refreshGaps recomputes the Gap field of every vehicle. Vehicles are kept
+// sorted by position at all times (overtaking is impossible in 1-D).
+func (l *Lane) refreshGaps() {
+	n := len(l.vehicles)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		// A lone vehicle is never gap-limited: a ring shows it the whole
+		// lane, an open lane has open road past the end.
+		if l.cfg.Boundary == RingBoundary {
+			l.vehicles[0].Gap = l.cfg.Length - 1
+		} else {
+			l.vehicles[0].Gap = l.cfg.VMax
+		}
+		l.applySignals()
+		return
+	}
+	for i := 0; i < n; i++ {
+		cur := l.vehicles[i].Pos
+		var ahead int
+		if i == n-1 {
+			if l.cfg.Boundary == RingBoundary {
+				ahead = l.vehicles[0].Pos + l.cfg.Length
+			} else {
+				// Leader of an open lane: the end is open road, so the
+				// leader is never gap-limited. It drives off the end and is
+				// shifted back to the beginning (see Step).
+				l.vehicles[i].Gap = l.cfg.VMax
+				continue
+			}
+		} else {
+			ahead = l.vehicles[i+1].Pos
+		}
+		l.vehicles[i].Gap = ahead - cur - 1
+	}
+	l.applySignals()
+}
+
+// Step advances the lane by one time step, applying the NaS rules in
+// parallel to every vehicle.
+func (l *Lane) Step() {
+	l.refreshGaps()
+	n := len(l.vehicles)
+	vmax := l.cfg.VMax
+	// Phase 1: velocity update (rules 1, 2, 2') for all vehicles, using the
+	// time-n state only — this is the parallel update of footnote 1.
+	for i := 0; i < n; i++ {
+		v := &l.vehicles[i]
+		nv := v.Vel + 1
+		if nv > vmax {
+			nv = vmax
+		}
+		if nv > v.Gap {
+			nv = v.Gap
+		}
+		if l.cfg.SlowdownP > 0 && nv > 0 && l.rnd.Float64() < l.cfg.SlowdownP {
+			nv--
+		}
+		v.Vel = nv
+	}
+	// Phase 2: motion (rule 3).
+	for i := range l.cells {
+		l.cells[i] = -1
+	}
+	switch l.cfg.Boundary {
+	case RingBoundary:
+		for i := 0; i < n; i++ {
+			v := &l.vehicles[i]
+			p := v.Pos + v.Vel
+			if p >= l.cfg.Length {
+				p -= l.cfg.Length
+				v.Laps++
+			}
+			v.Pos = p
+		}
+		// Positions may have wrapped; restore sorted order by rotating the
+		// slice so the smallest position comes first. Relative order is
+		// preserved because vehicles cannot pass each other.
+		l.restoreOrder()
+	case OpenBoundary:
+		// First-version CAVENET: a vehicle that runs off the right end is
+		// shifted back to the beginning of the line (paper §III-B). It
+		// restarts from the first free site with velocity zero — the
+		// "delay" the paper attributes to this scheme. Only the leader can
+		// cross the boundary in a given step (followers are gap-limited by
+		// the leader's previous position), so a single scan suffices.
+		wrapped := -1
+		for i := 0; i < n; i++ {
+			v := &l.vehicles[i]
+			p := v.Pos + v.Vel
+			if p >= l.cfg.Length {
+				wrapped = i
+				continue
+			}
+			v.Pos = p
+		}
+		occupied := make(map[int]bool, n)
+		for i := 0; i < n; i++ {
+			if i != wrapped {
+				occupied[l.vehicles[i].Pos] = true
+			}
+		}
+		if wrapped >= 0 {
+			v := &l.vehicles[wrapped]
+			site := 0
+			for occupied[site] {
+				site++
+			}
+			v.Pos = site
+			v.Vel = 0
+			v.Laps++
+		}
+		// The re-inserted vehicle may land between tail vehicles, so a
+		// rotation is not enough: fully re-sort by position. Stability
+		// keeps IDs deterministic.
+		l.sortByPosition()
+	}
+	for i := 0; i < n; i++ {
+		l.cells[l.vehicles[i].Pos] = i
+	}
+	l.step++
+	l.refreshGaps()
+}
+
+// sortByPosition re-sorts vehicles ascending by position (insertion sort;
+// the slice is nearly sorted already).
+func (l *Lane) sortByPosition() {
+	vs := l.vehicles
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j-1].Pos > vs[j].Pos; j-- {
+			vs[j-1], vs[j] = vs[j], vs[j-1]
+		}
+	}
+}
+
+// restoreOrder rotates l.vehicles so positions are ascending again after a
+// wrap-around. Because overtaking is impossible the sequence is always a
+// rotation of a sorted sequence.
+func (l *Lane) restoreOrder() {
+	n := len(l.vehicles)
+	if n < 2 {
+		return
+	}
+	pivot := -1
+	for i := 1; i < n; i++ {
+		if l.vehicles[i].Pos < l.vehicles[i-1].Pos {
+			pivot = i
+			break
+		}
+	}
+	if pivot < 0 {
+		return
+	}
+	rotated := make([]Vehicle, 0, n)
+	rotated = append(rotated, l.vehicles[pivot:]...)
+	rotated = append(rotated, l.vehicles[:pivot]...)
+	copy(l.vehicles, rotated)
+}
+
+// MeanVelocity reports v̄(t) = N⁻¹ Σ v_i in sites per step; zero when the
+// lane is empty.
+func (l *Lane) MeanVelocity() float64 {
+	if len(l.vehicles) == 0 {
+		return 0
+	}
+	sum := 0
+	for i := range l.vehicles {
+		sum += l.vehicles[i].Vel
+	}
+	return float64(sum) / float64(len(l.vehicles))
+}
+
+// Flow reports J = ρ·v̄, the fundamental-diagram quantity of Fig. 4, in
+// vehicles per step per site.
+func (l *Lane) Flow() float64 { return l.Density() * l.MeanVelocity() }
+
+// PositionMeters reports the along-lane coordinate of vehicle i in meters,
+// including completed laps (the unbounded coordinate used for trace export;
+// callers may reduce it modulo the circumference).
+func (l *Lane) PositionMeters(i int) float64 {
+	v := &l.vehicles[i]
+	return (float64(v.Laps)*float64(l.cfg.Length) + float64(v.Pos)) * CellLength
+}
+
+// VelocityMetersPerSec reports the speed of vehicle i in m/s.
+func (l *Lane) VelocityMetersPerSec(i int) float64 {
+	return float64(l.vehicles[i].Vel) * CellLength / StepSeconds
+}

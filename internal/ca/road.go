@@ -1,0 +1,121 @@
+package ca
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cavenet/internal/geometry"
+)
+
+// LaneSpec describes one lane of a road: its CA configuration plus its
+// placement in the plane (§III-D lane construction).
+type LaneSpec struct {
+	Config    Config
+	Placement geometry.LanePlacement
+	// Reversed runs traffic in the decreasing-coordinate direction, used
+	// for opposite-direction lanes (Fig. 1's interference discussion).
+	Reversed bool
+}
+
+// Road is a set of lanes simulated side by side. Lanes are independent NaS
+// automata (the paper models no lane changing); the road exists so that
+// connectivity and interference across lanes can be analyzed and so that
+// multi-lane traces can be exported.
+type Road struct {
+	lanes     []*Lane
+	specs     []LaneSpec
+	stepCount int
+}
+
+// NewRoad builds a road from lane specs. Each lane receives its own RNG
+// stream split from rnd so per-lane randomness is independent.
+func NewRoad(specs []LaneSpec, rnd *rand.Rand) (*Road, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("ca: road needs at least one lane")
+	}
+	r := &Road{specs: make([]LaneSpec, len(specs))}
+	copy(r.specs, specs)
+	for i, spec := range specs {
+		var laneRnd *rand.Rand
+		if rnd != nil {
+			laneRnd = rand.New(rand.NewSource(rnd.Int63()))
+		}
+		lane, err := NewLane(spec.Config, laneRnd)
+		if err != nil {
+			return nil, fmt.Errorf("ca: lane %d: %w", i, err)
+		}
+		r.lanes = append(r.lanes, lane)
+	}
+	return r, nil
+}
+
+// NumLanes reports the number of lanes.
+func (r *Road) NumLanes() int { return len(r.lanes) }
+
+// Lane returns the i-th lane.
+func (r *Road) Lane(i int) *Lane { return r.lanes[i] }
+
+// Spec returns the i-th lane spec.
+func (r *Road) Spec(i int) LaneSpec { return r.specs[i] }
+
+// Step advances every lane by one time step.
+func (r *Road) Step() {
+	for _, l := range r.lanes {
+		l.Step()
+	}
+	r.stepCount++
+}
+
+// StepCount reports how many steps have been executed.
+func (r *Road) StepCount() int { return r.stepCount }
+
+// TotalVehicles reports the vehicle count across all lanes.
+func (r *Road) TotalVehicles() int {
+	n := 0
+	for _, l := range r.lanes {
+		n += l.NumVehicles()
+	}
+	return n
+}
+
+// VehicleGlobalID maps (lane, vehicle) to a road-wide vehicle index:
+// vehicles of lane 0 first, then lane 1, and so on.
+func (r *Road) VehicleGlobalID(lane, vehicle int) int {
+	id := 0
+	for i := 0; i < lane; i++ {
+		id += r.lanes[i].NumVehicles()
+	}
+	return id + vehicle
+}
+
+// Positions appends the absolute plane position of every vehicle on the
+// road, in global-ID order, to dst.
+func (r *Road) Positions(dst []geometry.Vec2) []geometry.Vec2 {
+	for li, l := range r.lanes {
+		spec := r.specs[li]
+		circuit := float64(l.Len()) * CellLength
+		for vi := 0; vi < l.NumVehicles(); vi++ {
+			x := float64(l.Vehicle(vi).Pos) * CellLength
+			if spec.Reversed {
+				x = circuit - x
+			}
+			dst = append(dst, spec.Placement.Place(x))
+		}
+	}
+	return dst
+}
+
+// MeanVelocity reports the vehicle-weighted mean velocity across lanes, in
+// sites per step.
+func (r *Road) MeanVelocity() float64 {
+	sum := 0.0
+	n := 0
+	for _, l := range r.lanes {
+		sum += l.MeanVelocity() * float64(l.NumVehicles())
+		n += l.NumVehicles()
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,43 @@
+package ca
+
+// RunVelocitySeries advances the lane for steps steps and returns the mean
+// velocity v̄(t) after each step — the simulation variable used throughout
+// §IV of the paper (Figs 6 and 7).
+func RunVelocitySeries(l *Lane, steps int) []float64 {
+	series := make([]float64, steps)
+	for i := 0; i < steps; i++ {
+		l.Step()
+		series[i] = l.MeanVelocity()
+	}
+	return series
+}
+
+// SpaceTime records the occupancy of the lane over a window of steps: one
+// row per step, each row the site vector with vehicle velocities (or -1 for
+// empty sites). This is the raw data behind the space-time plots of Fig. 5.
+func SpaceTime(l *Lane, steps int) [][]int {
+	rows := make([][]int, steps)
+	for i := 0; i < steps; i++ {
+		l.Step()
+		rows[i] = l.Occupancy(nil)
+	}
+	return rows
+}
+
+// FundamentalPoint runs a lane for warmup+measure steps and returns the
+// time-averaged flow J over the measurement window. Fig. 4 averages this
+// over an ensemble of trials.
+func FundamentalPoint(l *Lane, warmup, measure int) float64 {
+	for i := 0; i < warmup; i++ {
+		l.Step()
+	}
+	sum := 0.0
+	for i := 0; i < measure; i++ {
+		l.Step()
+		sum += l.Flow()
+	}
+	if measure == 0 {
+		return 0
+	}
+	return sum / float64(measure)
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cavenet/internal/ca"
+	"cavenet/internal/geometry"
+	"cavenet/internal/mac"
+	"cavenet/internal/metrics"
+	"cavenet/internal/mobility"
+	"cavenet/internal/netsim"
+	"cavenet/internal/phy"
+	"cavenet/internal/rng"
+	"cavenet/internal/routing/aodv"
+	"cavenet/internal/routing/dymo"
+	"cavenet/internal/routing/olsr"
+	"cavenet/internal/sim"
+	"cavenet/internal/traffic"
+)
+
+// Protocol selects the routing protocol under test.
+type Protocol string
+
+// The protocols evaluated by the paper.
+const (
+	AODV Protocol = "aodv"
+	OLSR Protocol = "olsr"
+	DYMO Protocol = "dymo"
+)
+
+// ScenarioConfig mirrors Table I of the paper. Zero values give exactly the
+// paper's parameters: 30 nodes on a 3000 m circuit, 100 s of simulated
+// time, CBR 5 packets/s × 512 bytes from nodes 1–8 to node 0 between 10 s
+// and 90 s, IEEE 802.11 DCF at 2 Mbps without RTS/CTS, 250 m two-ray-ground
+// transmission range, HELLO 1 s, TC 2 s.
+type ScenarioConfig struct {
+	Protocol Protocol
+
+	Nodes         int     // Table I: 30
+	CircuitMeters float64 // Table I: 3000 m circuit
+	SlowdownP     float64 // NaS randomization while driving (default 0.3)
+	CAWarmup      int     // CA steps discarded before the trace (default 300)
+
+	SimTime      sim.Time // Table I: 100 s
+	Receiver     int      // Table I: node 0
+	Senders      []int    // Table I: nodes 1..8
+	Rate         float64  // Table I: 5 packets/s
+	PacketBytes  int      // Table I: 512 bytes
+	TrafficStart sim.Time // Table I: 10 s
+	TrafficStop  sim.Time // Table I: 90 s
+
+	RangeMeters float64 // Table I: 250 m
+	DataRateBPS float64 // Table I: 2 Mb/s
+
+	Seed int64
+
+	// OLSRETX switches OLSR to the ETX/LQ metric of §III-B.1.
+	OLSRETX bool
+	// AODVNoExpandingRing disables AODV's expanding-ring search (ablation).
+	AODVNoExpandingRing bool
+	// DYMONoPathAccumulation disables DYMO path accumulation (ablation).
+	DYMONoPathAccumulation bool
+	// NoCapture disables PHY capture so any overlap collides (ablation).
+	NoCapture bool
+	// RTSThreshold enables the 802.11 RTS/CTS exchange for unicast data of
+	// at least this many bytes. Table I says "RTS/CTS: None", so the
+	// default is off; the ablation bench measures the trade-off.
+	RTSThreshold int
+	// StraightLine uses the pre-improvement open-boundary straight-line
+	// mobility instead of the circuit (the paper's §III-B motivation).
+	StraightLine bool
+	// StaticNodes freezes vehicles at their warm-up positions; used by
+	// integration tests that need a stable topology.
+	StaticNodes bool
+}
+
+func (c *ScenarioConfig) normalize() error {
+	switch c.Protocol {
+	case AODV, OLSR, DYMO:
+	case "":
+		c.Protocol = AODV
+	default:
+		return fmt.Errorf("core: unknown protocol %q", c.Protocol)
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 30
+	}
+	if c.CircuitMeters == 0 {
+		c.CircuitMeters = 3000
+	}
+	if c.SlowdownP == 0 {
+		c.SlowdownP = 0.3
+	}
+	if c.CAWarmup == 0 {
+		c.CAWarmup = 300
+	}
+	if c.SimTime == 0 {
+		c.SimTime = 100 * sim.Second
+	}
+	if c.Senders == nil {
+		for i := 1; i <= 8; i++ {
+			c.Senders = append(c.Senders, i)
+		}
+	}
+	if c.Rate == 0 {
+		c.Rate = 5
+	}
+	if c.PacketBytes == 0 {
+		c.PacketBytes = 512
+	}
+	if c.TrafficStart == 0 {
+		c.TrafficStart = 10 * sim.Second
+	}
+	if c.TrafficStop == 0 {
+		c.TrafficStop = 90 * sim.Second
+	}
+	if c.RangeMeters == 0 {
+		c.RangeMeters = 250
+	}
+	if c.DataRateBPS == 0 {
+		c.DataRateBPS = 2e6
+	}
+	if c.Receiver < 0 || c.Receiver >= c.Nodes {
+		return fmt.Errorf("core: receiver %d out of range", c.Receiver)
+	}
+	for _, s := range c.Senders {
+		if s < 0 || s >= c.Nodes {
+			return fmt.Errorf("core: sender %d out of range", s)
+		}
+		if s == c.Receiver {
+			return fmt.Errorf("core: sender %d is the receiver", s)
+		}
+	}
+	return nil
+}
+
+// ScenarioResult carries everything Figs. 8–11 plot, plus the overhead and
+// delay metrics the paper defers to future work.
+type ScenarioResult struct {
+	Config ScenarioConfig
+	// Goodput maps sender ID to its goodput time series in bps, 1-s bins
+	// (Figs. 8–10).
+	Goodput map[int][]float64
+	// PDR maps sender ID to its packet delivery ratio (Fig. 11).
+	PDR map[int]float64
+	// Sent and Delivered count data packets per sender.
+	Sent, Delivered map[int]uint64
+	// MeanDelaySec maps sender ID to mean end-to-end delay of delivered
+	// packets in seconds.
+	MeanDelaySec map[int]float64
+	// MeanHops maps sender ID to the average route length used.
+	MeanHops map[int]float64
+	// ControlPackets and ControlBytes total the routing overhead.
+	ControlPackets, ControlBytes uint64
+	// MACStats aggregates MAC counters over all nodes.
+	MACStats mac.Stats
+	// Drops counts data-packet drops by reason.
+	Drops map[string]uint64
+}
+
+// TotalPDR reports the delivery ratio across all senders.
+func (r *ScenarioResult) TotalPDR() float64 {
+	var sent, del uint64
+	for _, s := range r.Sent {
+		sent += s
+	}
+	for _, d := range r.Delivered {
+		del += d
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(del) / float64(sent)
+}
+
+// BuildCircuitTrace produces the Table I mobility input: vehicles on a ring
+// lane whose circumference is the configured circuit length, warmed into
+// the stationary regime, then recorded for the scenario duration.
+func BuildCircuitTrace(cfg ScenarioConfig) (*mobility.SampledTrace, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	cells := int(math.Round(cfg.CircuitMeters / ca.CellLength))
+	boundary := ca.RingBoundary
+	var placement geometry.LanePlacement = geometry.Ring{
+		Center:        geometry.Vec2{X: cfg.CircuitMeters / 2, Y: cfg.CircuitMeters / 2},
+		Circumference: cfg.CircuitMeters,
+	}
+	if cfg.StraightLine {
+		boundary = ca.OpenBoundary
+		placement = geometry.Line{Transform: geometry.Translate(0, 10)}
+	}
+	src := rng.NewSource(cfg.Seed)
+	road, err := ca.NewRoad([]ca.LaneSpec{{
+		Config: ca.Config{
+			Length:    cells,
+			Vehicles:  cfg.Nodes,
+			SlowdownP: cfg.SlowdownP,
+			Boundary:  boundary,
+		},
+		Placement: placement,
+	}}, src.Stream("ca"))
+	if err != nil {
+		return nil, err
+	}
+	mobility.WarmupRoad(road, cfg.CAWarmup)
+	steps := int(cfg.SimTime/sim.Second) + 1
+	trace := mobility.RecordRoad(road, steps)
+	if cfg.StaticNodes {
+		for n := range trace.Positions {
+			for i := range trace.Positions[n] {
+				trace.Positions[n][i] = trace.Positions[n][0]
+			}
+		}
+	}
+	return trace, nil
+}
+
+// RunScenario executes one Table I protocol evaluation and returns the
+// paper's metrics.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	trace, err := BuildCircuitTrace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunScenarioOnTrace(cfg, trace)
+}
+
+// RunScenarioOnTrace runs the protocol evaluation on a caller-provided
+// mobility trace (e.g. one parsed from an ns-2 scenario file, preserving
+// the paper's BA/CPS separation).
+func RunScenarioOnTrace(cfg ScenarioConfig, trace *mobility.SampledTrace) (*ScenarioResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	capture := 10.0
+	if cfg.NoCapture {
+		capture = 0
+	}
+	factory := func(n *netsim.Node) netsim.Router {
+		switch cfg.Protocol {
+		case OLSR:
+			return olsr.New(n, olsr.Config{ETX: cfg.OLSRETX})
+		case DYMO:
+			pa := !cfg.DYMONoPathAccumulation
+			return dymo.New(n, dymo.Config{PathAccumulation: &pa})
+		default:
+			er := !cfg.AODVNoExpandingRing
+			return aodv.New(n, aodv.Config{ExpandingRing: &er})
+		}
+	}
+	world, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes:       cfg.Nodes,
+		Seed:        cfg.Seed,
+		Propagation: phy.TwoRayGround{},
+		Channel: phy.Config{
+			RxRangeM:     cfg.RangeMeters,
+			CSRangeM:     cfg.RangeMeters * 2.2,
+			CaptureRatio: capture,
+		},
+		MAC:      mac.Config{DataRateBPS: cfg.DataRateBPS, RTSThreshold: cfg.RTSThreshold},
+		Mobility: trace,
+	}, factory)
+	if err != nil {
+		return nil, err
+	}
+
+	collector := metrics.NewCollector(sim.Second, cfg.SimTime)
+	collector.Bind(world)
+
+	sink := &traffic.Sink{}
+	world.Node(cfg.Receiver).AttachPort(netsim.PortCBR, sink)
+	for _, s := range cfg.Senders {
+		cbr := traffic.NewCBR(world.Node(s), traffic.CBRConfig{
+			Dst:         netsim.NodeID(cfg.Receiver),
+			PacketBytes: cfg.PacketBytes,
+			Rate:        cfg.Rate,
+			Start:       cfg.TrafficStart,
+			Stop:        cfg.TrafficStop,
+		})
+		cbr.Start()
+	}
+
+	world.Run(cfg.SimTime)
+
+	res := &ScenarioResult{
+		Config:       cfg,
+		Goodput:      make(map[int][]float64, len(cfg.Senders)),
+		PDR:          make(map[int]float64, len(cfg.Senders)),
+		Sent:         make(map[int]uint64, len(cfg.Senders)),
+		Delivered:    make(map[int]uint64, len(cfg.Senders)),
+		MeanDelaySec: make(map[int]float64, len(cfg.Senders)),
+		MeanHops:     make(map[int]float64, len(cfg.Senders)),
+		Drops:        collector.Drops(),
+	}
+	for _, s := range cfg.Senders {
+		id := netsim.NodeID(s)
+		res.Goodput[s] = collector.GoodputBPS(id)
+		res.PDR[s] = collector.PDR(id)
+		res.Sent[s] = collector.Sent(id)
+		res.Delivered[s] = collector.Delivered(id)
+		res.MeanDelaySec[s] = collector.MeanDelay(id).Seconds()
+		res.MeanHops[s] = collector.MeanHops(id)
+	}
+	res.ControlPackets, res.ControlBytes = metrics.RoutingOverhead(world)
+	for _, n := range world.Nodes() {
+		st := n.MAC().Stats()
+		res.MACStats.DataTx += st.DataTx
+		res.MACStats.DataRx += st.DataRx
+		res.MACStats.AckTx += st.AckTx
+		res.MACStats.AckRx += st.AckRx
+		res.MACStats.RTSTx += st.RTSTx
+		res.MACStats.CTSTx += st.CTSTx
+		res.MACStats.Retries += st.Retries
+		res.MACStats.Failures += st.Failures
+		res.MACStats.QueueDrops += st.QueueDrops
+		res.MACStats.Duplicates += st.Duplicates
+		res.MACStats.BytesTx += st.BytesTx
+		res.MACStats.NAVSettings += st.NAVSettings
+	}
+	return res, nil
+}
+
+// CompareProtocols runs the Table I scenario once per protocol on the SAME
+// mobility trace ("the mobility pattern for all scenarios is the same"),
+// which is what makes Fig. 11's per-sender comparison meaningful.
+func CompareProtocols(cfg ScenarioConfig, protocols []Protocol) (map[Protocol]*ScenarioResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	trace, err := BuildCircuitTrace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Protocol]*ScenarioResult, len(protocols))
+	for _, p := range protocols {
+		c := cfg
+		c.Protocol = p
+		res, err := RunScenarioOnTrace(c, trace)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s scenario: %w", p, err)
+		}
+		out[p] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"cavenet/internal/sim"
+)
+
+// smallScenario is a reduced Table I configuration that keeps test runtime
+// in check: 12 nodes on a 1200 m circuit, 30 s, 3 senders.
+func smallScenario(p Protocol) ScenarioConfig {
+	return ScenarioConfig{
+		Protocol:      p,
+		Nodes:         12,
+		CircuitMeters: 1200,
+		SimTime:       30 * sim.Second,
+		Senders:       []int{1, 2, 3},
+		TrafficStart:  5 * sim.Second,
+		TrafficStop:   25 * sim.Second,
+		CAWarmup:      100,
+		Seed:          11,
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := smallScenario(AODV)
+	bad.Protocol = "ospf"
+	if _, err := RunScenario(bad); err == nil {
+		t.Fatal("unknown protocol must error")
+	}
+	bad = smallScenario(AODV)
+	bad.Receiver = 99
+	if _, err := RunScenario(bad); err == nil {
+		t.Fatal("out-of-range receiver must error")
+	}
+	bad = smallScenario(AODV)
+	bad.Senders = []int{0}
+	if _, err := RunScenario(bad); err == nil {
+		t.Fatal("sender == receiver must error")
+	}
+	bad = smallScenario(AODV)
+	bad.Senders = []int{50}
+	if _, err := RunScenario(bad); err == nil {
+		t.Fatal("out-of-range sender must error")
+	}
+}
+
+func TestBuildCircuitTrace(t *testing.T) {
+	cfg := smallScenario(AODV)
+	tr, err := BuildCircuitTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 12 {
+		t.Fatalf("nodes = %d", tr.NumNodes())
+	}
+	if tr.NumSamples() != 32 {
+		t.Fatalf("samples = %d, want simtime+2", tr.NumSamples())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticNodesOption(t *testing.T) {
+	cfg := smallScenario(AODV)
+	cfg.StaticNodes = true
+	tr, err := BuildCircuitTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range tr.Positions {
+		for _, p := range tr.Positions[n] {
+			if p != tr.Positions[n][0] {
+				t.Fatal("StaticNodes must freeze positions")
+			}
+		}
+	}
+}
+
+func TestStraightLineOption(t *testing.T) {
+	cfg := smallScenario(AODV)
+	cfg.StraightLine = true
+	tr, err := BuildCircuitTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Straight-line placement keeps everyone at the lane's y offset.
+	for n := range tr.Positions {
+		for _, p := range tr.Positions[n] {
+			if p.Y != 10 {
+				t.Fatalf("line lane y = %v", p.Y)
+			}
+		}
+	}
+}
+
+func TestRunScenarioAllProtocols(t *testing.T) {
+	for _, p := range []Protocol{AODV, OLSR, DYMO} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			res, err := RunScenario(smallScenario(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalPDR() < 0.3 {
+				t.Fatalf("%s total PDR = %v; network should mostly work", p, res.TotalPDR())
+			}
+			for _, s := range []int{1, 2, 3} {
+				if res.Sent[s] != 100 { // 20 s × 5 pkt/s
+					t.Fatalf("sender %d sent %d, want 100", s, res.Sent[s])
+				}
+				if len(res.Goodput[s]) != 31 {
+					t.Fatalf("goodput bins = %d", len(res.Goodput[s]))
+				}
+			}
+			if res.ControlPackets == 0 || res.ControlBytes == 0 {
+				t.Fatal("no routing overhead recorded")
+			}
+			if res.MACStats.DataTx == 0 {
+				t.Fatal("no MAC activity recorded")
+			}
+		})
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	a, err := RunScenario(smallScenario(DYMO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(smallScenario(DYMO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= 3; s++ {
+		if a.PDR[s] != b.PDR[s] || a.Delivered[s] != b.Delivered[s] {
+			t.Fatalf("same seed, different results for sender %d", s)
+		}
+	}
+	if a.ControlPackets != b.ControlPackets {
+		t.Fatal("control traffic differs across identical runs")
+	}
+}
+
+func TestCompareProtocolsSharesTrace(t *testing.T) {
+	res, err := CompareProtocols(smallScenario(AODV), []Protocol{AODV, DYMO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[AODV].Config.Protocol != AODV || res[DYMO].Config.Protocol != DYMO {
+		t.Fatal("per-protocol configs wrong")
+	}
+}
+
+func TestGoodputConsistentWithDeliveries(t *testing.T) {
+	res, err := RunScenario(smallScenario(DYMO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{1, 2, 3} {
+		bits := 0.0
+		for _, bps := range res.Goodput[s] {
+			bits += bps // 1-second bins: bps == bits in the bin
+		}
+		wantBits := float64(res.Delivered[s] * 512 * 8)
+		if bits != wantBits {
+			t.Fatalf("sender %d: goodput integrates to %v bits, deliveries say %v",
+				s, bits, wantBits)
+		}
+	}
+}

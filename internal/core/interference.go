@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"cavenet/internal/mac"
+	"cavenet/internal/metrics"
+	"cavenet/internal/netsim"
+	"cavenet/internal/phy"
+	"cavenet/internal/routing/aodv"
+	"cavenet/internal/sim"
+	"cavenet/internal/traffic"
+)
+
+// InterferenceConfig parameterizes the Fig. 1-b experiment: a multihop CBR
+// flow along one lane while the opposite lane's vehicles generate their own
+// traffic, interfering at the radio level ("the message penetration on a
+// particular lane can be affected by the radio interference on the opposite
+// lane").
+type InterferenceConfig struct {
+	LaneLengthMeters float64 // default 2000
+	VehiclesPerLane  int     // default 16
+	SlowdownP        float64 // default 0.3
+	// BackgroundRate is the interfering per-node CBR rate in packets/s on
+	// the opposite lane (default 10).
+	BackgroundRate float64
+	// BackgroundBytes is the interfering packet size (default 512).
+	BackgroundBytes int
+	SimTime         sim.Time // default 60 s
+	Seed            int64
+}
+
+func (c *InterferenceConfig) normalize() {
+	if c.LaneLengthMeters == 0 {
+		c.LaneLengthMeters = 2000
+	}
+	if c.VehiclesPerLane == 0 {
+		c.VehiclesPerLane = 16
+	}
+	if c.SlowdownP == 0 {
+		c.SlowdownP = 0.3
+	}
+	if c.BackgroundRate == 0 {
+		c.BackgroundRate = 20
+	}
+	if c.BackgroundBytes == 0 {
+		c.BackgroundBytes = 512
+	}
+	if c.SimTime == 0 {
+		c.SimTime = 60 * sim.Second
+	}
+}
+
+// InterferenceResult compares the primary flow with a quiet vs. an active
+// opposite lane.
+type InterferenceResult struct {
+	// QuietPDR is the primary flow's delivery ratio when the opposite
+	// lane's vehicles are present but silent (pure relay benefit).
+	QuietPDR float64
+	// InterferedPDR is the same flow when the opposite lane transmits.
+	InterferedPDR float64
+	// QuietRetries / InterferedRetries total the MAC retries in each run.
+	QuietRetries, InterferedRetries uint64
+}
+
+// InterferenceExperiment quantifies Fig. 1-b: run the identical two-lane
+// mobility twice — once with the opposite lane silent, once with it
+// carrying neighbor-to-neighbor CBR — and compare the primary flow's PDR.
+func InterferenceExperiment(cfg InterferenceConfig) (InterferenceResult, error) {
+	cfg.normalize()
+	trace, err := HighwayTrace(HighwayConfig{
+		Lanes: []HighwayLane{
+			{LengthMeters: cfg.LaneLengthMeters, Vehicles: cfg.VehiclesPerLane, SlowdownP: cfg.SlowdownP},
+			{LengthMeters: cfg.LaneLengthMeters, Vehicles: cfg.VehiclesPerLane, SlowdownP: cfg.SlowdownP, OffsetY: 5, Reversed: true},
+		},
+		Warmup: 200,
+		Steps:  int(cfg.SimTime/sim.Second) + 1,
+		Seed:   cfg.Seed,
+	})
+	if err != nil {
+		return InterferenceResult{}, err
+	}
+
+	run := func(background bool) (float64, uint64, error) {
+		world, err := netsim.NewWorld(netsim.WorldConfig{
+			Nodes:       2 * cfg.VehiclesPerLane,
+			Seed:        cfg.Seed,
+			Propagation: phy.TwoRayGround{},
+			Channel:     phy.Config{CaptureRatio: 10},
+			MAC:         mac.Config{},
+			Mobility:    trace,
+		}, func(n *netsim.Node) netsim.Router { return aodv.New(n, aodv.Config{}) })
+		if err != nil {
+			return 0, 0, err
+		}
+		collector := metrics.NewCollector(sim.Second, cfg.SimTime)
+		collector.Bind(world)
+
+		// Primary flow: first lane-0 vehicle to the vehicle half a lane
+		// ahead (multihop).
+		src := 0
+		dst := cfg.VehiclesPerLane / 2
+		world.Node(dst).AttachPort(netsim.PortCBR, &traffic.Sink{})
+		primary := traffic.NewCBR(world.Node(src), traffic.CBRConfig{
+			Dst:   netsim.NodeID(dst),
+			Rate:  5,
+			Start: 5 * sim.Second,
+			Stop:  cfg.SimTime - 5*sim.Second,
+		})
+		primary.Start()
+
+		if background {
+			// Opposite lane: each vehicle unicasts to its follower,
+			// saturating the shared channel.
+			for i := 0; i < cfg.VehiclesPerLane; i++ {
+				from := cfg.VehiclesPerLane + i
+				to := cfg.VehiclesPerLane + (i+1)%cfg.VehiclesPerLane
+				world.Node(to).AttachPort(netsim.PortCBR+1+i, &traffic.Sink{})
+				bg := traffic.NewCBR(world.Node(from), traffic.CBRConfig{
+					Dst:         netsim.NodeID(to),
+					Port:        netsim.PortCBR + 1 + i,
+					Rate:        cfg.BackgroundRate,
+					PacketBytes: cfg.BackgroundBytes,
+					Start:       5 * sim.Second,
+					Stop:        cfg.SimTime - 5*sim.Second,
+				})
+				bg.Start()
+			}
+		}
+		world.Run(cfg.SimTime)
+		var retries uint64
+		for _, n := range world.Nodes() {
+			retries += n.MAC().Stats().Retries
+		}
+		return collector.PDR(netsim.NodeID(src)), retries, nil
+	}
+
+	quietPDR, quietRetries, err := run(false)
+	if err != nil {
+		return InterferenceResult{}, fmt.Errorf("core: quiet run: %w", err)
+	}
+	interfPDR, interfRetries, err := run(true)
+	if err != nil {
+		return InterferenceResult{}, fmt.Errorf("core: interfered run: %w", err)
+	}
+	return InterferenceResult{
+		QuietPDR:          quietPDR,
+		InterferedPDR:     interfPDR,
+		QuietRetries:      quietRetries,
+		InterferedRetries: interfRetries,
+	}, nil
+}

@@ -1,0 +1,175 @@
+// Package geometry provides the planar primitives CAVENET uses to place
+// lanes in the simulation area: 2-D vectors and the affine lane
+// transformations of §III-D of the paper.
+//
+// A lane is simulated in its own 1-D coordinate system; an affine transform
+// A(k) maps the relative coordinate vector (X, Y, 1) of a vehicle on lane k
+// to absolute plane coordinates used when exporting ns-2 traces.
+package geometry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a point or displacement in the plane, in meters.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return math.Hypot(v.X-w.X, v.Y-w.Y) }
+
+// String formats the vector with centimeter precision.
+func (v Vec2) String() string { return fmt.Sprintf("(%.2f, %.2f)", v.X, v.Y) }
+
+// Affine is a 2-D affine transformation stored as the top two rows of a
+// homogeneous 3×3 matrix:
+//
+//	| A B C |   | x |
+//	| D E F | · | y |
+//	| 0 0 1 |   | 1 |
+type Affine struct {
+	A, B, C float64
+	D, E, F float64
+}
+
+// Identity returns the identity transform.
+func Identity() Affine { return Affine{A: 1, E: 1} }
+
+// Translate returns a transform that shifts by (tx, ty).
+func Translate(tx, ty float64) Affine { return Affine{A: 1, C: tx, E: 1, F: ty} }
+
+// Rotate returns a rotation by theta radians about the origin.
+func Rotate(theta float64) Affine {
+	s, c := math.Sincos(theta)
+	return Affine{A: c, B: -s, D: s, E: c}
+}
+
+// Scaling returns a transform that scales x by sx and y by sy.
+func Scaling(sx, sy float64) Affine { return Affine{A: sx, E: sy} }
+
+// ReflectX returns a reflection across the y axis (x -> -x). Combined with a
+// translation this places an opposite-direction lane, as in Fig. 3 of the
+// paper.
+func ReflectX() Affine { return Affine{A: -1, E: 1} }
+
+// SwapXY returns the transform that exchanges the axes, used by the paper's
+// third-lane example where the lane runs vertically.
+func SwapXY() Affine { return Affine{B: 1, D: 1} }
+
+// Apply maps point p through the transform.
+func (t Affine) Apply(p Vec2) Vec2 {
+	return Vec2{
+		X: t.A*p.X + t.B*p.Y + t.C,
+		Y: t.D*p.X + t.E*p.Y + t.F,
+	}
+}
+
+// Compose returns the transform equivalent to applying u first, then t
+// (i.e. the matrix product t·u).
+func (t Affine) Compose(u Affine) Affine {
+	return Affine{
+		A: t.A*u.A + t.B*u.D,
+		B: t.A*u.B + t.B*u.E,
+		C: t.A*u.C + t.B*u.F + t.C,
+		D: t.D*u.A + t.E*u.D,
+		E: t.D*u.B + t.E*u.E,
+		F: t.D*u.C + t.E*u.F + t.F,
+	}
+}
+
+// Det returns the determinant of the linear part; zero means the transform
+// collapses the plane and is not invertible.
+func (t Affine) Det() float64 { return t.A*t.E - t.B*t.D }
+
+// Invert returns the inverse transform. It reports ok=false when the
+// transform is singular.
+func (t Affine) Invert() (inv Affine, ok bool) {
+	det := t.Det()
+	if math.Abs(det) < 1e-12 {
+		return Affine{}, false
+	}
+	id := 1 / det
+	inv = Affine{
+		A: t.E * id,
+		B: -t.B * id,
+		D: -t.D * id,
+		E: t.A * id,
+	}
+	inv.C = -(inv.A*t.C + inv.B*t.F)
+	inv.F = -(inv.D*t.C + inv.E*t.F)
+	return inv, true
+}
+
+// LanePlacement maps a 1-D lane coordinate (meters along the lane) to a
+// plane position. It abstracts the two lane shapes CAVENET supports: the
+// original straight line (affine transform, Fig. 3) and the improved
+// circuit.
+type LanePlacement interface {
+	// Place maps the along-lane coordinate x, in meters, to absolute plane
+	// coordinates.
+	Place(x float64) Vec2
+	// Heading reports the direction of travel, in radians, at coordinate x.
+	Heading(x float64) float64
+}
+
+// Line places a lane as a straight segment via an affine transform applied
+// to (x, 0).
+type Line struct {
+	Transform Affine
+}
+
+var _ LanePlacement = Line{}
+
+// Place implements LanePlacement.
+func (l Line) Place(x float64) Vec2 { return l.Transform.Apply(Vec2{X: x}) }
+
+// Heading implements LanePlacement.
+func (l Line) Heading(float64) float64 {
+	return math.Atan2(l.Transform.D, l.Transform.A)
+}
+
+// Ring places a lane on a circle of the given circumference — the paper's
+// "improvement": vehicles wrap around smoothly so head and tail of the lane
+// stay within radio reach instead of teleporting across the area.
+type Ring struct {
+	Center        Vec2
+	Circumference float64
+}
+
+var _ LanePlacement = Ring{}
+
+// Radius reports the circle radius implied by the circumference.
+func (r Ring) Radius() float64 { return r.Circumference / (2 * math.Pi) }
+
+// Place implements LanePlacement.
+func (r Ring) Place(x float64) Vec2 {
+	theta := 2 * math.Pi * x / r.Circumference
+	rad := r.Radius()
+	return Vec2{
+		X: r.Center.X + rad*math.Cos(theta),
+		Y: r.Center.Y + rad*math.Sin(theta),
+	}
+}
+
+// Heading implements LanePlacement.
+func (r Ring) Heading(x float64) float64 {
+	theta := 2 * math.Pi * x / r.Circumference
+	return theta + math.Pi/2
+}

@@ -1,0 +1,169 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func vecAlmostEq(a, b Vec2) bool { return almostEq(a.X, b.X) && almostEq(a.Y, b.Y) }
+
+func TestVecOps(t *testing.T) {
+	v := Vec2{3, 4}
+	w := Vec2{1, -2}
+	if got := v.Add(w); !vecAlmostEq(got, Vec2{4, 2}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := v.Sub(w); !vecAlmostEq(got, Vec2{2, 6}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := v.Scale(2); !vecAlmostEq(got, Vec2{6, 8}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := v.Dot(w); !almostEq(got, -5) {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := v.Norm(); !almostEq(got, 5) {
+		t.Fatalf("Norm = %v", got)
+	}
+	if got := v.Dist(Vec2{0, 0}); !almostEq(got, 5) {
+		t.Fatalf("Dist = %v", got)
+	}
+	if got := v.String(); got != "(3.00, 4.00)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestAffineIdentity(t *testing.T) {
+	p := Vec2{2, 3}
+	if got := Identity().Apply(p); !vecAlmostEq(got, p) {
+		t.Fatalf("Identity.Apply = %v", got)
+	}
+}
+
+func TestAffineConstructors(t *testing.T) {
+	if got := Translate(5, -1).Apply(Vec2{1, 1}); !vecAlmostEq(got, Vec2{6, 0}) {
+		t.Fatalf("Translate = %v", got)
+	}
+	if got := Rotate(math.Pi / 2).Apply(Vec2{1, 0}); !vecAlmostEq(got, Vec2{0, 1}) {
+		t.Fatalf("Rotate = %v", got)
+	}
+	if got := Scaling(2, 3).Apply(Vec2{1, 1}); !vecAlmostEq(got, Vec2{2, 3}) {
+		t.Fatalf("Scaling = %v", got)
+	}
+	if got := ReflectX().Apply(Vec2{2, 3}); !vecAlmostEq(got, Vec2{-2, 3}) {
+		t.Fatalf("ReflectX = %v", got)
+	}
+	if got := SwapXY().Apply(Vec2{2, 3}); !vecAlmostEq(got, Vec2{3, 2}) {
+		t.Fatalf("SwapXY = %v", got)
+	}
+}
+
+// TestPaperThirdLane reproduces the paper's §III-D example: the third lane
+// runs vertically via the transform [[0 1 XS/2][1 0 Δ][0 0 1]].
+func TestPaperThirdLane(t *testing.T) {
+	const xs = 1000.0
+	const delta = 0.5
+	a := Affine{A: 0, B: 1, C: xs / 2, D: 1, E: 0, F: delta}
+	got := a.Apply(Vec2{X: 100, Y: 0})
+	want := Vec2{X: xs / 2, Y: 100 + delta}
+	if !vecAlmostEq(got, want) {
+		t.Fatalf("third lane transform: got %v, want %v", got, want)
+	}
+}
+
+func TestAffineComposeMatchesSequentialApply(t *testing.T) {
+	// Inputs come in as int16 to keep magnitudes bounded; the property is
+	// exact algebra, not float-overflow behaviour.
+	f := func(a, b, c, d, e, fcoef, x, y int16) bool {
+		s := func(v int16) float64 { return float64(v) / 128 }
+		t1 := Affine{A: s(a), B: s(b), C: s(c), D: s(d), E: s(e), F: s(fcoef)}
+		t2 := Rotate(s(a)).Compose(Translate(s(b), s(c)))
+		p := Vec2{s(x), s(y)}
+		lhs := t1.Compose(t2).Apply(p)
+		rhs := t1.Apply(t2.Apply(p))
+		return math.Abs(lhs.X-rhs.X) < 1e-6*(1+math.Abs(rhs.X)) &&
+			math.Abs(lhs.Y-rhs.Y) < 1e-6*(1+math.Abs(rhs.Y))
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffineInvertRoundTrip(t *testing.T) {
+	tr := Rotate(0.7).Compose(Translate(10, -3)).Compose(Scaling(2, 0.5))
+	inv, ok := tr.Invert()
+	if !ok {
+		t.Fatal("transform should be invertible")
+	}
+	p := Vec2{3.3, -7.1}
+	if got := inv.Apply(tr.Apply(p)); !vecAlmostEq(got, p) {
+		t.Fatalf("Invert round trip: %v != %v", got, p)
+	}
+}
+
+func TestAffineSingularInvert(t *testing.T) {
+	if _, ok := (Affine{}).Invert(); ok {
+		t.Fatal("zero transform must report non-invertible")
+	}
+	if got := (Affine{}).Det(); got != 0 {
+		t.Fatalf("Det = %v", got)
+	}
+}
+
+func TestLinePlacement(t *testing.T) {
+	l := Line{Transform: Translate(100, 50)}
+	if got := l.Place(20); !vecAlmostEq(got, Vec2{120, 50}) {
+		t.Fatalf("Line.Place = %v", got)
+	}
+	if got := l.Heading(0); !almostEq(got, 0) {
+		t.Fatalf("Line.Heading = %v", got)
+	}
+	rev := Line{Transform: ReflectX()}
+	if got := rev.Heading(0); !almostEq(math.Abs(got), math.Pi) {
+		t.Fatalf("reversed lane heading = %v, want ±π", got)
+	}
+}
+
+func TestRingPlacement(t *testing.T) {
+	r := Ring{Center: Vec2{0, 0}, Circumference: 2 * math.Pi * 100}
+	if !almostEq(r.Radius(), 100) {
+		t.Fatalf("Radius = %v", r.Radius())
+	}
+	if got := r.Place(0); !vecAlmostEq(got, Vec2{100, 0}) {
+		t.Fatalf("Place(0) = %v", got)
+	}
+	quarter := r.Circumference / 4
+	if got := r.Place(quarter); !vecAlmostEq(got, Vec2{0, 100}) {
+		t.Fatalf("Place(C/4) = %v", got)
+	}
+	// Wrap-around continuity: positions at x and x+C coincide.
+	a := r.Place(123.4)
+	b := r.Place(123.4 + r.Circumference)
+	if !vecAlmostEq(a, b) {
+		t.Fatalf("ring placement not periodic: %v vs %v", a, b)
+	}
+}
+
+func TestRingPlacementStaysOnCircle(t *testing.T) {
+	r := Ring{Center: Vec2{10, 20}, Circumference: 3000}
+	f := func(raw int32) bool {
+		x := float64(raw) / 100 // within ±2.1e7 m, sane trig range
+		p := r.Place(x)
+		return math.Abs(p.Dist(r.Center)-r.Radius()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingHeadingTangent(t *testing.T) {
+	r := Ring{Circumference: 2 * math.Pi}
+	// At x=0 (angle 0), travel direction should be +y (π/2).
+	if got := r.Heading(0); !almostEq(got, math.Pi/2) {
+		t.Fatalf("Heading(0) = %v, want π/2", got)
+	}
+}

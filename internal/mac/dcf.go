@@ -1,0 +1,574 @@
+// Package mac implements the IEEE 802.11 Distributed Coordination Function
+// used by the paper's evaluation (Table I: "IEEE802.11 DCF", 2 Mbps, no
+// RTS/CTS): CSMA/CA with DIFS deference and binary-exponential slotted
+// backoff, unicast acknowledgements with retry limits, broadcast frames,
+// virtual carrier sense (NAV) and a drop-tail interface queue.
+//
+// Timing and size constants default to the ns-2 802.11 (DSSS) values so the
+// CPS substrate matches what the paper ran on.
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cavenet/internal/phy"
+	"cavenet/internal/sim"
+)
+
+// Address identifies a station. CAVENET uses the node ID directly.
+type Address int
+
+// Broadcast is the all-stations address.
+const Broadcast Address = -1
+
+// Config holds DCF parameters. Zero fields take ns-2 DSSS defaults.
+type Config struct {
+	SlotTime     sim.Time // default 20 µs
+	SIFS         sim.Time // default 10 µs
+	DIFS         sim.Time // default SIFS + 2·slot = 50 µs
+	Preamble     sim.Time // PLCP preamble+header, default 192 µs
+	DataRateBPS  float64  // default 2 Mb/s (Table I)
+	BasicRateBPS float64  // control-frame rate, default 1 Mb/s
+	CWMin        int      // default 31
+	CWMax        int      // default 1023
+	RetryLimit   int      // default 7 (short retry limit; RTS/CTS is off)
+	QueueCap     int      // interface queue capacity, default 50 (ns-2 ifq)
+	HeaderBytes  int      // MAC data header+FCS, default 28
+	AckBytes     int      // ACK frame size, default 14
+	// RTSThreshold enables the RTS/CTS exchange for unicast payloads of at
+	// least this many bytes. Zero (the default) disables RTS/CTS entirely,
+	// matching Table I of the paper ("RTS/CTS: None"); the ablation bench
+	// turns it on to measure the hidden-terminal trade-off.
+	RTSThreshold int
+	RTSBytes     int // RTS frame size, default 20
+	CTSBytes     int // CTS frame size, default 14
+	LongRetry    int // retry limit for RTS-protected frames, default 4
+}
+
+func (c *Config) normalize() {
+	if c.SlotTime == 0 {
+		c.SlotTime = 20 * sim.Microsecond
+	}
+	if c.SIFS == 0 {
+		c.SIFS = 10 * sim.Microsecond
+	}
+	if c.DIFS == 0 {
+		c.DIFS = c.SIFS + 2*c.SlotTime
+	}
+	if c.Preamble == 0 {
+		c.Preamble = 192 * sim.Microsecond
+	}
+	if c.DataRateBPS == 0 {
+		c.DataRateBPS = 2e6
+	}
+	if c.BasicRateBPS == 0 {
+		c.BasicRateBPS = 1e6
+	}
+	if c.CWMin == 0 {
+		c.CWMin = 31
+	}
+	if c.CWMax == 0 {
+		c.CWMax = 1023
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = 7
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 50
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = 28
+	}
+	if c.AckBytes == 0 {
+		c.AckBytes = 14
+	}
+	if c.RTSBytes == 0 {
+		c.RTSBytes = 20
+	}
+	if c.CTSBytes == 0 {
+		c.CTSBytes = 14
+	}
+	if c.LongRetry == 0 {
+		c.LongRetry = 4
+	}
+}
+
+// Upper is the network-layer interface the MAC delivers to.
+type Upper interface {
+	// MACReceive delivers a decoded data frame's payload. from is the
+	// transmitting station.
+	MACReceive(payload any, from Address)
+	// MACSendFailed reports that a unicast to 'to' exhausted its retries —
+	// the data-link feedback AODV and DYMO use for link monitoring.
+	MACSendFailed(to Address, payload any)
+}
+
+// Kind distinguishes MAC frame types.
+type Kind int
+
+// Frame kinds.
+const (
+	KindData Kind = iota + 1
+	KindAck
+	KindRTS
+	KindCTS
+)
+
+// Frame is the MAC PDU carried inside a phy.Frame payload.
+type Frame struct {
+	Kind    Kind
+	From    Address
+	To      Address
+	Seq     uint16
+	Retry   bool
+	NAV     sim.Time // medium reservation beyond this frame (covers the ACK)
+	Payload any
+}
+
+// Stats counts MAC-level events for the metrics module.
+type Stats struct {
+	DataTx      uint64 // data frame transmissions, including retries
+	DataRx      uint64 // data frames accepted for this station
+	AckTx       uint64
+	AckRx       uint64
+	RTSTx       uint64
+	CTSTx       uint64
+	Retries     uint64
+	Failures    uint64 // unicasts dropped after retry exhaustion
+	QueueDrops  uint64 // drop-tail interface-queue drops
+	Duplicates  uint64 // retransmitted frames filtered by dedup
+	BytesTx     uint64 // on-air data bytes including MAC header
+	NAVSettings uint64
+}
+
+type txJob struct {
+	to      Address
+	payload any
+	bytes   int // network-layer bytes
+}
+
+// DCF is one station's MAC instance.
+type DCF struct {
+	cfg    Config
+	kernel *sim.Kernel
+	radio  *phy.Radio
+	rnd    *rand.Rand
+	addr   Address
+	upper  Upper
+
+	queue   []txJob
+	current *txJob
+	retries int
+	cw      int
+	backoff int
+
+	difsTimer *sim.Timer
+	slotTimer *sim.Timer
+	ackTimer  *sim.Timer
+	ctsTimer  *sim.Timer
+	navTimer  *sim.Timer
+
+	navUntil    sim.Time
+	awaitingAck bool
+	awaitingCTS bool
+	ackSeq      uint16
+	ackFrom     Address
+	seq         uint16
+	lastSeq     map[Address]uint16
+	haveLast    map[Address]bool
+
+	stats Stats
+}
+
+// New creates a DCF station bound to a radio. The radio's handler is set to
+// the new MAC.
+func New(k *sim.Kernel, radio *phy.Radio, addr Address, cfg Config, rnd *rand.Rand, upper Upper) *DCF {
+	cfg.normalize()
+	d := &DCF{
+		cfg:      cfg,
+		kernel:   k,
+		radio:    radio,
+		rnd:      rnd,
+		addr:     addr,
+		upper:    upper,
+		cw:       cfg.CWMin,
+		lastSeq:  make(map[Address]uint16),
+		haveLast: make(map[Address]bool),
+	}
+	d.difsTimer = sim.NewTimer(k, d.onDIFS)
+	d.slotTimer = sim.NewTimer(k, d.onSlot)
+	d.ackTimer = sim.NewTimer(k, d.onAckTimeout)
+	d.ctsTimer = sim.NewTimer(k, d.onCTSTimeout)
+	d.navTimer = sim.NewTimer(k, d.resume)
+	radio.SetHandler(d)
+	return d
+}
+
+// Addr reports the station address.
+func (d *DCF) Addr() Address { return d.addr }
+
+// Stats returns a copy of the MAC counters.
+func (d *DCF) Stats() Stats { return d.stats }
+
+// QueueLen reports the current interface-queue occupancy.
+func (d *DCF) QueueLen() int { return len(d.queue) }
+
+// Config reports the normalized configuration.
+func (d *DCF) Config() Config { return d.cfg }
+
+// dataDuration is the on-air time of a data frame with the given
+// network-layer payload size.
+func (d *DCF) dataDuration(bytes int) sim.Time {
+	bits := float64((bytes + d.cfg.HeaderBytes) * 8)
+	return d.cfg.Preamble + sim.Time(bits/d.cfg.DataRateBPS*float64(sim.Second))
+}
+
+func (d *DCF) ackDuration() sim.Time {
+	return d.controlDuration(d.cfg.AckBytes)
+}
+
+func (d *DCF) controlDuration(bytes int) sim.Time {
+	bits := float64(bytes * 8)
+	return d.cfg.Preamble + sim.Time(bits/d.cfg.BasicRateBPS*float64(sim.Second))
+}
+
+// useRTS reports whether the current job warrants an RTS/CTS exchange.
+func (d *DCF) useRTS(job *txJob) bool {
+	return job.to != Broadcast && d.cfg.RTSThreshold > 0 && job.bytes >= d.cfg.RTSThreshold
+}
+
+// retryLimit selects the short or long retry counter per 802.11 rules.
+func (d *DCF) retryLimit(job *txJob) int {
+	if d.useRTS(job) {
+		return d.cfg.LongRetry
+	}
+	return d.cfg.RetryLimit
+}
+
+// Send queues a frame for transmission. to may be Broadcast. bytes is the
+// network-layer packet size used for air-time computation.
+func (d *DCF) Send(to Address, payload any, bytes int) {
+	if len(d.queue) >= d.cfg.QueueCap {
+		d.stats.QueueDrops++
+		return
+	}
+	d.queue = append(d.queue, txJob{to: to, payload: payload, bytes: bytes})
+	d.kick()
+}
+
+// kick starts service of the next queued frame when the MAC is idle.
+func (d *DCF) kick() {
+	if d.current != nil || len(d.queue) == 0 {
+		return
+	}
+	job := d.queue[0]
+	d.queue = d.queue[1:]
+	d.current = &job
+	d.retries = 0
+	d.cw = d.cfg.CWMin
+	d.backoff = d.rnd.Intn(d.cw + 1)
+	d.resume()
+}
+
+// mediumIdle reports whether both physical and virtual carrier sense are
+// clear.
+func (d *DCF) mediumIdle() bool {
+	return !d.radio.CarrierBusy() && d.kernel.Now() >= d.navUntil
+}
+
+// resume makes contention progress whenever conditions may have changed.
+func (d *DCF) resume() {
+	if d.current == nil || d.awaitingAck || d.awaitingCTS {
+		return
+	}
+	if d.difsTimer.Active() || d.slotTimer.Active() {
+		return
+	}
+	if !d.mediumIdle() {
+		return // a carrier/NAV/txdone event will call resume again
+	}
+	d.difsTimer.Reset(d.cfg.DIFS)
+}
+
+func (d *DCF) onDIFS() {
+	if !d.mediumIdle() {
+		return
+	}
+	d.scheduleSlot()
+}
+
+func (d *DCF) scheduleSlot() {
+	if d.backoff <= 0 {
+		d.transmitCurrent()
+		return
+	}
+	d.slotTimer.Reset(d.cfg.SlotTime)
+}
+
+func (d *DCF) onSlot() {
+	if !d.mediumIdle() {
+		// Frozen: after the medium clears we re-defer a full DIFS.
+		return
+	}
+	d.backoff--
+	d.scheduleSlot()
+}
+
+func (d *DCF) freeze() {
+	d.difsTimer.Stop()
+	d.slotTimer.Stop()
+}
+
+func (d *DCF) transmitCurrent() {
+	if d.radio.Transmitting() {
+		// An ACK/CTS transmission is in flight; retry after it completes.
+		return
+	}
+	job := d.current
+	if d.useRTS(job) {
+		d.sendRTS(job)
+		return
+	}
+	d.sendDataFrame(job)
+}
+
+func (d *DCF) sendDataFrame(job *txJob) {
+	frame := &Frame{
+		Kind:    KindData,
+		From:    d.addr,
+		To:      job.to,
+		Seq:     d.seq,
+		Retry:   d.retries > 0,
+		Payload: job.payload,
+	}
+	dur := d.dataDuration(job.bytes)
+	if job.to != Broadcast {
+		frame.NAV = d.cfg.SIFS + d.ackDuration()
+	}
+	d.stats.DataTx++
+	d.stats.BytesTx += uint64(job.bytes + d.cfg.HeaderBytes)
+	d.radio.Transmit(frame, job.bytes+d.cfg.HeaderBytes, dur)
+	if job.to == Broadcast {
+		// Completion handled in RadioTxDone.
+		return
+	}
+	d.awaitingAck = true
+	d.ackSeq = frame.Seq
+	d.ackFrom = job.to
+	// Timeout: frame airtime + SIFS + ACK airtime + slack for propagation
+	// and slot alignment.
+	d.ackTimer.Reset(dur + d.cfg.SIFS + d.ackDuration() + 2*d.cfg.SlotTime)
+}
+
+func (d *DCF) sendRTS(job *txJob) {
+	rtsDur := d.controlDuration(d.cfg.RTSBytes)
+	ctsDur := d.controlDuration(d.cfg.CTSBytes)
+	// The RTS reserves the medium for the whole exchange that follows it:
+	// SIFS + CTS + SIFS + DATA + SIFS + ACK.
+	nav := 3*d.cfg.SIFS + ctsDur + d.dataDuration(job.bytes) + d.ackDuration()
+	rts := &Frame{Kind: KindRTS, From: d.addr, To: job.to, Seq: d.seq, NAV: nav}
+	d.stats.RTSTx++
+	d.radio.Transmit(rts, d.cfg.RTSBytes, rtsDur)
+	d.awaitingCTS = true
+	d.ctsTimer.Reset(rtsDur + d.cfg.SIFS + ctsDur + 2*d.cfg.SlotTime)
+}
+
+func (d *DCF) onCTSTimeout() {
+	if !d.awaitingCTS {
+		return
+	}
+	d.awaitingCTS = false
+	d.retryCurrent()
+}
+
+func (d *DCF) onAckTimeout() {
+	if !d.awaitingAck {
+		return
+	}
+	d.awaitingAck = false
+	d.retryCurrent()
+}
+
+// retryCurrent backs off and retransmits the current frame, or gives up
+// after the applicable retry limit.
+func (d *DCF) retryCurrent() {
+	d.retries++
+	d.stats.Retries++
+	if d.retries > d.retryLimit(d.current) {
+		d.stats.Failures++
+		job := *d.current
+		d.finishJob()
+		if d.upper != nil {
+			d.upper.MACSendFailed(job.to, job.payload)
+		}
+		return
+	}
+	if d.cw < d.cfg.CWMax {
+		d.cw = d.cw*2 + 1
+		if d.cw > d.cfg.CWMax {
+			d.cw = d.cfg.CWMax
+		}
+	}
+	d.backoff = d.rnd.Intn(d.cw + 1)
+	d.resume()
+}
+
+// finishJob completes the current frame (success or final failure) and
+// moves on. The sequence number advances per transmitted MSDU.
+func (d *DCF) finishJob() {
+	d.current = nil
+	d.seq++
+	d.kick()
+}
+
+// Radio handler implementation.
+
+var _ phy.Handler = (*DCF)(nil)
+
+// RadioCarrier implements phy.Handler.
+func (d *DCF) RadioCarrier(busy bool) {
+	if busy {
+		d.freeze()
+		return
+	}
+	d.resume()
+}
+
+// RadioTxDone implements phy.Handler.
+func (d *DCF) RadioTxDone(f *phy.Frame) {
+	frame, ok := f.Payload.(*Frame)
+	if !ok {
+		panic(fmt.Sprintf("mac: foreign payload %T on own radio", f.Payload))
+	}
+	if frame.Kind == KindData && frame.To == Broadcast && d.current != nil {
+		d.finishJob()
+		return
+	}
+	// Unicast data completion is decided by ACK/timeout; ACK tx needs no
+	// follow-up. Either way the medium state changed for us.
+	d.resume()
+}
+
+// RadioReceive implements phy.Handler.
+func (d *DCF) RadioReceive(f *phy.Frame, _ float64) {
+	frame, ok := f.Payload.(*Frame)
+	if !ok {
+		panic(fmt.Sprintf("mac: foreign payload %T", f.Payload))
+	}
+	switch frame.Kind {
+	case KindAck:
+		d.handleAck(frame)
+	case KindData:
+		d.handleData(frame)
+	case KindRTS:
+		d.handleRTS(frame)
+	case KindCTS:
+		d.handleCTS(frame)
+	}
+}
+
+func (d *DCF) handleRTS(frame *Frame) {
+	if frame.To != d.addr {
+		d.observeNAV(frame)
+		return
+	}
+	ctsDur := d.controlDuration(d.cfg.CTSBytes)
+	cts := &Frame{
+		Kind: KindCTS,
+		From: d.addr,
+		To:   frame.From,
+		Seq:  frame.Seq,
+		NAV:  frame.NAV - d.cfg.SIFS - ctsDur,
+	}
+	d.kernel.After(d.cfg.SIFS, func() {
+		if d.radio.Transmitting() {
+			return
+		}
+		d.stats.CTSTx++
+		d.radio.Transmit(cts, d.cfg.CTSBytes, ctsDur)
+	})
+}
+
+func (d *DCF) handleCTS(frame *Frame) {
+	if frame.To != d.addr {
+		d.observeNAV(frame)
+		return
+	}
+	if !d.awaitingCTS || frame.From != d.current.to {
+		return
+	}
+	d.awaitingCTS = false
+	d.ctsTimer.Stop()
+	job := d.current
+	d.kernel.After(d.cfg.SIFS, func() {
+		if d.radio.Transmitting() || d.current == nil {
+			return
+		}
+		d.sendDataFrame(job)
+	})
+}
+
+// observeNAV honors the medium reservation of an overheard frame.
+func (d *DCF) observeNAV(frame *Frame) {
+	if frame.NAV <= 0 {
+		return
+	}
+	until := d.kernel.Now() + frame.NAV
+	if until > d.navUntil {
+		d.navUntil = until
+		d.stats.NAVSettings++
+		d.freeze()
+		d.navTimer.ResetAt(until)
+	}
+}
+
+func (d *DCF) handleAck(frame *Frame) {
+	if frame.To != d.addr {
+		return
+	}
+	d.stats.AckRx++
+	if d.awaitingAck && frame.From == d.ackFrom && frame.Seq == d.ackSeq {
+		d.awaitingAck = false
+		d.ackTimer.Stop()
+		d.finishJob()
+	}
+}
+
+func (d *DCF) handleData(frame *Frame) {
+	switch frame.To {
+	case d.addr:
+		d.sendAckAfterSIFS(frame)
+		if d.haveLast[frame.From] && d.lastSeq[frame.From] == frame.Seq && frame.Retry {
+			d.stats.Duplicates++
+			return
+		}
+		d.lastSeq[frame.From] = frame.Seq
+		d.haveLast[frame.From] = true
+		d.stats.DataRx++
+		if d.upper != nil {
+			d.upper.MACReceive(frame.Payload, frame.From)
+		}
+	case Broadcast:
+		d.stats.DataRx++
+		if d.upper != nil {
+			d.upper.MACReceive(frame.Payload, frame.From)
+		}
+	default:
+		// Overheard frame: honor its NAV reservation.
+		d.observeNAV(frame)
+	}
+}
+
+func (d *DCF) sendAckAfterSIFS(frame *Frame) {
+	ack := &Frame{Kind: KindAck, From: d.addr, To: frame.From, Seq: frame.Seq}
+	d.kernel.After(d.cfg.SIFS, func() {
+		if d.radio.Transmitting() {
+			// Should not happen (SIFS preempts contention), but never
+			// double-transmit.
+			return
+		}
+		d.stats.AckTx++
+		d.radio.Transmit(ack, d.cfg.AckBytes, d.ackDuration())
+	})
+}

@@ -1,0 +1,284 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/phy"
+	"cavenet/internal/sim"
+)
+
+// upperRec records MAC deliveries and failures for one station.
+type upperRec struct {
+	received []any
+	from     []Address
+	failed   []any
+	failedTo []Address
+}
+
+func (u *upperRec) MACReceive(payload any, from Address) {
+	u.received = append(u.received, payload)
+	u.from = append(u.from, from)
+}
+
+func (u *upperRec) MACSendFailed(to Address, payload any) {
+	u.failed = append(u.failed, payload)
+	u.failedTo = append(u.failedTo, to)
+}
+
+// testNet builds n stations on a line with the given spacing (meters).
+func testNet(t *testing.T, n int, spacing float64) (*sim.Kernel, []*DCF, []*upperRec) {
+	t.Helper()
+	k := sim.NewKernel()
+	c := phy.NewChannel(k, phy.TwoRayGround{}, phy.Config{CaptureRatio: 10})
+	var macs []*DCF
+	var ups []*upperRec
+	for i := 0; i < n; i++ {
+		x := float64(i) * spacing
+		pos := geometry.Vec2{X: x}
+		radio := c.Attach(func() geometry.Vec2 { return pos })
+		up := &upperRec{}
+		m := New(k, radio, Address(i), Config{}, rand.New(rand.NewSource(int64(i+1))), up)
+		macs = append(macs, m)
+		ups = append(ups, up)
+	}
+	return k, macs, ups
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	k, macs, ups := testNet(t, 2, 100)
+	macs[0].Send(1, "payload", 512)
+	k.RunUntil(sim.Second)
+	if len(ups[1].received) != 1 || ups[1].received[0] != "payload" {
+		t.Fatalf("station 1 received %v", ups[1].received)
+	}
+	if ups[1].from[0] != 0 {
+		t.Fatalf("from = %v", ups[1].from[0])
+	}
+	st := macs[0].Stats()
+	if st.DataTx != 1 || st.AckRx != 1 {
+		t.Fatalf("sender stats = %+v", st)
+	}
+	if macs[1].Stats().AckTx != 1 {
+		t.Fatalf("receiver should have ACKed: %+v", macs[1].Stats())
+	}
+}
+
+func TestBroadcastDelivery(t *testing.T) {
+	k, macs, ups := testNet(t, 4, 80) // farthest receiver at 240 m < 250 m range
+	macs[0].Send(Broadcast, "bcast", 64)
+	k.RunUntil(sim.Second)
+	for i := 1; i < 4; i++ {
+		if len(ups[i].received) != 1 {
+			t.Fatalf("station %d received %d frames", i, len(ups[i].received))
+		}
+	}
+	// Broadcasts are never ACKed.
+	for i := 1; i < 4; i++ {
+		if macs[i].Stats().AckTx != 0 {
+			t.Fatalf("station %d ACKed a broadcast", i)
+		}
+	}
+}
+
+func TestRetryExhaustionReportsFailure(t *testing.T) {
+	// Station 1 is far outside range: no ACK ever comes back.
+	k, macs, ups := testNet(t, 2, 2000)
+	macs[0].Send(1, "lost", 512)
+	k.RunUntil(5 * sim.Second)
+	if len(ups[0].failed) != 1 || ups[0].failed[0] != "lost" {
+		t.Fatalf("failure feedback = %v", ups[0].failed)
+	}
+	if ups[0].failedTo[0] != 1 {
+		t.Fatalf("failedTo = %v", ups[0].failedTo)
+	}
+	st := macs[0].Stats()
+	if st.Failures != 1 {
+		t.Fatalf("Failures = %d", st.Failures)
+	}
+	if st.Retries != uint64(macs[0].Config().RetryLimit)+1 {
+		t.Fatalf("Retries = %d, want retryLimit+1", st.Retries)
+	}
+	// Retransmissions show as DataTx.
+	if st.DataTx != uint64(macs[0].Config().RetryLimit)+1 {
+		t.Fatalf("DataTx = %d", st.DataTx)
+	}
+}
+
+func TestQueueDropTail(t *testing.T) {
+	k, macs, _ := testNet(t, 2, 100)
+	cap := macs[0].Config().QueueCap
+	// The first Send dequeues immediately into service, so cap+1 sends fit;
+	// everything beyond that must be dropped.
+	for i := 0; i < cap+10; i++ {
+		macs[0].Send(1, i, 512)
+	}
+	if drops := macs[0].Stats().QueueDrops; drops != 9 {
+		t.Fatalf("QueueDrops = %d, want 9", drops)
+	}
+	k.RunUntil(10 * sim.Second)
+}
+
+func TestManyPacketsAllDelivered(t *testing.T) {
+	k, macs, ups := testNet(t, 2, 100)
+	const n = 30
+	for i := 0; i < n; i++ {
+		macs[0].Send(1, i, 512)
+	}
+	k.RunUntil(5 * sim.Second)
+	if len(ups[1].received) != n {
+		t.Fatalf("received %d/%d", len(ups[1].received), n)
+	}
+	// In-order delivery on a clean channel.
+	for i, p := range ups[1].received {
+		if p != i {
+			t.Fatalf("out of order at %d: %v", i, p)
+		}
+	}
+}
+
+func TestContendersBothDeliver(t *testing.T) {
+	// Two stations saturate the channel toward a third; DCF must let both
+	// make progress without deadlock.
+	k, macs, ups := testNet(t, 3, 100)
+	const n = 20
+	for i := 0; i < n; i++ {
+		macs[0].Send(2, 1000+i, 512)
+		macs[1].Send(2, 2000+i, 512)
+	}
+	k.RunUntil(10 * sim.Second)
+	var from0, from1 int
+	for _, p := range ups[2].received {
+		if p.(int) >= 2000 {
+			from1++
+		} else {
+			from0++
+		}
+	}
+	if from0 != n || from1 != n {
+		t.Fatalf("delivered %d from A, %d from B; want %d each", from0, from1, n)
+	}
+}
+
+func TestHiddenTerminalEventualDelivery(t *testing.T) {
+	// Stations 0 and 2 cannot hear each other but both reach station 1 —
+	// the classic hidden-terminal setup. With the default 550 m CS range a
+	// 3-station line cannot be hidden, so this test shrinks carrier sense
+	// to the decode range.
+	k := sim.NewKernel()
+	c := phy.NewChannel(k, phy.TwoRayGround{}, phy.Config{CaptureRatio: 10, CSRangeM: 250})
+	var macs []*DCF
+	var ups []*upperRec
+	for i := 0; i < 3; i++ {
+		pos := geometry.Vec2{X: float64(i) * 200} // 0↔2 at 400 m: hidden
+		radio := c.Attach(func() geometry.Vec2 { return pos })
+		up := &upperRec{}
+		macs = append(macs, New(k, radio, Address(i), Config{}, rand.New(rand.NewSource(int64(i+1))), up))
+		ups = append(ups, up)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		macs[0].Send(1, 100+i, 512)
+		macs[2].Send(1, 200+i, 512)
+	}
+	k.RunUntil(20 * sim.Second)
+	if len(ups[1].received) < n {
+		t.Fatalf("hidden-terminal scenario delivered only %d frames", len(ups[1].received))
+	}
+	retries := macs[0].Stats().Retries + macs[2].Stats().Retries
+	if retries == 0 {
+		t.Fatal("expected retries under hidden-terminal collisions")
+	}
+}
+
+func TestDuplicateFiltering(t *testing.T) {
+	// Force an ACK loss by dropping the ACK through a one-way topology is
+	// hard to stage; instead verify the dedup cache logic directly: same
+	// (src, seq) with the retry flag set must be filtered.
+	k, macs, ups := testNet(t, 2, 100)
+	frame := &Frame{Kind: KindData, From: 0, To: 1, Seq: 7, Payload: "x"}
+	macs[1].handleData(frame)
+	retry := &Frame{Kind: KindData, From: 0, To: 1, Seq: 7, Retry: true, Payload: "x"}
+	macs[1].handleData(retry)
+	if len(ups[1].received) != 1 {
+		t.Fatalf("duplicate not filtered: %v", ups[1].received)
+	}
+	if macs[1].Stats().Duplicates != 1 {
+		t.Fatalf("Duplicates = %d", macs[1].Stats().Duplicates)
+	}
+	k.RunUntil(sim.Second) // drain scheduled ACKs
+}
+
+func TestNAVDefersThirdParty(t *testing.T) {
+	// Station 2 overhears a unicast between 0 and 1 and must set its NAV.
+	k, macs, _ := testNet(t, 3, 100)
+	macs[0].Send(1, "data", 2000)
+	k.RunUntil(sim.Second)
+	if macs[2].Stats().NAVSettings == 0 {
+		t.Fatal("third party never set its NAV")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.normalize()
+	if c.SlotTime != 20*sim.Microsecond || c.SIFS != 10*sim.Microsecond {
+		t.Fatalf("timing defaults wrong: %+v", c)
+	}
+	if c.DIFS != 50*sim.Microsecond {
+		t.Fatalf("DIFS = %v, want 50 µs", c.DIFS)
+	}
+	if c.CWMin != 31 || c.CWMax != 1023 || c.RetryLimit != 7 {
+		t.Fatalf("contention defaults wrong: %+v", c)
+	}
+	if c.DataRateBPS != 2e6 {
+		t.Fatalf("data rate = %v, want 2 Mb/s (Table I)", c.DataRateBPS)
+	}
+}
+
+func TestAirTimeComputation(t *testing.T) {
+	k, macs, _ := testNet(t, 2, 100)
+	_ = k
+	d := macs[0]
+	// 512+28 bytes at 2 Mb/s = 2160 µs + 192 µs preamble.
+	want := 192*sim.Microsecond + sim.Time(float64((512+28)*8)/2e6*float64(sim.Second))
+	if got := d.dataDuration(512); got != want {
+		t.Fatalf("dataDuration = %v, want %v", got, want)
+	}
+	// ACK: 14 bytes at 1 Mb/s + preamble.
+	wantAck := 192*sim.Microsecond + sim.Time(float64(14*8)/1e6*float64(sim.Second))
+	if got := d.ackDuration(); got != wantAck {
+		t.Fatalf("ackDuration = %v, want %v", got, wantAck)
+	}
+}
+
+func TestByteCounters(t *testing.T) {
+	k, macs, _ := testNet(t, 2, 100)
+	macs[0].Send(1, "x", 512)
+	k.RunUntil(sim.Second)
+	if got := macs[0].Stats().BytesTx; got != 512+28 {
+		t.Fatalf("BytesTx = %d, want payload+header", got)
+	}
+}
+
+func TestBroadcastUnderLoadNoDeadlock(t *testing.T) {
+	// All four stations broadcast simultaneously; DCF backoff must
+	// serialize them without livelock.
+	k, macs, ups := testNet(t, 4, 50)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			macs[i].Send(Broadcast, i*10+j, 100)
+		}
+	}
+	k.RunUntil(5 * sim.Second)
+	total := 0
+	for _, up := range ups {
+		total += len(up.received)
+	}
+	// 20 broadcasts × 3 receivers each = 60 if no collisions at all; the
+	// shared backoff should deliver the large majority.
+	if total < 40 {
+		t.Fatalf("broadcast delivery too low: %d/60", total)
+	}
+}

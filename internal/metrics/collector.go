@@ -1,0 +1,156 @@
+// Package metrics computes the paper's evaluation quantities: the
+// per-sender goodput-over-time surfaces of Figs. 8–10, the Packet Delivery
+// Ratio of Fig. 11, routing overhead (the paper's future-work metric) and
+// end-to-end delay.
+package metrics
+
+import (
+	"cavenet/internal/netsim"
+	"cavenet/internal/sim"
+)
+
+// Collector observes data-plane events via netsim.Hooks and aggregates
+// them. Attach with Bind before World.Run.
+type Collector struct {
+	binWidth sim.Time
+	bins     int
+
+	sent      map[netsim.NodeID]uint64
+	delivered map[netsim.NodeID]uint64
+	bytesRx   map[netsim.NodeID]uint64
+	delaySum  map[netsim.NodeID]sim.Time
+	hopSum    map[netsim.NodeID]uint64
+	goodput   map[netsim.NodeID][]uint64 // received payload bits per bin, by sender
+	drops     map[string]uint64
+}
+
+// NewCollector creates a collector with the given goodput bin width and
+// horizon (number of bins). The paper uses 1-second bins over 100 s.
+func NewCollector(binWidth sim.Time, horizon sim.Time) *Collector {
+	bins := int(horizon/binWidth) + 1
+	return &Collector{
+		binWidth:  binWidth,
+		bins:      bins,
+		sent:      make(map[netsim.NodeID]uint64),
+		delivered: make(map[netsim.NodeID]uint64),
+		bytesRx:   make(map[netsim.NodeID]uint64),
+		delaySum:  make(map[netsim.NodeID]sim.Time),
+		hopSum:    make(map[netsim.NodeID]uint64),
+		goodput:   make(map[netsim.NodeID][]uint64),
+		drops:     make(map[string]uint64),
+	}
+}
+
+// Bind installs the collector's observers on a world.
+func (c *Collector) Bind(w *netsim.World) {
+	w.SetHooks(netsim.Hooks{
+		DataSent: func(n *netsim.Node, p *netsim.Packet) {
+			c.sent[p.Src]++
+		},
+		DataDelivered: func(n *netsim.Node, p *netsim.Packet) {
+			now := n.Kernel().Now()
+			c.delivered[p.Src]++
+			payload := uint64(p.Size - netsim.IPHeaderBytes)
+			c.bytesRx[p.Src] += payload
+			c.delaySum[p.Src] += now - p.CreatedAt
+			c.hopSum[p.Src] += uint64(p.Hops)
+			series := c.goodput[p.Src]
+			if series == nil {
+				series = make([]uint64, c.bins)
+				c.goodput[p.Src] = series
+			}
+			bin := int(now / c.binWidth)
+			if bin >= 0 && bin < len(series) {
+				series[bin] += payload * 8
+			}
+		},
+		DataDropped: func(n *netsim.Node, p *netsim.Packet, reason string) {
+			c.drops[reason]++
+		},
+	})
+}
+
+// Sent reports packets originated by src.
+func (c *Collector) Sent(src netsim.NodeID) uint64 { return c.sent[src] }
+
+// Delivered reports packets from src that reached their destination.
+func (c *Collector) Delivered(src netsim.NodeID) uint64 { return c.delivered[src] }
+
+// PDR reports the packet delivery ratio for sender src (Fig. 11).
+func (c *Collector) PDR(src netsim.NodeID) float64 {
+	s := c.sent[src]
+	if s == 0 {
+		return 0
+	}
+	return float64(c.delivered[src]) / float64(s)
+}
+
+// GoodputBPS returns the goodput time series for sender src in bits per
+// second per bin (Figs. 8–10). The slice has one entry per bin and is a
+// fresh copy.
+func (c *Collector) GoodputBPS(src netsim.NodeID) []float64 {
+	series := c.goodput[src]
+	out := make([]float64, c.bins)
+	if series == nil {
+		return out
+	}
+	scale := 1 / c.binWidth.Seconds()
+	for i, bits := range series {
+		out[i] = float64(bits) * scale
+	}
+	return out
+}
+
+// MeanDelay reports the average end-to-end delay of delivered packets from
+// src; zero when nothing was delivered.
+func (c *Collector) MeanDelay(src netsim.NodeID) sim.Time {
+	d := c.delivered[src]
+	if d == 0 {
+		return 0
+	}
+	return c.delaySum[src] / sim.Time(d)
+}
+
+// MeanHops reports the average hop count of delivered packets from src.
+func (c *Collector) MeanHops(src netsim.NodeID) float64 {
+	d := c.delivered[src]
+	if d == 0 {
+		return 0
+	}
+	return float64(c.hopSum[src]) / float64(d)
+}
+
+// Drops reports drop counts by reason.
+func (c *Collector) Drops() map[string]uint64 {
+	out := make(map[string]uint64, len(c.drops))
+	for k, v := range c.drops {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalPDR reports the delivery ratio across all senders.
+func (c *Collector) TotalPDR() float64 {
+	var sent, delivered uint64
+	for _, s := range c.sent {
+		sent += s
+	}
+	for _, d := range c.delivered {
+		delivered += d
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(delivered) / float64(sent)
+}
+
+// RoutingOverhead sums control traffic across all routers of a world — the
+// routing-overhead metric the paper defers to future work.
+func RoutingOverhead(w *netsim.World) (packets, bytes uint64) {
+	for _, n := range w.Nodes() {
+		p, b := n.Router().ControlTraffic()
+		packets += p
+		bytes += b
+	}
+	return packets, bytes
+}

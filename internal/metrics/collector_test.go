@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/netsim"
+	"cavenet/internal/sim"
+)
+
+// directRouter delivers everything locally on the destination node without
+// radio, so metric timing is fully controlled by the test.
+type directRouter struct {
+	n   *netsim.Node
+	dst *netsim.Node
+}
+
+func (r *directRouter) Name() string { return "direct" }
+func (r *directRouter) Start()       {}
+func (r *directRouter) Stop()        {}
+func (r *directRouter) Origin(p *netsim.Packet) {
+	p.Hops = 2
+	r.dst.DeliverLocal(p)
+}
+func (r *directRouter) Receive(*netsim.Packet, netsim.NodeID)     {}
+func (r *directRouter) LinkFailure(netsim.NodeID, *netsim.Packet) {}
+func (r *directRouter) ControlTraffic() (uint64, uint64)          { return 3, 300 }
+
+func TestCollectorGoodputAndPDR(t *testing.T) {
+	var world *netsim.World
+	factory := func(n *netsim.Node) netsim.Router { return &directRouter{n: n} }
+	world, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes:  2,
+		Static: []geometry.Vec2{{X: 0}, {X: 10}},
+	}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire the direct routers to the destination node.
+	for i := 0; i < 2; i++ {
+		if dr, ok := world.Node(i).Router().(*directRouter); ok {
+			dr.dst = world.Node(1)
+		}
+	}
+	c := NewCollector(sim.Second, 10*sim.Second)
+	c.Bind(world)
+
+	send := func(at sim.Time) {
+		world.Kernel.Schedule(at, func() {
+			p := world.Node(0).NewPacket(1, netsim.PortCBR, 512)
+			world.Node(0).SendData(p)
+		})
+	}
+	send(500 * sim.Millisecond)  // bin 0
+	send(1500 * sim.Millisecond) // bin 1
+	send(1800 * sim.Millisecond) // bin 1
+	world.Run(10 * sim.Second)
+
+	if got := c.Sent(0); got != 3 {
+		t.Fatalf("Sent = %d", got)
+	}
+	if got := c.Delivered(0); got != 3 {
+		t.Fatalf("Delivered = %d", got)
+	}
+	if got := c.PDR(0); got != 1 {
+		t.Fatalf("PDR = %v", got)
+	}
+	gp := c.GoodputBPS(0)
+	if gp[0] != 512*8 {
+		t.Fatalf("bin 0 goodput = %v, want %d", gp[0], 512*8)
+	}
+	if gp[1] != 2*512*8 {
+		t.Fatalf("bin 1 goodput = %v, want %d", gp[1], 2*512*8)
+	}
+	if gp[2] != 0 {
+		t.Fatalf("bin 2 goodput = %v, want 0", gp[2])
+	}
+	if got := c.MeanHops(0); got != 2 {
+		t.Fatalf("MeanHops = %v", got)
+	}
+	if d := c.MeanDelay(0); d != 0 {
+		t.Fatalf("MeanDelay = %v, want 0 (instant delivery)", d)
+	}
+}
+
+func TestCollectorUnknownSender(t *testing.T) {
+	c := NewCollector(sim.Second, 5*sim.Second)
+	if c.PDR(42) != 0 || c.Sent(42) != 0 || c.MeanDelay(42) != 0 || c.MeanHops(42) != 0 {
+		t.Fatal("unknown sender should report zeros")
+	}
+	gp := c.GoodputBPS(42)
+	if len(gp) != 6 {
+		t.Fatalf("goodput bins = %d, want horizon/bin+1", len(gp))
+	}
+	for _, v := range gp {
+		if v != 0 {
+			t.Fatal("unknown sender goodput should be zero")
+		}
+	}
+}
+
+func TestCollectorTotalPDR(t *testing.T) {
+	var world *netsim.World
+	world, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes:  3,
+		Static: []geometry.Vec2{{X: 0}, {X: 10}, {X: 20}},
+	}, func(n *netsim.Node) netsim.Router { return &directRouter{n: n} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		world.Node(i).Router().(*directRouter).dst = world.Node(2)
+	}
+	c := NewCollector(sim.Second, 5*sim.Second)
+	c.Bind(world)
+	world.Kernel.Schedule(0, func() {
+		world.Node(0).SendData(world.Node(0).NewPacket(2, 1, 100))
+		world.Node(1).SendData(world.Node(1).NewPacket(2, 1, 100))
+	})
+	world.Run(sim.Second)
+	if got := c.TotalPDR(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("TotalPDR = %v", got)
+	}
+}
+
+func TestRoutingOverheadSums(t *testing.T) {
+	world, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes:  4,
+		Static: []geometry.Vec2{{X: 0}, {X: 10}, {X: 20}, {X: 30}},
+	}, func(n *netsim.Node) netsim.Router { return &directRouter{n: n} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, bytes := RoutingOverhead(world)
+	if pkts != 12 || bytes != 1200 {
+		t.Fatalf("overhead = %d pkts %d bytes, want 12/1200", pkts, bytes)
+	}
+}
+
+func TestCollectorDrops(t *testing.T) {
+	world, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes:  1,
+		Static: []geometry.Vec2{{X: 0}},
+	}, func(n *netsim.Node) netsim.Router { return &directRouter{n: n} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(sim.Second, sim.Second)
+	c.Bind(world)
+	world.Node(0).DropData(&netsim.Packet{}, "x:reason")
+	world.Node(0).DropData(&netsim.Packet{}, "x:reason")
+	drops := c.Drops()
+	if drops["x:reason"] != 2 {
+		t.Fatalf("drops = %v", drops)
+	}
+	// Returned map is a copy.
+	drops["x:reason"] = 99
+	if c.Drops()["x:reason"] != 2 {
+		t.Fatal("Drops must return a copy")
+	}
+}

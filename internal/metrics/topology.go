@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"cavenet/internal/mobility"
+)
+
+// This file implements the "topology change" metric the paper's §V defers
+// to future work, plus the link-duration analysis its related work
+// (the IMPORTANT/PATHS framework, refs [8][9]) builds on: how long do
+// radio links live under a given mobility model?
+
+// TopologyStats summarizes link dynamics over a mobility trace.
+type TopologyStats struct {
+	// LinkChanges counts link up/down transitions over the whole trace.
+	LinkChanges int
+	// ChangeRate is LinkChanges divided by the trace duration (events/s).
+	ChangeRate float64
+	// MeanLinkUpSeconds is the average duration of completed link-up
+	// episodes (links still up at the end are excluded, matching the
+	// censoring convention of the PATHS analysis).
+	MeanLinkUpSeconds float64
+	// LinkUpDurations lists every completed link-up episode in seconds.
+	LinkUpDurations []float64
+	// MeanDegree is the time-averaged number of neighbors per node.
+	MeanDegree float64
+}
+
+// AnalyzeTopology replays a mobility trace at its native sampling interval
+// and measures link dynamics for the given radio range.
+func AnalyzeTopology(tr *mobility.SampledTrace, rangeMeters float64) TopologyStats {
+	n := tr.NumNodes()
+	samples := tr.NumSamples()
+	var stats TopologyStats
+	if n < 2 || samples < 2 {
+		return stats
+	}
+	up := make(map[[2]int]int) // pair -> sample index the link came up
+	degreeSum := 0.0
+	for s := 0; s < samples; s++ {
+		tsec := float64(s) * tr.Interval
+		links := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				pair := [2]int{i, j}
+				connected := tr.At(i, tsec).Dist(tr.At(j, tsec)) <= rangeMeters
+				_, wasUp := up[pair]
+				switch {
+				case connected && !wasUp:
+					up[pair] = s
+					if s > 0 {
+						stats.LinkChanges++
+					}
+				case !connected && wasUp:
+					stats.LinkUpDurations = append(stats.LinkUpDurations,
+						float64(s-up[pair])*tr.Interval)
+					delete(up, pair)
+					stats.LinkChanges++
+				}
+				if connected {
+					links++
+				}
+			}
+		}
+		degreeSum += 2 * float64(links) / float64(n)
+	}
+	duration := tr.Duration()
+	if duration > 0 {
+		stats.ChangeRate = float64(stats.LinkChanges) / duration
+	}
+	if len(stats.LinkUpDurations) > 0 {
+		sum := 0.0
+		for _, d := range stats.LinkUpDurations {
+			sum += d
+		}
+		stats.MeanLinkUpSeconds = sum / float64(len(stats.LinkUpDurations))
+	}
+	stats.MeanDegree = degreeSum / float64(samples)
+	return stats
+}

@@ -1,0 +1,41 @@
+package mobility
+
+import (
+	"cavenet/internal/ca"
+	"cavenet/internal/geometry"
+)
+
+// RecordRoad advances the road by steps CA steps and records the absolute
+// plane position of every vehicle after each step (plus the initial state),
+// producing a SampledTrace at the CA step interval.
+func RecordRoad(road *ca.Road, steps int) *SampledTrace {
+	n := road.TotalVehicles()
+	trace := &SampledTrace{
+		Interval:  ca.StepSeconds,
+		Positions: make([][]geometry.Vec2, n),
+	}
+	for i := range trace.Positions {
+		trace.Positions[i] = make([]geometry.Vec2, 0, steps+1)
+	}
+	record := func() {
+		positions := road.Positions(nil)
+		for i, p := range positions {
+			trace.Positions[i] = append(trace.Positions[i], p)
+		}
+	}
+	record()
+	for s := 0; s < steps; s++ {
+		road.Step()
+		record()
+	}
+	return trace
+}
+
+// WarmupRoad advances the road without recording, letting the traffic reach
+// its stationary regime before the communication experiment starts — the
+// precaution §IV-B of the paper argues for.
+func WarmupRoad(road *ca.Road, steps int) {
+	for s := 0; s < steps; s++ {
+		road.Step()
+	}
+}

@@ -1,0 +1,134 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+
+	"cavenet/internal/geometry"
+)
+
+// RandomWaypointConfig parameterizes the classical Random Waypoint model:
+// every node picks a uniform destination in the area and a uniform speed in
+// [VMin, VMax], travels there, optionally pauses, and repeats. The paper
+// (§I, §IV-B) uses RW as the contrast case: it exhibits the velocity-decay
+// problem that the CA model avoids.
+type RandomWaypointConfig struct {
+	Nodes int
+	AreaX float64 // meters
+	AreaY float64 // meters
+	VMin  float64 // m/s; must be > 0 or the model famously never converges
+	VMax  float64 // m/s
+	Pause float64 // seconds at each waypoint
+	// Interval is the trace sampling period in seconds (default 1).
+	Interval float64
+}
+
+// RandomWaypointStationary simulates the RW model initialized in its
+// stationary regime, following the "perfect simulation" construction of Le
+// Boudec & Vojnović (the paper's reference [2]): trip speeds are sampled
+// from the speed-stationary distribution (density ∝ 1/v on [vmin, vmax])
+// and each node starts mid-trip at a uniform position along it. The
+// returned mean-velocity series shows no decay — the fix for the pathology
+// that RandomWaypoint exhibits.
+func RandomWaypointStationary(cfg RandomWaypointConfig, duration float64, rnd *rand.Rand) (*SampledTrace, []float64) {
+	return randomWaypoint(cfg, duration, rnd, true)
+}
+
+// RandomWaypoint simulates the RW model for duration seconds and returns a
+// sampled trace together with the instantaneous mean-velocity series (one
+// entry per sample), which makes the velocity decay of §IV-B directly
+// observable.
+func RandomWaypoint(cfg RandomWaypointConfig, duration float64, rnd *rand.Rand) (*SampledTrace, []float64) {
+	return randomWaypoint(cfg, duration, rnd, false)
+}
+
+func randomWaypoint(cfg RandomWaypointConfig, duration float64, rnd *rand.Rand, stationary bool) (*SampledTrace, []float64) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 1
+	}
+	samples := int(duration/cfg.Interval) + 1
+	trace := &SampledTrace{
+		Interval:  cfg.Interval,
+		Positions: make([][]geometry.Vec2, cfg.Nodes),
+	}
+	meanVel := make([]float64, samples)
+
+	type walker struct {
+		pos   geometry.Vec2
+		dest  geometry.Vec2
+		speed float64
+		pause float64 // remaining pause time
+	}
+	randPoint := func() geometry.Vec2 {
+		return geometry.Vec2{X: rnd.Float64() * cfg.AreaX, Y: rnd.Float64() * cfg.AreaY}
+	}
+	randSpeed := func() float64 {
+		return cfg.VMin + rnd.Float64()*(cfg.VMax-cfg.VMin)
+	}
+	// stationarySpeed samples from the time-stationary speed distribution
+	// f(v) ∝ 1/v on [vmin, vmax] via inverse-transform sampling: slow trips
+	// last longer, so a node observed at a random instant is more likely to
+	// be on a slow trip.
+	stationarySpeed := func() float64 {
+		u := rnd.Float64()
+		return cfg.VMin * math.Pow(cfg.VMax/cfg.VMin, u)
+	}
+	walkers := make([]walker, cfg.Nodes)
+	for i := range walkers {
+		w := walker{pos: randPoint(), dest: randPoint(), speed: randSpeed()}
+		if stationary {
+			// Start mid-trip with a stationary speed and a uniform fraction
+			// of the trip already covered.
+			w.speed = stationarySpeed()
+			frac := rnd.Float64()
+			w.pos = w.pos.Add(w.dest.Sub(w.pos).Scale(frac))
+		}
+		walkers[i] = w
+	}
+	for i := range trace.Positions {
+		trace.Positions[i] = make([]geometry.Vec2, 0, samples)
+	}
+
+	for s := 0; s < samples; s++ {
+		vsum := 0.0
+		for i := range walkers {
+			w := &walkers[i]
+			trace.Positions[i] = append(trace.Positions[i], w.pos)
+			if w.pause <= 0 {
+				vsum += w.speed
+			}
+			// Advance by one interval.
+			remain := cfg.Interval
+			for remain > 0 {
+				if w.pause > 0 {
+					hold := w.pause
+					if hold > remain {
+						hold = remain
+					}
+					w.pause -= hold
+					remain -= hold
+					continue
+				}
+				d := w.pos.Dist(w.dest)
+				travel := w.speed * remain
+				if travel < d {
+					dir := w.dest.Sub(w.pos).Scale(1 / d)
+					w.pos = w.pos.Add(dir.Scale(travel))
+					remain = 0
+				} else {
+					w.pos = w.dest
+					if w.speed > 0 {
+						remain -= d / w.speed
+					} else {
+						remain = 0
+					}
+					w.pause = cfg.Pause
+					w.dest = randPoint()
+					w.speed = randSpeed()
+				}
+			}
+		}
+		meanVel[s] = vsum / float64(cfg.Nodes)
+	}
+	return trace, meanVel
+}

@@ -1,0 +1,240 @@
+package netsim
+
+import (
+	"testing"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/mobility"
+	"cavenet/internal/sim"
+)
+
+// floodRouter is a trivial Router used to exercise the node plumbing: data
+// packets are link-broadcast with duplicate suppression; every node that
+// sees a packet addressed to it delivers it.
+type floodRouter struct {
+	node *Node
+	seen map[uint64]bool
+}
+
+func newFloodRouter(n *Node) Router {
+	return &floodRouter{node: n, seen: make(map[uint64]bool)}
+}
+
+func (f *floodRouter) Name() string { return "flood" }
+func (f *floodRouter) Start()       {}
+func (f *floodRouter) Stop()        {}
+
+func (f *floodRouter) Origin(p *Packet) {
+	f.seen[p.UID] = true
+	f.node.SendFrame(BroadcastID, p)
+}
+
+func (f *floodRouter) Receive(p *Packet, from NodeID) {
+	if f.seen[p.UID] {
+		return
+	}
+	f.seen[p.UID] = true
+	if p.Dst == f.node.ID() {
+		f.node.DeliverLocal(p)
+		return
+	}
+	p.TTL--
+	if p.TTL <= 0 {
+		f.node.DropData(p, "flood:ttl")
+		return
+	}
+	f.node.NoteForward(p)
+	f.node.SendFrame(BroadcastID, p.Clone())
+}
+
+func (f *floodRouter) LinkFailure(NodeID, *Packet)      {}
+func (f *floodRouter) ControlTraffic() (uint64, uint64) { return 0, 0 }
+
+func staticPositions(n int, spacing float64) []geometry.Vec2 {
+	out := make([]geometry.Vec2, n)
+	for i := range out {
+		out[i] = geometry.Vec2{X: float64(i) * spacing}
+	}
+	return out
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(WorldConfig{Nodes: 0}, newFloodRouter); err == nil {
+		t.Fatal("zero nodes must error")
+	}
+	if _, err := NewWorld(WorldConfig{Nodes: 3, Static: staticPositions(2, 10)}, newFloodRouter); err == nil {
+		t.Fatal("missing static positions must error")
+	}
+	bad := &mobility.SampledTrace{Interval: 1, Positions: nil}
+	if _, err := NewWorld(WorldConfig{Nodes: 3, Mobility: bad}, newFloodRouter); err == nil {
+		t.Fatal("invalid trace must error")
+	}
+	short := &mobility.SampledTrace{
+		Interval:  1,
+		Positions: [][]geometry.Vec2{{{X: 1}}},
+	}
+	if _, err := NewWorld(WorldConfig{Nodes: 3, Mobility: short}, newFloodRouter); err == nil {
+		t.Fatal("trace with fewer nodes than scenario must error")
+	}
+	if _, err := NewWorld(WorldConfig{Nodes: 1, Static: staticPositions(1, 0)},
+		func(*Node) Router { return nil }); err == nil {
+		t.Fatal("nil router must error")
+	}
+}
+
+func TestEndToEndFloodDelivery(t *testing.T) {
+	w, err := NewWorld(WorldConfig{
+		Nodes:  4,
+		Static: staticPositions(4, 200), // chain: only neighbors in range
+	}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered []*Packet
+	w.SetHooks(Hooks{
+		DataDelivered: func(n *Node, p *Packet) { delivered = append(delivered, p) },
+	})
+	sink := PortFunc(func(p *Packet, at sim.Time) {})
+	w.Node(3).AttachPort(PortCBR, sink)
+
+	p := w.Node(0).NewPacket(3, PortCBR, 512)
+	w.Kernel.Schedule(0, func() { w.Node(0).SendData(p) })
+	w.Run(sim.Second)
+
+	if len(delivered) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(delivered))
+	}
+	if delivered[0].Hops != 3 {
+		t.Fatalf("hops = %d, want 3 (flood over a 4-node chain)", delivered[0].Hops)
+	}
+	if w.Node(0).Counters().DataOriginated != 1 {
+		t.Fatal("originator counter wrong")
+	}
+	if w.Node(3).Counters().DataDelivered != 1 {
+		t.Fatal("destination counter wrong")
+	}
+	if w.Node(1).Counters().DataForwarded == 0 {
+		t.Fatal("relay should have forwarded")
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	w, err := NewWorld(WorldConfig{Nodes: 1, Static: staticPositions(1, 0)}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	w.Node(0).AttachPort(7, PortFunc(func(*Packet, sim.Time) { got++ }))
+	p := w.Node(0).NewPacket(0, 7, 10)
+	w.Kernel.Schedule(0, func() { w.Node(0).SendData(p) })
+	w.Run(sim.Second)
+	if got != 1 {
+		t.Fatal("self-addressed packet must deliver locally without radio")
+	}
+}
+
+func TestDuplicatePortPanics(t *testing.T) {
+	w, err := NewWorld(WorldConfig{Nodes: 1, Static: staticPositions(1, 0)}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Node(0).AttachPort(7, PortFunc(func(*Packet, sim.Time) {}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AttachPort must panic")
+		}
+	}()
+	w.Node(0).AttachPort(7, PortFunc(func(*Packet, sim.Time) {}))
+}
+
+func TestMobilityUpdatesPositions(t *testing.T) {
+	tr := &mobility.SampledTrace{
+		Interval: 1,
+		Positions: [][]geometry.Vec2{
+			{{X: 0}, {X: 100}, {X: 200}},
+			{{X: 50}, {X: 50}, {X: 50}},
+		},
+	}
+	w, err := NewWorld(WorldConfig{Nodes: 2, Mobility: tr}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Node(0).Position(); got.X != 0 {
+		t.Fatalf("initial position = %v", got)
+	}
+	w.Run(2 * sim.Second)
+	if got := w.Node(0).Position(); got.X < 190 {
+		t.Fatalf("node 0 at %v after 2 s, want ≈200", got)
+	}
+	if got := w.Node(1).Position(); got.X != 50 {
+		t.Fatalf("stationary node moved: %v", got)
+	}
+}
+
+func TestConnectivityMatrix(t *testing.T) {
+	w, err := NewWorld(WorldConfig{
+		Nodes:  3,
+		Static: []geometry.Vec2{{X: 0}, {X: 200}, {X: 1000}},
+	}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.ConnectivityMatrix()
+	if !m[0][1] || !m[1][0] {
+		t.Fatal("nodes 0,1 at 200 m should be connected")
+	}
+	if m[0][2] || m[1][2] {
+		t.Fatal("node 2 at 1000 m should be isolated")
+	}
+	if m[0][0] {
+		t.Fatal("self-connectivity should be false")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	w, err := NewWorld(WorldConfig{
+		Nodes:  5,
+		Static: []geometry.Vec2{{X: 0}, {X: 200}, {X: 400}, {X: 2000}, {X: 2200}},
+	}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := w.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v, want 2", comps)
+	}
+	sizes := map[int]bool{len(comps[0]): true, len(comps[1]): true}
+	if !sizes[3] || !sizes[2] {
+		t.Fatalf("component sizes = %v, want {3,2}", comps)
+	}
+}
+
+func TestPacketClone(t *testing.T) {
+	p := &Packet{UID: 9, TTL: 5, Size: 100}
+	c := p.Clone()
+	c.TTL = 1
+	if p.TTL != 5 {
+		t.Fatal("Clone must not share mutable fields")
+	}
+	if p.String() == "" {
+		t.Fatal("String should format")
+	}
+}
+
+func TestDropHook(t *testing.T) {
+	w, err := NewWorld(WorldConfig{Nodes: 1, Static: staticPositions(1, 0)}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reasons []string
+	w.SetHooks(Hooks{DataDropped: func(n *Node, p *Packet, reason string) {
+		reasons = append(reasons, reason)
+	}})
+	w.Node(0).DropData(&Packet{}, "test:drop")
+	if len(reasons) != 1 || reasons[0] != "test:drop" {
+		t.Fatalf("reasons = %v", reasons)
+	}
+	if w.Node(0).Counters().DataDropped != 1 {
+		t.Fatal("drop counter not incremented")
+	}
+}

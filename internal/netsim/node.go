@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/mac"
+	"cavenet/internal/phy"
+	"cavenet/internal/sim"
+)
+
+// NodeCounters tracks per-node data-plane events.
+type NodeCounters struct {
+	DataOriginated uint64
+	DataDelivered  uint64
+	DataForwarded  uint64
+	DataDropped    uint64 // no route / TTL expiry / router discard
+}
+
+// Node is one simulated station: position, radio, MAC, router and
+// application ports.
+type Node struct {
+	id     NodeID
+	world  *World
+	pos    geometry.Vec2
+	radio  *phy.Radio
+	mac    *mac.DCF
+	router Router
+	ports  map[int]PortHandler
+	rnd    *rand.Rand
+
+	counters NodeCounters
+}
+
+// ID reports the node identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Kernel exposes the shared simulation kernel to routers and agents.
+func (n *Node) Kernel() *sim.Kernel { return n.world.Kernel }
+
+// Rand exposes the node's deterministic RNG stream.
+func (n *Node) Rand() *rand.Rand { return n.rnd }
+
+// Position reports the node's current location.
+func (n *Node) Position() geometry.Vec2 { return n.pos }
+
+// SetPosition moves the node (called by the world's mobility driver).
+func (n *Node) SetPosition(p geometry.Vec2) { n.pos = p }
+
+// MAC exposes the MAC for stats collection.
+func (n *Node) MAC() *mac.DCF { return n.mac }
+
+// Router exposes the routing protocol instance.
+func (n *Node) Router() Router { return n.router }
+
+// Counters returns a copy of the node's data-plane counters.
+func (n *Node) Counters() NodeCounters { return n.counters }
+
+// AttachPort registers a handler for data packets addressed to this node on
+// the given port. Registering a port twice is a scenario bug and panics.
+func (n *Node) AttachPort(port int, h PortHandler) {
+	if _, dup := n.ports[port]; dup {
+		panic(fmt.Sprintf("netsim: node %d: port %d already attached", n.id, port))
+	}
+	n.ports[port] = h
+}
+
+// NewPacket allocates a data packet originating here.
+func (n *Node) NewPacket(dst NodeID, port, payloadBytes int) *Packet {
+	return &Packet{
+		UID:       n.world.nextUID(),
+		Kind:      KindData,
+		Src:       n.id,
+		Dst:       dst,
+		Port:      port,
+		TTL:       DefaultTTL,
+		Size:      payloadBytes + IPHeaderBytes,
+		CreatedAt: n.world.Kernel.Now(),
+	}
+}
+
+// SendData originates a data packet toward dst via the routing protocol.
+func (n *Node) SendData(p *Packet) {
+	n.counters.DataOriginated++
+	if h := n.world.hooks.DataSent; h != nil {
+		h(n, p)
+	}
+	if p.Dst == n.id {
+		n.DeliverLocal(p)
+		return
+	}
+	n.router.Origin(p)
+}
+
+// SendFrame hands a packet to the MAC addressed to the given next hop
+// (BroadcastID for link-layer broadcast).
+func (n *Node) SendFrame(next NodeID, p *Packet) {
+	n.mac.Send(mac.Address(next), p, p.Size)
+}
+
+// DeliverLocal hands a data packet to its destination port.
+func (n *Node) DeliverLocal(p *Packet) {
+	n.counters.DataDelivered++
+	if h := n.world.hooks.DataDelivered; h != nil {
+		h(n, p)
+	}
+	if handler, ok := n.ports[p.Port]; ok {
+		handler.HandlePacket(p, n.world.Kernel.Now())
+	}
+}
+
+// DropData records a data packet discarded by the router (no route, TTL).
+func (n *Node) DropData(p *Packet, reason string) {
+	n.counters.DataDropped++
+	if h := n.world.hooks.DataDropped; h != nil {
+		h(n, p, reason)
+	}
+}
+
+// NoteForward records a data packet forwarded through this node.
+func (n *Node) NoteForward(p *Packet) { n.counters.DataForwarded++ }
+
+// macUpper adapts the node to the MAC's Upper interface.
+type macUpper struct{ n *Node }
+
+var _ mac.Upper = macUpper{}
+
+// MACReceive implements mac.Upper.
+func (u macUpper) MACReceive(payload any, from mac.Address) {
+	shared, ok := payload.(*Packet)
+	if !ok {
+		panic(fmt.Sprintf("netsim: MAC delivered %T", payload))
+	}
+	// The channel hands every receiver the same payload pointer (a
+	// broadcast reaches many radios); clone before mutating TTL/Hops so
+	// receivers cannot corrupt each other's copy.
+	p := shared.Clone()
+	n := u.n
+	p.Hops++
+	switch {
+	case p.Kind == KindControl || p.Port == PortRouting:
+		n.router.Receive(p, NodeID(from))
+	case p.Dst == n.id:
+		n.DeliverLocal(p)
+	case p.Dst == BroadcastID:
+		n.DeliverLocal(p)
+	default:
+		// Data in transit: the routing protocol forwards it.
+		n.router.Receive(p, NodeID(from))
+	}
+}
+
+// MACSendFailed implements mac.Upper.
+func (u macUpper) MACSendFailed(to mac.Address, payload any) {
+	p, ok := payload.(*Packet)
+	if !ok {
+		return
+	}
+	u.n.router.LinkFailure(NodeID(to), p)
+}

@@ -1,0 +1,105 @@
+// Package netsim assembles the CPS node stack: network-layer packets, the
+// per-node protocol plumbing (radio → MAC → router → application ports) and
+// the World scenario container that wires mobility, channel and traffic
+// together — the role ns-2 plays for the paper.
+package netsim
+
+import (
+	"fmt"
+
+	"cavenet/internal/sim"
+)
+
+// NodeID identifies a node; node IDs double as MAC addresses.
+type NodeID int
+
+// BroadcastID addresses all nodes in range.
+const BroadcastID NodeID = -1
+
+// Kind classifies network-layer packets.
+type Kind int
+
+// Packet kinds.
+const (
+	KindData Kind = iota + 1
+	KindControl
+)
+
+// Well-known ports.
+const (
+	// PortCBR is the default application traffic port.
+	PortCBR = 1000
+	// PortRouting is where routing-protocol messages are demultiplexed.
+	PortRouting = 255
+)
+
+// IPHeaderBytes is the network-layer header overhead added to payload
+// sizes, matching ns-2's accounting of a CBR packet over IP.
+const IPHeaderBytes = 20
+
+// DefaultTTL bounds forwarding loops; 32 is ns-2's default for DSR/AODV
+// class protocols and more than enough for 30 nodes.
+const DefaultTTL = 32
+
+// Packet is the network-layer PDU.
+type Packet struct {
+	UID       uint64
+	Kind      Kind
+	Src       NodeID
+	Dst       NodeID
+	Port      int
+	TTL       int
+	Size      int // bytes on the wire at the network layer
+	Payload   any
+	CreatedAt sim.Time
+	Hops      int
+}
+
+// Clone returns a shallow copy (payload shared); flooding protocols clone
+// before mutating TTL/Hops on divergent paths.
+func (p *Packet) Clone() *Packet {
+	c := *p
+	return &c
+}
+
+// String summarizes the packet for diagnostics.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{uid=%d %d->%d port=%d size=%d ttl=%d}",
+		p.UID, p.Src, p.Dst, p.Port, p.Size, p.TTL)
+}
+
+// Router is a routing protocol instance bound to one node.
+//
+// Data path: locally-originated packets enter via Origin; packets arriving
+// from the MAC that are not addressed to this node (or are control traffic
+// on PortRouting) enter via Receive. The router sends frames with
+// Node.SendFrame and delivers data with Node.DeliverLocal.
+type Router interface {
+	// Name identifies the protocol ("aodv", "olsr", "dymo", "static", ...).
+	Name() string
+	// Start begins protocol operation (timers, hello emission).
+	Start()
+	// Stop halts all protocol timers.
+	Stop()
+	// Origin routes a locally generated data packet.
+	Origin(p *Packet)
+	// Receive handles a packet handed up by the MAC: either a routing
+	// control message or a data packet to forward.
+	Receive(p *Packet, from NodeID)
+	// LinkFailure is data-link feedback: a unicast to next exhausted its
+	// MAC retries while carrying p.
+	LinkFailure(next NodeID, p *Packet)
+	// ControlTraffic reports cumulative routing overhead (packets, bytes).
+	ControlTraffic() (packets, bytes uint64)
+}
+
+// PortHandler consumes data packets delivered to a local port.
+type PortHandler interface {
+	HandlePacket(p *Packet, at sim.Time)
+}
+
+// PortFunc adapts a function to PortHandler.
+type PortFunc func(p *Packet, at sim.Time)
+
+// HandlePacket implements PortHandler.
+func (f PortFunc) HandlePacket(p *Packet, at sim.Time) { f(p, at) }

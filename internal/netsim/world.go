@@ -1,0 +1,215 @@
+package netsim
+
+import (
+	"fmt"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/mac"
+	"cavenet/internal/mobility"
+	"cavenet/internal/phy"
+	"cavenet/internal/rng"
+	"cavenet/internal/sim"
+)
+
+// RouterFactory builds the routing protocol instance for a node.
+type RouterFactory func(n *Node) Router
+
+// Hooks let the metrics module observe data-plane events without coupling
+// the stack to a concrete collector.
+type Hooks struct {
+	DataSent      func(n *Node, p *Packet)
+	DataDelivered func(n *Node, p *Packet)
+	DataDropped   func(n *Node, p *Packet, reason string)
+}
+
+// WorldConfig assembles a scenario.
+type WorldConfig struct {
+	// Nodes is the station count.
+	Nodes int
+	// Seed drives every RNG stream in the scenario.
+	Seed int64
+	// Propagation defaults to two-ray ground (Table I).
+	Propagation phy.Propagation
+	// Channel holds radio parameters (ranges, capture).
+	Channel phy.Config
+	// MAC holds DCF parameters (rates, CW, queue).
+	MAC mac.Config
+	// Mobility positions the nodes over time; nil keeps nodes wherever
+	// Static places them.
+	Mobility *mobility.SampledTrace
+	// Static is used when Mobility is nil: fixed node positions.
+	Static []geometry.Vec2
+	// MobilityInterval is how often positions refresh (default 100 ms).
+	MobilityInterval sim.Time
+}
+
+// World is an assembled scenario: kernel, channel, nodes.
+type World struct {
+	Kernel  *sim.Kernel
+	Channel *phy.Channel
+	nodes   []*Node
+	cfg     WorldConfig
+	src     *rng.Source
+	uid     uint64
+	hooks   Hooks
+}
+
+// NewWorld wires up a scenario. Routers are created per node via factory
+// but not started; Run starts them.
+func NewWorld(cfg WorldConfig, factory RouterFactory) (*World, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("netsim: node count %d must be positive", cfg.Nodes)
+	}
+	if cfg.Mobility == nil && len(cfg.Static) != cfg.Nodes {
+		return nil, fmt.Errorf("netsim: need %d static positions, have %d", cfg.Nodes, len(cfg.Static))
+	}
+	if cfg.Mobility != nil {
+		if err := cfg.Mobility.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Mobility.NumNodes() < cfg.Nodes {
+			return nil, fmt.Errorf("netsim: mobility trace has %d nodes, scenario needs %d",
+				cfg.Mobility.NumNodes(), cfg.Nodes)
+		}
+	}
+	if cfg.Propagation == nil {
+		cfg.Propagation = phy.TwoRayGround{}
+	}
+	if cfg.MobilityInterval == 0 {
+		cfg.MobilityInterval = 100 * sim.Millisecond
+	}
+	w := &World{
+		Kernel: sim.NewKernel(),
+		cfg:    cfg,
+		src:    rng.NewSource(cfg.Seed),
+	}
+	w.Channel = phy.NewChannel(w.Kernel, cfg.Propagation, cfg.Channel)
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			id:    NodeID(i),
+			world: w,
+			ports: make(map[int]PortHandler),
+			rnd:   w.src.Stream(fmt.Sprintf("node/%d", i)),
+		}
+		if cfg.Mobility != nil {
+			n.pos = cfg.Mobility.At(i, 0)
+		} else {
+			n.pos = cfg.Static[i]
+		}
+		n.radio = w.Channel.Attach(func() geometry.Vec2 { return n.pos })
+		n.mac = mac.New(w.Kernel, n.radio, mac.Address(i), cfg.MAC,
+			w.src.Stream(fmt.Sprintf("mac/%d", i)), macUpper{n})
+		n.router = factory(n)
+		if n.router == nil {
+			return nil, fmt.Errorf("netsim: router factory returned nil for node %d", i)
+		}
+		w.nodes = append(w.nodes, n)
+	}
+	return w, nil
+}
+
+// SetHooks installs metric observers; call before Run.
+func (w *World) SetHooks(h Hooks) { w.hooks = h }
+
+// Node returns node i.
+func (w *World) Node(i int) *Node { return w.nodes[i] }
+
+// NumNodes reports the station count.
+func (w *World) NumNodes() int { return len(w.nodes) }
+
+// Nodes returns the node slice (shared; callers must not mutate).
+func (w *World) Nodes() []*Node { return w.nodes }
+
+func (w *World) nextUID() uint64 {
+	w.uid++
+	return w.uid
+}
+
+// Run starts all routers and mobility updates, then executes events until
+// the given duration of simulated time has elapsed.
+func (w *World) Run(duration sim.Time) {
+	for _, n := range w.nodes {
+		n.router.Start()
+	}
+	if w.cfg.Mobility != nil {
+		w.scheduleMobility(duration)
+	}
+	w.Kernel.RunUntil(duration)
+	for _, n := range w.nodes {
+		n.router.Stop()
+	}
+}
+
+func (w *World) scheduleMobility(duration sim.Time) {
+	var tick func()
+	tick = func() {
+		now := w.Kernel.Now()
+		tsec := now.Seconds()
+		for i, n := range w.nodes {
+			n.SetPosition(w.cfg.Mobility.At(i, tsec))
+		}
+		if now < duration {
+			w.Kernel.After(w.cfg.MobilityInterval, tick)
+		}
+	}
+	w.Kernel.Schedule(0, tick)
+}
+
+// ConnectivityMatrix reports which node pairs are currently within decode
+// range — the analysis behind the paper's Fig. 1 multi-lane connectivity
+// discussion.
+func (w *World) ConnectivityMatrix() [][]bool {
+	n := len(w.nodes)
+	m := make([][]bool, n)
+	thresh := w.Channel.RxThreshW()
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			power := w.cfg.Propagation.RxPower(
+				w.channelTxPower(), w.nodes[i].pos, w.nodes[j].pos)
+			ok := power >= thresh
+			m[i][j] = ok
+			m[j][i] = ok
+		}
+	}
+	return m
+}
+
+func (w *World) channelTxPower() float64 {
+	if w.cfg.Channel.TxPowerW != 0 {
+		return w.cfg.Channel.TxPowerW
+	}
+	return 0.28183815
+}
+
+// ConnectedComponents returns the partition of nodes into radio-connectivity
+// components (used by the highway example to show relay lanes closing gaps).
+func (w *World) ConnectedComponents() [][]int {
+	m := w.ConnectivityMatrix()
+	n := len(m)
+	seen := make([]bool, n)
+	var comps [][]int
+	for i := 0; i < n; i++ {
+		if seen[i] {
+			continue
+		}
+		var comp []int
+		stack := []int{i}
+		seen[i] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for u := 0; u < n; u++ {
+				if m[v][u] && !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}

@@ -1,0 +1,275 @@
+package phy
+
+import (
+	"fmt"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/sim"
+)
+
+// Frame is one physical-layer transmission unit. Payload is opaque to the
+// PHY (the MAC frame).
+type Frame struct {
+	ID       uint64
+	Bytes    int
+	Duration sim.Time
+	Payload  any
+}
+
+// Config sets the channel-wide radio parameters.
+type Config struct {
+	// TxPowerW is the transmit power in watts (ns-2 default 0.28183815 W,
+	// which yields 250 m range under two-ray ground).
+	TxPowerW float64
+	// RxRangeM is the intended decode range in meters; the receive
+	// threshold is the model's power at this distance (Table I: 250 m).
+	RxRangeM float64
+	// CSRangeM is the carrier-sense range (ns-2 default 550 m).
+	CSRangeM float64
+	// CaptureRatio is the linear power ratio above which a stronger frame
+	// survives a collision (ns-2 default 10 = 10 dB). Zero disables capture:
+	// any overlap corrupts both frames.
+	CaptureRatio float64
+	// PropDelay enables speed-of-light propagation delay (default on; the
+	// ablation bench turns it off to measure its cost).
+	NoPropDelay bool
+}
+
+func (c *Config) normalize() {
+	if c.TxPowerW == 0 {
+		c.TxPowerW = 0.28183815
+	}
+	if c.RxRangeM == 0 {
+		c.RxRangeM = 250
+	}
+	if c.CSRangeM == 0 {
+		c.CSRangeM = 550
+	}
+}
+
+// Handler receives radio events. Implemented by the MAC.
+type Handler interface {
+	// RadioReceive delivers a successfully decoded frame.
+	RadioReceive(f *Frame, rxPowerW float64)
+	// RadioCarrier notifies carrier-sense transitions (busy=true when the
+	// medium at this radio becomes non-idle, false when it clears).
+	RadioCarrier(busy bool)
+	// RadioTxDone notifies that this radio's own transmission ended.
+	RadioTxDone(f *Frame)
+}
+
+// Channel is the shared broadcast medium connecting all radios.
+type Channel struct {
+	kernel      *sim.Kernel
+	prop        Propagation
+	cfg         Config
+	rxThreshW   float64
+	csThreshW   float64
+	radios      []*Radio
+	nextFrameID uint64
+	transmitted uint64
+	delivered   uint64
+	collided    uint64
+}
+
+// NewChannel builds a channel over the given propagation model.
+func NewChannel(k *sim.Kernel, prop Propagation, cfg Config) *Channel {
+	cfg.normalize()
+	c := &Channel{
+		kernel: k,
+		prop:   prop,
+		cfg:    cfg,
+	}
+	c.rxThreshW = PowerAtRange(prop, cfg.TxPowerW, cfg.RxRangeM)
+	c.csThreshW = PowerAtRange(prop, cfg.TxPowerW, cfg.CSRangeM)
+	return c
+}
+
+// RxThreshW reports the derived receive-power threshold.
+func (c *Channel) RxThreshW() float64 { return c.rxThreshW }
+
+// CSThreshW reports the derived carrier-sense threshold.
+func (c *Channel) CSThreshW() float64 { return c.csThreshW }
+
+// Stats reports cumulative channel counters: frames transmitted, frame
+// deliveries (per receiver) and collision-corrupted receptions.
+func (c *Channel) Stats() (transmitted, delivered, collided uint64) {
+	return c.transmitted, c.delivered, c.collided
+}
+
+// Attach registers a new radio whose position is read lazily via pos.
+// The handler must be set via Radio.SetHandler before first use.
+func (c *Channel) Attach(pos func() geometry.Vec2) *Radio {
+	r := &Radio{
+		channel: c,
+		pos:     pos,
+		index:   len(c.radios),
+	}
+	c.radios = append(c.radios, r)
+	return r
+}
+
+// Transmit broadcasts a frame from radio r. Duration must cover the whole
+// frame (preamble + payload at the PHY bitrate); the MAC computes it.
+// Transmitting while already transmitting is a MAC bug and panics.
+func (c *Channel) Transmit(r *Radio, payload any, bytes int, duration sim.Time) *Frame {
+	if r.transmitting {
+		panic("phy: radio already transmitting")
+	}
+	c.nextFrameID++
+	c.transmitted++
+	f := &Frame{ID: c.nextFrameID, Bytes: bytes, Duration: duration, Payload: payload}
+	r.transmitting = true
+	src := r.pos()
+	// A transmitting radio cannot decode concurrent arrivals.
+	for _, sig := range r.active {
+		sig.corrupted = true
+	}
+	for _, rx := range c.radios {
+		if rx == r {
+			continue
+		}
+		power := c.prop.RxPower(c.cfg.TxPowerW, src, rx.pos())
+		if power < c.csThreshW {
+			continue
+		}
+		rx := rx
+		delay := sim.Time(0)
+		if !c.cfg.NoPropDelay {
+			meters := src.Dist(rx.pos())
+			delay = sim.Time(meters / lightSpeed * float64(sim.Second))
+		}
+		c.kernel.After(delay, func() {
+			rx.signalStart(f, power)
+		})
+	}
+	c.kernel.After(duration, func() {
+		r.transmitting = false
+		if r.handler != nil {
+			r.handler.RadioTxDone(f)
+		}
+	})
+	return f
+}
+
+// Radio is one station's attachment to the channel.
+type Radio struct {
+	channel      *Channel
+	pos          func() geometry.Vec2
+	handler      Handler
+	index        int
+	transmitting bool
+	active       []*signal
+	decoding     *signal
+}
+
+type signal struct {
+	frame     *Frame
+	power     float64
+	corrupted bool
+}
+
+// SetHandler installs the MAC-layer event sink.
+func (r *Radio) SetHandler(h Handler) { r.handler = h }
+
+// Transmitting reports whether the radio is currently sending.
+func (r *Radio) Transmitting() bool { return r.transmitting }
+
+// CarrierBusy reports whether the medium is sensed busy at this radio
+// (own transmission or any in-flight signal above the CS threshold).
+func (r *Radio) CarrierBusy() bool {
+	return r.transmitting || len(r.active) > 0
+}
+
+// Position reports the radio's current location.
+func (r *Radio) Position() geometry.Vec2 { return r.pos() }
+
+// Transmit broadcasts a frame from this radio; see Channel.Transmit.
+func (r *Radio) Transmit(payload any, bytes int, duration sim.Time) *Frame {
+	return r.channel.Transmit(r, payload, bytes, duration)
+}
+
+func (r *Radio) signalStart(f *Frame, power float64) {
+	sig := &signal{frame: f, power: power}
+	wasBusy := r.CarrierBusy()
+	r.active = append(r.active, sig)
+
+	switch {
+	case r.transmitting:
+		// Half-duplex: arrivals during our own transmission are lost.
+		sig.corrupted = true
+	case power < r.channel.rxThreshW:
+		// Sensed but not decodable; pure interference. It can still corrupt
+		// an ongoing weaker reception below.
+		sig.corrupted = true
+		if r.decoding != nil && !capturedOver(r.channel.cfg.CaptureRatio, r.decoding.power, power) {
+			r.decoding.corrupted = true
+		}
+	case r.decoding == nil:
+		// Check interference from already-active signals.
+		strongest := 0.0
+		for _, other := range r.active {
+			if other != sig && other.power > strongest {
+				strongest = other.power
+			}
+		}
+		sig.corrupted = strongest > 0 && !capturedOver(r.channel.cfg.CaptureRatio, power, strongest)
+		r.decoding = sig
+	default:
+		cur := r.decoding
+		switch {
+		case capturedOver(r.channel.cfg.CaptureRatio, power, cur.power):
+			// The newcomer captures the receiver.
+			cur.corrupted = true
+			sig.corrupted = false
+			r.decoding = sig
+		case capturedOver(r.channel.cfg.CaptureRatio, cur.power, power):
+			// Ongoing reception survives; newcomer is lost.
+			sig.corrupted = true
+		default:
+			// Comparable powers: both are lost.
+			cur.corrupted = true
+			sig.corrupted = true
+		}
+	}
+
+	if !wasBusy && r.CarrierBusy() && r.handler != nil {
+		r.handler.RadioCarrier(true)
+	}
+	r.channel.kernel.After(f.Duration, func() { r.signalEnd(sig) })
+}
+
+// capturedOver reports whether a signal with power p survives interference
+// of power q under the channel's capture ratio.
+func capturedOver(ratio, p, q float64) bool {
+	if ratio <= 0 {
+		return false
+	}
+	return p >= ratio*q
+}
+
+func (r *Radio) signalEnd(sig *signal) {
+	for i, s := range r.active {
+		if s == sig {
+			r.active = append(r.active[:i], r.active[i+1:]...)
+			break
+		}
+	}
+	if r.decoding == sig {
+		r.decoding = nil
+		if !sig.corrupted && !r.transmitting {
+			r.channel.delivered++
+			if r.handler != nil {
+				r.handler.RadioReceive(sig.frame, sig.power)
+			}
+		} else if sig.corrupted {
+			r.channel.collided++
+		}
+	}
+	if !r.CarrierBusy() && r.handler != nil {
+		r.handler.RadioCarrier(false)
+	}
+}
+
+// String identifies the radio for diagnostics.
+func (r *Radio) String() string { return fmt.Sprintf("radio#%d", r.index) }

@@ -1,0 +1,141 @@
+// Package plot renders CAVENET analysis results as ASCII art and CSV —
+// the stand-in for the paper's MATLAB figure windows. The data series are
+// exact; only the presentation is textual.
+package plot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// SpaceTimeASCII renders the space-time occupancy rows of ca.SpaceTime as
+// the paper's Fig. 5: one text row per time step, '.' for empty sites and
+// the vehicle velocity digit for occupied ones (velocities above 9 print
+// as '+'). Space runs left→right, time top→bottom.
+func SpaceTimeASCII(w io.Writer, rows [][]int) error {
+	bw := bufio.NewWriter(w)
+	for _, row := range rows {
+		var sb strings.Builder
+		sb.Grow(len(row) + 1)
+		for _, v := range row {
+			switch {
+			case v < 0:
+				sb.WriteByte('.')
+			case v <= 9:
+				sb.WriteByte(byte('0' + v))
+			default:
+				sb.WriteByte('+')
+			}
+		}
+		sb.WriteByte('\n')
+		if _, err := bw.WriteString(sb.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Series writes an (x, y) table as CSV with a header.
+func Series(w io.Writer, xName, yName string, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("plot: series length mismatch %d vs %d", len(xs), len(ys))
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s,%s\n", xName, yName)
+	for i := range xs {
+		fmt.Fprintf(bw, "%s,%s\n", formatFloat(xs[i]), formatFloat(ys[i]))
+	}
+	return bw.Flush()
+}
+
+// MultiSeries writes several aligned y-columns against one x-column.
+func MultiSeries(w io.Writer, xName string, xs []float64, names []string, ys [][]float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s", xName)
+	for _, n := range names {
+		fmt.Fprintf(bw, ",%s", n)
+	}
+	fmt.Fprintln(bw)
+	for i := range xs {
+		fmt.Fprintf(bw, "%s", formatFloat(xs[i]))
+		for j := range ys {
+			v := math.NaN()
+			if i < len(ys[j]) {
+				v = ys[j][i]
+			}
+			fmt.Fprintf(bw, ",%s", formatFloat(v))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Surface writes a goodput surface (Figs. 8–10): rows are senders, columns
+// are time bins.
+func Surface(w io.Writer, rowName string, rows []int, colName string, cols []float64, vals [][]float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s\\%s", rowName, colName)
+	for _, c := range cols {
+		fmt.Fprintf(bw, ",%s", formatFloat(c))
+	}
+	fmt.Fprintln(bw)
+	for i, r := range rows {
+		fmt.Fprintf(bw, "%d", r)
+		for j := range cols {
+			v := math.NaN()
+			if j < len(vals[i]) {
+				v = vals[i][j]
+			}
+			fmt.Fprintf(bw, ",%s", formatFloat(v))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// AsciiChart renders a quick y-vs-index line chart with the given height,
+// for terminal inspection of series like v(t).
+func AsciiChart(w io.Writer, series []float64, height int) error {
+	if len(series) == 0 || height <= 0 {
+		return nil
+	}
+	lo, hi := series[0], series[0]
+	for _, v := range series {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", len(series)))
+	}
+	for x, v := range series {
+		y := int((v - lo) / (hi - lo) * float64(height-1))
+		grid[height-1-y][x] = '*'
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "max %.3f\n", hi)
+	for _, row := range grid {
+		bw.Write(row)
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintf(bw, "min %.3f\n", lo)
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}

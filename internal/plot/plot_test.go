@@ -1,0 +1,100 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpaceTimeASCII(t *testing.T) {
+	rows := [][]int{
+		{-1, 0, 3, -1},
+		{12, -1, -1, 9},
+	}
+	var sb strings.Builder
+	if err := SpaceTimeASCII(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	want := ".03.\n+..9\n"
+	if sb.String() != want {
+		t.Fatalf("got %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var sb strings.Builder
+	err := Series(&sb, "x", "y", []float64{1, 2}, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 || lines[0] != "x,y" || lines[1] != "1,10" {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestSeriesLengthMismatch(t *testing.T) {
+	var sb strings.Builder
+	if err := Series(&sb, "x", "y", []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestMultiSeries(t *testing.T) {
+	var sb strings.Builder
+	err := MultiSeries(&sb, "t", []float64{0, 1},
+		[]string{"a", "b"}, [][]float64{{5, 6}, {7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "t,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "1,6," {
+		t.Fatalf("missing value should be empty: %q", lines[2])
+	}
+}
+
+func TestSurface(t *testing.T) {
+	var sb strings.Builder
+	err := Surface(&sb, "sender", []int{1, 2}, "t", []float64{0, 1},
+		[][]float64{{100, 200}, {300, 400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "sender\\t,0,1\n") {
+		t.Fatalf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, "1,100,200") || !strings.Contains(out, "2,300,400") {
+		t.Fatalf("rows wrong: %q", out)
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	var sb strings.Builder
+	if err := AsciiChart(&sb, []float64{0, 1, 2, 3}, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "max 3.000") || !strings.Contains(out, "min 0.000") {
+		t.Fatalf("chart missing bounds: %q", out)
+	}
+	if strings.Count(out, "*") != 4 {
+		t.Fatalf("chart should plot 4 points: %q", out)
+	}
+}
+
+func TestAsciiChartDegenerate(t *testing.T) {
+	var sb strings.Builder
+	if err := AsciiChart(&sb, nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatal("empty series should render nothing")
+	}
+	// Constant series must not divide by zero.
+	if err := AsciiChart(&sb, []float64{2, 2}, 3); err != nil {
+		t.Fatal(err)
+	}
+}

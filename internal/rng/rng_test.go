@@ -1,0 +1,62 @@
+package rng
+
+import "testing"
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewSource(42).Stream("mac/0")
+	b := NewSource(42).Stream("mac/0")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed, name) must yield identical streams")
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	src := NewSource(42)
+	a := src.Stream("mac/0")
+	b := src.Stream("mac/1")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("streams for different names coincide on %d/100 draws", same)
+	}
+}
+
+func TestSeedChangesStreams(t *testing.T) {
+	a := NewSource(1).Stream("x")
+	b := NewSource(2).Stream("x")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("streams for different seeds coincide on %d/100 draws", same)
+	}
+}
+
+func TestForkDeterministicAndDistinct(t *testing.T) {
+	src := NewSource(7)
+	f1 := src.Fork(3).Stream("trial")
+	f2 := NewSource(7).Fork(3).Stream("trial")
+	if f1.Int63() != f2.Int63() {
+		t.Fatal("Fork must be deterministic")
+	}
+	g1 := src.Fork(4).Stream("trial")
+	g2 := src.Fork(5).Stream("trial")
+	if g1.Int63() == g2.Int63() {
+		t.Fatal("different fork indices should give different streams")
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if NewSource(99).Seed() != 99 {
+		t.Fatal("Seed() should report the root seed")
+	}
+}

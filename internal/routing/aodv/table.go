@@ -1,0 +1,137 @@
+package aodv
+
+import (
+	"cavenet/internal/netsim"
+	"cavenet/internal/sim"
+)
+
+// routeState distinguishes usable from recently-invalidated entries.
+type routeState int
+
+const (
+	routeValid routeState = iota + 1
+	routeInvalid
+)
+
+// route is one routing-table entry (RFC 3561 §2).
+type route struct {
+	dst        netsim.NodeID
+	seq        uint32
+	seqKnown   bool
+	hops       int
+	nextHop    netsim.NodeID
+	expiresAt  sim.Time
+	state      routeState
+	precursors map[netsim.NodeID]struct{}
+}
+
+func (r *route) addPrecursor(id netsim.NodeID) {
+	if r.precursors == nil {
+		r.precursors = make(map[netsim.NodeID]struct{})
+	}
+	r.precursors[id] = struct{}{}
+}
+
+// table is the per-node routing table.
+type table struct {
+	kernel *sim.Kernel
+	routes map[netsim.NodeID]*route
+}
+
+func newTable(k *sim.Kernel) *table {
+	return &table{kernel: k, routes: make(map[netsim.NodeID]*route)}
+}
+
+// lookup returns the entry for dst if it exists (valid or not).
+func (t *table) lookup(dst netsim.NodeID) *route {
+	return t.routes[dst]
+}
+
+// validRoute returns a live, unexpired route to dst or nil.
+func (t *table) validRoute(dst netsim.NodeID) *route {
+	r := t.routes[dst]
+	if r == nil || r.state != routeValid {
+		return nil
+	}
+	if t.kernel.Now() >= r.expiresAt {
+		r.state = routeInvalid
+		return nil
+	}
+	return r
+}
+
+// update installs or refreshes a route following the RFC 3561 §6.2 rules:
+// accept when the entry is new, the sequence number is newer, equal-seq with
+// fewer hops, or the existing entry is invalid/unknown-seq.
+func (t *table) update(dst netsim.NodeID, seq uint32, seqKnown bool, hops int, next netsim.NodeID, lifetime sim.Time) *route {
+	now := t.kernel.Now()
+	r := t.routes[dst]
+	if r == nil {
+		r = &route{dst: dst}
+		t.routes[dst] = r
+	} else if r.state == routeValid && r.seqKnown && seqKnown {
+		newer := int32(seq-r.seq) > 0
+		sameButShorter := seq == r.seq && hops < r.hops
+		if !newer && !sameButShorter {
+			// Keep the existing entry but stretch its lifetime.
+			if now+lifetime > r.expiresAt {
+				r.expiresAt = now + lifetime
+			}
+			return r
+		}
+	}
+	r.seq = seq
+	r.seqKnown = seqKnown
+	r.hops = hops
+	r.nextHop = next
+	r.state = routeValid
+	if now+lifetime > r.expiresAt {
+		r.expiresAt = now + lifetime
+	}
+	return r
+}
+
+// refresh extends the lifetime of a valid route (data traffic keeps active
+// routes alive, RFC 3561 §6.2).
+func (t *table) refresh(dst netsim.NodeID, lifetime sim.Time) {
+	if r := t.validRoute(dst); r != nil {
+		exp := t.kernel.Now() + lifetime
+		if exp > r.expiresAt {
+			r.expiresAt = exp
+		}
+	}
+}
+
+// invalidate marks the route to dst broken, bumping its sequence number so
+// stale information cannot resurrect it (RFC 3561 §6.11). It returns the
+// entry or nil.
+func (t *table) invalidate(dst netsim.NodeID) *route {
+	r := t.routes[dst]
+	if r == nil || r.state != routeValid {
+		return nil
+	}
+	r.state = routeInvalid
+	r.seq++
+	return r
+}
+
+// routesVia returns the valid routes whose next hop is the given neighbor.
+func (t *table) routesVia(next netsim.NodeID) []*route {
+	var out []*route
+	for _, r := range t.routes {
+		if r.state == routeValid && r.nextHop == next {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// purgeExpired flips expired valid routes to invalid.
+func (t *table) purgeExpired() {
+	now := t.kernel.Now()
+	for _, r := range t.routes {
+		if r.state == routeValid && now >= r.expiresAt {
+			r.state = routeInvalid
+		}
+	}
+}

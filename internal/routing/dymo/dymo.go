@@ -1,0 +1,560 @@
+// Package dymo implements the Dynamic MANET On-demand routing protocol of
+// draft-ietf-manet-dymo-14, the third protocol of the paper (§III-B.3).
+//
+// DYMO keeps AODV's reactive RREQ/RREP discovery and sequence-number loop
+// freedom but adds *path accumulation*: every router that forwards a
+// routing message appends its own address and sequence number, so receivers
+// learn routes to every intermediate hop, not just the originator and
+// target — the "major difference between DYMO and AODV" the paper calls
+// out. Link breaks trigger RERR messages flooded "to all nodes in range",
+// and links are monitored through data-link feedback and HELLOs (Table I
+// gives DYMO a 1 s HELLO interval).
+package dymo
+
+import (
+	"fmt"
+
+	"cavenet/internal/netsim"
+	"cavenet/internal/sim"
+)
+
+// Wire sizes (draft-14 generic packet/message format, approximated).
+const (
+	rmBaseBytes   = 16
+	addrBlockSize = 8
+	rerrBase      = 12
+	rerrPerAddr   = 8
+	helloSize     = 12
+)
+
+// AddrBlock is one accumulated (address, sequence number) pair plus the hop
+// distance from the message's current transmitter.
+type AddrBlock struct {
+	Addr netsim.NodeID
+	Seq  uint32
+	Dist int // hops from this block's node to the current transmitter
+}
+
+// RM is a DYMO routing message: RREQ when IsReply is false, RREP otherwise.
+type RM struct {
+	IsReply        bool
+	Target         netsim.NodeID
+	TargetSeq      uint32
+	TargetSeqKnown bool
+	Orig           AddrBlock   // the message originator
+	Path           []AddrBlock // accumulated intermediate routers
+	HopCount       int
+}
+
+func rmBytes(m *RM) int { return rmBaseBytes + (1+len(m.Path))*addrBlockSize }
+
+// RERR reports unreachable destinations; it floods one hop at a time
+// through re-broadcasts by routers that had matching routes.
+type RERR struct {
+	Unreachable []AddrBlock
+	HopLimit    int
+}
+
+func rerrBytes(n int) int { return rerrBase + n*rerrPerAddr }
+
+// Hello is the neighbor-liveness beacon (draft §4.1; interval per Table I).
+type Hello struct {
+	Seq uint32
+}
+
+// Config holds protocol parameters; zero fields take draft defaults with
+// Table I's 1 s HELLO interval.
+type Config struct {
+	HelloInterval    sim.Time // default 1 s
+	AllowedHelloLoss int      // default 2
+	RouteTimeout     sim.Time // default 5 s (draft ROUTE_TIMEOUT)
+	RREQWaitTime     sim.Time // default 1 s
+	RREQTries        int      // default 3
+	HopLimit         int      // default 20 (draft MSG_HOPLIMIT)
+	BufferCap        int      // default 64 packets per destination
+	// PathAccumulation can be disabled for the ablation bench, reducing
+	// DYMO to an AODV-like protocol.
+	PathAccumulation *bool
+}
+
+func (c *Config) normalize() {
+	if c.HelloInterval == 0 {
+		c.HelloInterval = sim.Second
+	}
+	if c.AllowedHelloLoss == 0 {
+		c.AllowedHelloLoss = 2
+	}
+	if c.RouteTimeout == 0 {
+		c.RouteTimeout = 5 * sim.Second
+	}
+	if c.RREQWaitTime == 0 {
+		c.RREQWaitTime = sim.Second
+	}
+	if c.RREQTries == 0 {
+		c.RREQTries = 3
+	}
+	if c.HopLimit == 0 {
+		c.HopLimit = 20
+	}
+	if c.BufferCap == 0 {
+		c.BufferCap = 64
+	}
+	if c.PathAccumulation == nil {
+		t := true
+		c.PathAccumulation = &t
+	}
+}
+
+// route is a DYMO routing-table entry.
+type route struct {
+	dst       netsim.NodeID
+	seq       uint32
+	seqKnown  bool
+	hops      int
+	nextHop   netsim.NodeID
+	expiresAt sim.Time
+	valid     bool
+}
+
+type discovery struct {
+	dst     netsim.NodeID
+	retries int
+	timer   *sim.Timer
+	buffer  []*netsim.Packet
+}
+
+type seenKey struct {
+	orig netsim.NodeID
+	seq  uint32
+}
+
+// Router is one node's DYMO instance.
+type Router struct {
+	cfg  Config
+	node *netsim.Node
+
+	seq         uint32
+	routes      map[netsim.NodeID]*route
+	discoveries map[netsim.NodeID]*discovery
+	seen        map[seenKey]sim.Time
+	rerrSeen    map[seenKey]sim.Time
+	neighbors   map[netsim.NodeID]*sim.Timer
+
+	helloTicker *sim.Ticker
+	purgeTicker *sim.Ticker
+
+	ctrlPackets uint64
+	ctrlBytes   uint64
+}
+
+var _ netsim.Router = (*Router)(nil)
+
+// New builds a DYMO router for node.
+func New(node *netsim.Node, cfg Config) *Router {
+	cfg.normalize()
+	r := &Router{
+		cfg:         cfg,
+		node:        node,
+		routes:      make(map[netsim.NodeID]*route),
+		discoveries: make(map[netsim.NodeID]*discovery),
+		seen:        make(map[seenKey]sim.Time),
+		rerrSeen:    make(map[seenKey]sim.Time),
+		neighbors:   make(map[netsim.NodeID]*sim.Timer),
+	}
+	jitter := func() sim.Time {
+		span := int64(cfg.HelloInterval / 5)
+		return sim.Time(node.Rand().Int63n(span) - span/2)
+	}
+	r.helloTicker = sim.NewTicker(node.Kernel(), cfg.HelloInterval, jitter, r.sendHello)
+	r.purgeTicker = sim.NewTicker(node.Kernel(), sim.Second, nil, r.purge)
+	return r
+}
+
+// Name implements netsim.Router.
+func (r *Router) Name() string { return "dymo" }
+
+// Start implements netsim.Router.
+func (r *Router) Start() {
+	r.helloTicker.Start()
+	r.purgeTicker.Start()
+}
+
+// Stop implements netsim.Router.
+func (r *Router) Stop() {
+	r.helloTicker.Stop()
+	r.purgeTicker.Stop()
+	for _, d := range r.discoveries {
+		d.timer.Stop()
+	}
+	for _, t := range r.neighbors {
+		t.Stop()
+	}
+}
+
+// ControlTraffic implements netsim.Router.
+func (r *Router) ControlTraffic() (uint64, uint64) { return r.ctrlPackets, r.ctrlBytes }
+
+// Table reports the valid route to dst, if any (for tests).
+func (r *Router) Table(dst netsim.NodeID) (next netsim.NodeID, hops int, ok bool) {
+	rt := r.validRoute(dst)
+	if rt == nil {
+		return 0, 0, false
+	}
+	return rt.nextHop, rt.hops, true
+}
+
+func (r *Router) now() sim.Time { return r.node.Kernel().Now() }
+
+func (r *Router) validRoute(dst netsim.NodeID) *route {
+	rt := r.routes[dst]
+	if rt == nil || !rt.valid {
+		return nil
+	}
+	if r.now() >= rt.expiresAt {
+		rt.valid = false
+		return nil
+	}
+	return rt
+}
+
+// updateRoute applies the draft's route-update rules (same sequence-number
+// discipline as AODV).
+func (r *Router) updateRoute(dst netsim.NodeID, seq uint32, seqKnown bool, hops int, next netsim.NodeID) *route {
+	if dst == r.node.ID() {
+		return nil
+	}
+	now := r.now()
+	rt := r.routes[dst]
+	if rt == nil {
+		rt = &route{dst: dst}
+		r.routes[dst] = rt
+	} else if rt.valid && rt.seqKnown && seqKnown {
+		newer := int32(seq-rt.seq) > 0
+		sameShorter := seq == rt.seq && hops < rt.hops
+		if !newer && !sameShorter {
+			if now+r.cfg.RouteTimeout > rt.expiresAt {
+				rt.expiresAt = now + r.cfg.RouteTimeout
+			}
+			return rt
+		}
+	}
+	rt.seq = seq
+	rt.seqKnown = seqKnown
+	rt.hops = hops
+	rt.nextHop = next
+	rt.valid = true
+	rt.expiresAt = now + r.cfg.RouteTimeout
+	return rt
+}
+
+func (r *Router) refresh(dst netsim.NodeID) {
+	if rt := r.validRoute(dst); rt != nil {
+		exp := r.now() + r.cfg.RouteTimeout
+		if exp > rt.expiresAt {
+			rt.expiresAt = exp
+		}
+	}
+}
+
+func (r *Router) sendControl(next netsim.NodeID, ttl, size int, msg any) {
+	p := &netsim.Packet{
+		Kind:      netsim.KindControl,
+		Src:       r.node.ID(),
+		Dst:       netsim.BroadcastID,
+		Port:      netsim.PortRouting,
+		TTL:       ttl,
+		Size:      size + netsim.IPHeaderBytes,
+		Payload:   msg,
+		CreatedAt: r.now(),
+	}
+	if next != netsim.BroadcastID {
+		p.Dst = next
+	}
+	r.ctrlPackets++
+	r.ctrlBytes += uint64(p.Size)
+	r.node.SendFrame(next, p)
+}
+
+// Origin implements netsim.Router.
+func (r *Router) Origin(p *netsim.Packet) {
+	if rt := r.validRoute(p.Dst); rt != nil {
+		r.refresh(p.Dst)
+		r.refresh(rt.nextHop)
+		r.node.SendFrame(rt.nextHop, p)
+		return
+	}
+	d := r.discoveries[p.Dst]
+	if d != nil {
+		if len(d.buffer) >= r.cfg.BufferCap {
+			r.node.DropData(p, "dymo:buffer-full")
+			return
+		}
+		d.buffer = append(d.buffer, p)
+		return
+	}
+	d = &discovery{dst: p.Dst, buffer: []*netsim.Packet{p}}
+	d.timer = sim.NewTimer(r.node.Kernel(), func() { r.discoveryTimeout(d) })
+	r.discoveries[p.Dst] = d
+	r.sendRREQ(d)
+}
+
+func (r *Router) sendRREQ(d *discovery) {
+	r.seq++
+	msg := &RM{
+		Target: d.dst,
+		Orig:   AddrBlock{Addr: r.node.ID(), Seq: r.seq},
+	}
+	if rt := r.routes[d.dst]; rt != nil && rt.seqKnown {
+		msg.TargetSeq = rt.seq
+		msg.TargetSeqKnown = true
+	}
+	r.seen[seenKey{orig: r.node.ID(), seq: r.seq}] = r.now()
+	r.sendControl(netsim.BroadcastID, r.cfg.HopLimit, rmBytes(msg), msg)
+	// Exponential backoff across retries, as the draft recommends.
+	wait := r.cfg.RREQWaitTime << uint(d.retries)
+	d.timer.Reset(wait)
+}
+
+func (r *Router) discoveryTimeout(d *discovery) {
+	if r.validRoute(d.dst) != nil {
+		r.flush(d)
+		return
+	}
+	d.retries++
+	if d.retries >= r.cfg.RREQTries {
+		for _, p := range d.buffer {
+			r.node.DropData(p, "dymo:no-route")
+		}
+		delete(r.discoveries, d.dst)
+		return
+	}
+	r.sendRREQ(d)
+}
+
+func (r *Router) flush(d *discovery) {
+	delete(r.discoveries, d.dst)
+	d.timer.Stop()
+	for _, p := range d.buffer {
+		r.Origin(p)
+	}
+}
+
+// Receive implements netsim.Router.
+func (r *Router) Receive(p *netsim.Packet, from netsim.NodeID) {
+	if p.Kind == netsim.KindControl {
+		switch msg := p.Payload.(type) {
+		case *RM:
+			r.handleRM(p, msg, from)
+		case *RERR:
+			r.handleRERR(msg, from)
+		case *Hello:
+			r.handleHello(msg, from)
+		default:
+			panic(fmt.Sprintf("dymo: unexpected control payload %T", p.Payload))
+		}
+		return
+	}
+	r.forwardData(p, from)
+}
+
+func (r *Router) forwardData(p *netsim.Packet, from netsim.NodeID) {
+	p.TTL--
+	if p.TTL <= 0 {
+		r.node.DropData(p, "dymo:ttl")
+		return
+	}
+	rt := r.validRoute(p.Dst)
+	if rt == nil {
+		r.node.DropData(p, "dymo:no-forward-route")
+		seq := uint32(0)
+		if old := r.routes[p.Dst]; old != nil {
+			seq = old.seq
+		}
+		r.floodRERR([]AddrBlock{{Addr: p.Dst, Seq: seq}})
+		return
+	}
+	r.refresh(p.Dst)
+	r.refresh(p.Src)
+	r.refresh(rt.nextHop)
+	r.refresh(from)
+	r.node.NoteForward(p)
+	r.node.SendFrame(rt.nextHop, p)
+}
+
+// installFromRM learns routes from every address block carried by a routing
+// message — the path-accumulation payoff.
+func (r *Router) installFromRM(msg *RM, from netsim.NodeID) {
+	// The originator block is len(Path)+1 hops away from the receiver
+	// (each accumulated entry is one hop closer to us).
+	r.updateRoute(msg.Orig.Addr, msg.Orig.Seq, true, msg.HopCount+1, from)
+	if *r.cfg.PathAccumulation {
+		n := len(msg.Path)
+		for i, blk := range msg.Path {
+			// Path[0] was appended first (closest to the originator); the
+			// last entry is the previous transmitter, one hop from us.
+			hops := n - i
+			r.updateRoute(blk.Addr, blk.Seq, true, hops, from)
+		}
+	}
+	r.updateRoute(from, 0, false, 1, from)
+}
+
+func (r *Router) handleRM(p *netsim.Packet, msg *RM, from netsim.NodeID) {
+	me := r.node.ID()
+	if msg.Orig.Addr == me {
+		return
+	}
+	key := seenKey{orig: msg.Orig.Addr, seq: msg.Orig.Seq}
+	if !msg.IsReply {
+		if _, dup := r.seen[key]; dup {
+			return
+		}
+		r.seen[key] = r.now()
+	}
+	r.installFromRM(msg, from)
+
+	if !msg.IsReply {
+		if msg.Target == me {
+			// Target: answer with an RREP accumulated back (draft §5.2).
+			r.seq++
+			if msg.TargetSeqKnown && int32(msg.TargetSeq-r.seq) > 0 {
+				r.seq = msg.TargetSeq + 1
+			}
+			rep := &RM{
+				IsReply: true,
+				Target:  msg.Orig.Addr,
+				Orig:    AddrBlock{Addr: me, Seq: r.seq},
+			}
+			rt := r.validRoute(msg.Orig.Addr)
+			if rt == nil {
+				return
+			}
+			r.sendControl(rt.nextHop, r.cfg.HopLimit, rmBytes(rep), rep)
+			return
+		}
+		// Intermediate: append ourselves and re-flood.
+		if p.TTL <= 1 {
+			return
+		}
+		fwd := &RM{
+			Target:         msg.Target,
+			TargetSeq:      msg.TargetSeq,
+			TargetSeqKnown: msg.TargetSeqKnown,
+			Orig:           msg.Orig,
+			HopCount:       msg.HopCount + 1,
+		}
+		fwd.Path = append(append([]AddrBlock{}, msg.Path...), r.pathEntry())
+		r.sendControl(netsim.BroadcastID, p.TTL-1, rmBytes(fwd), fwd)
+		return
+	}
+
+	// RREP handling.
+	if msg.Target == me {
+		if d := r.discoveries[msg.Orig.Addr]; d != nil {
+			r.flush(d)
+		}
+		return
+	}
+	rt := r.validRoute(msg.Target)
+	if rt == nil {
+		return
+	}
+	fwd := &RM{
+		IsReply:  true,
+		Target:   msg.Target,
+		Orig:     msg.Orig,
+		HopCount: msg.HopCount + 1,
+	}
+	fwd.Path = append(append([]AddrBlock{}, msg.Path...), r.pathEntry())
+	r.sendControl(rt.nextHop, p.TTL-1, rmBytes(fwd), fwd)
+}
+
+func (r *Router) pathEntry() AddrBlock {
+	if *r.cfg.PathAccumulation {
+		r.seq++
+	}
+	return AddrBlock{Addr: r.node.ID(), Seq: r.seq}
+}
+
+func (r *Router) sendHello() {
+	r.sendControl(netsim.BroadcastID, 1, helloSize, &Hello{Seq: r.seq})
+}
+
+func (r *Router) handleHello(msg *Hello, from netsim.NodeID) {
+	r.updateRoute(from, msg.Seq, false, 1, from)
+	t := r.neighbors[from]
+	if t == nil {
+		t = sim.NewTimer(r.node.Kernel(), func() { r.neighborLost(from) })
+		r.neighbors[from] = t
+	}
+	t.Reset(sim.Time(r.cfg.AllowedHelloLoss+1) * r.cfg.HelloInterval)
+}
+
+func (r *Router) neighborLost(n netsim.NodeID) {
+	delete(r.neighbors, n)
+	r.linkBroken(n)
+}
+
+// LinkFailure implements netsim.Router (active link monitoring through
+// data-link feedback, as the paper describes).
+func (r *Router) LinkFailure(next netsim.NodeID, p *netsim.Packet) {
+	if p.Kind == netsim.KindData {
+		r.node.DropData(p, "dymo:link-failure")
+	}
+	r.linkBroken(next)
+}
+
+func (r *Router) linkBroken(neighbor netsim.NodeID) {
+	var lost []AddrBlock
+	for _, rt := range r.routes {
+		if rt.valid && rt.nextHop == neighbor {
+			rt.valid = false
+			rt.seq++
+			lost = append(lost, AddrBlock{Addr: rt.dst, Seq: rt.seq})
+		}
+	}
+	r.floodRERR(lost)
+}
+
+// floodRERR multicasts a RERR "to all nodes in range"; receivers that lose
+// routes re-flood, spreading the breakage information (paper §III-B.3).
+func (r *Router) floodRERR(lost []AddrBlock) {
+	if len(lost) == 0 {
+		return
+	}
+	msg := &RERR{Unreachable: lost, HopLimit: r.cfg.HopLimit}
+	r.sendControl(netsim.BroadcastID, r.cfg.HopLimit, rerrBytes(len(lost)), msg)
+}
+
+func (r *Router) handleRERR(msg *RERR, from netsim.NodeID) {
+	var invalidated []AddrBlock
+	for _, u := range msg.Unreachable {
+		rt := r.routes[u.Addr]
+		if rt == nil || !rt.valid || rt.nextHop != from {
+			continue
+		}
+		rt.valid = false
+		if int32(u.Seq-rt.seq) > 0 {
+			rt.seq = u.Seq
+		}
+		invalidated = append(invalidated, AddrBlock{Addr: u.Addr, Seq: rt.seq})
+	}
+	if len(invalidated) > 0 && msg.HopLimit > 1 {
+		fwd := &RERR{Unreachable: invalidated, HopLimit: msg.HopLimit - 1}
+		r.sendControl(netsim.BroadcastID, fwd.HopLimit, rerrBytes(len(invalidated)), fwd)
+	}
+}
+
+func (r *Router) purge() {
+	now := r.now()
+	for _, rt := range r.routes {
+		if rt.valid && now >= rt.expiresAt {
+			rt.valid = false
+		}
+	}
+	for k, t := range r.seen {
+		if now-t > 10*sim.Second {
+			delete(r.seen, k)
+		}
+	}
+}

@@ -1,0 +1,540 @@
+// Package olsr implements the Optimized Link State Routing protocol of
+// RFC 3626 (§III-B.1 of the paper): HELLO-based link sensing with
+// symmetric/asymmetric link states, 2-hop neighborhood tracking, greedy
+// Multi-Point Relay (MPR) selection, TC dissemination through MPR
+// forwarding, and shortest-path route computation. The olsrd LQ/ETX
+// extension described by the paper is available as an option.
+package olsr
+
+import (
+	"fmt"
+	"sort"
+
+	"cavenet/internal/netsim"
+	"cavenet/internal/sim"
+)
+
+// LinkCode describes a link's state as advertised inside a HELLO.
+type LinkCode int
+
+// Link codes (RFC 3626 §6.1.1, collapsed to the useful subset).
+const (
+	LinkSym LinkCode = iota + 1
+	LinkAsym
+	LinkLost
+	LinkMPR // symmetric link to a neighbor we selected as MPR
+)
+
+// HelloLink is one link entry inside a HELLO message.
+type HelloLink struct {
+	Neighbor netsim.NodeID
+	Code     LinkCode
+	// LQ is the sender's measured hello-arrival ratio on this link,
+	// included only when the ETX extension is enabled.
+	LQ float64
+}
+
+// Hello is the neighborhood-sensing message (RFC 3626 §6).
+type Hello struct {
+	From  netsim.NodeID
+	Links []HelloLink
+}
+
+// TC is the topology-control message (RFC 3626 §9).
+type TC struct {
+	Origin     netsim.NodeID
+	ANSN       uint16
+	Advertised []netsim.NodeID
+	Seq        uint16
+	// LQs mirrors Advertised with the originator's link quality to each
+	// advertised neighbor (ETX extension only).
+	LQs []float64
+}
+
+func helloBytes(links int) int { return 16 + 6*links }
+func tcBytes(adv int) int      { return 16 + 4*adv }
+
+// Config holds protocol parameters; zero fields take RFC defaults with the
+// paper's Table I intervals.
+type Config struct {
+	HelloInterval sim.Time // default 1 s (Table I)
+	TCInterval    sim.Time // default 2 s (Table I)
+	NeighborHold  sim.Time // default 3 × HelloInterval
+	TopologyHold  sim.Time // default 3 × TCInterval
+	DupHold       sim.Time // default 30 s
+	// ETX enables the olsrd link-quality extension: routes minimize the sum
+	// of ETX(i) = 1/(NI(i)·LQI(i)) instead of hop count.
+	ETX bool
+	// LQWindow is the sampling window (in hello periods) for packet-arrival
+	// estimation; default 10.
+	LQWindow int
+}
+
+func (c *Config) normalize() {
+	if c.HelloInterval == 0 {
+		c.HelloInterval = sim.Second
+	}
+	if c.TCInterval == 0 {
+		c.TCInterval = 2 * sim.Second
+	}
+	if c.NeighborHold == 0 {
+		c.NeighborHold = 3 * c.HelloInterval
+	}
+	if c.TopologyHold == 0 {
+		c.TopologyHold = 3 * c.TCInterval
+	}
+	if c.DupHold == 0 {
+		c.DupHold = 30 * sim.Second
+	}
+	if c.LQWindow == 0 {
+		c.LQWindow = 10
+	}
+}
+
+// linkTuple is the link-set entry of RFC 3626 §4.2.
+type linkTuple struct {
+	neighbor  netsim.NodeID
+	symUntil  sim.Time
+	asymUntil sim.Time
+	until     sim.Time
+	// hellosSeen ring buffer for ETX: 1 if the expected hello arrived.
+	lq *lqEstimator
+}
+
+type twoHopTuple struct {
+	neighbor netsim.NodeID // symmetric 1-hop neighbor
+	twoHop   netsim.NodeID
+	until    sim.Time
+}
+
+type topologyTuple struct {
+	dest   netsim.NodeID // advertised neighbor
+	last   netsim.NodeID // TC originator
+	ansn   uint16
+	until  sim.Time
+	linkLQ float64 // originator's LQ toward dest (ETX mode)
+}
+
+type dupKey struct {
+	origin netsim.NodeID
+	seq    uint16
+}
+
+type routeEntry struct {
+	next netsim.NodeID
+	hops int
+	cost float64
+}
+
+// Router is one node's OLSR instance.
+type Router struct {
+	cfg  Config
+	node *netsim.Node
+
+	links     map[netsim.NodeID]*linkTuple
+	twoHop    map[[2]netsim.NodeID]*twoHopTuple
+	selectors map[netsim.NodeID]sim.Time // nodes that chose us as MPR
+	topology  map[[2]netsim.NodeID]*topologyTuple
+	dups      map[dupKey]sim.Time
+	mprs      map[netsim.NodeID]struct{}
+	routes    map[netsim.NodeID]routeEntry
+
+	hnaLocal []NetworkAssoc
+	hnaSet   []*hnaTuple
+
+	ansn   uint16
+	msgSeq uint16
+
+	helloTicker *sim.Ticker
+	tcTicker    *sim.Ticker
+	purgeTicker *sim.Ticker
+	hnaTicker   *sim.Ticker
+
+	ctrlPackets uint64
+	ctrlBytes   uint64
+}
+
+var _ netsim.Router = (*Router)(nil)
+
+// New builds an OLSR router for node.
+func New(node *netsim.Node, cfg Config) *Router {
+	cfg.normalize()
+	r := &Router{
+		cfg:       cfg,
+		node:      node,
+		links:     make(map[netsim.NodeID]*linkTuple),
+		twoHop:    make(map[[2]netsim.NodeID]*twoHopTuple),
+		selectors: make(map[netsim.NodeID]sim.Time),
+		topology:  make(map[[2]netsim.NodeID]*topologyTuple),
+		dups:      make(map[dupKey]sim.Time),
+		mprs:      make(map[netsim.NodeID]struct{}),
+		routes:    make(map[netsim.NodeID]routeEntry),
+	}
+	jitter := func() sim.Time {
+		span := int64(cfg.HelloInterval / 5)
+		return sim.Time(node.Rand().Int63n(span) - span/2)
+	}
+	r.helloTicker = sim.NewTicker(node.Kernel(), cfg.HelloInterval, jitter, r.sendHello)
+	r.tcTicker = sim.NewTicker(node.Kernel(), cfg.TCInterval, jitter, r.sendTC)
+	r.purgeTicker = sim.NewTicker(node.Kernel(), cfg.HelloInterval/2, nil, r.purge)
+	return r
+}
+
+// Name implements netsim.Router.
+func (r *Router) Name() string { return "olsr" }
+
+// Start implements netsim.Router.
+func (r *Router) Start() {
+	r.helloTicker.StartNow()
+	r.tcTicker.Start()
+	r.purgeTicker.Start()
+}
+
+// Stop implements netsim.Router.
+func (r *Router) Stop() {
+	r.helloTicker.Stop()
+	r.tcTicker.Stop()
+	r.purgeTicker.Stop()
+	if r.hnaTicker != nil {
+		r.hnaTicker.Stop()
+	}
+}
+
+// ControlTraffic implements netsim.Router.
+func (r *Router) ControlTraffic() (uint64, uint64) { return r.ctrlPackets, r.ctrlBytes }
+
+// MPRSet returns the current multipoint relays (for tests and analysis).
+func (r *Router) MPRSet() []netsim.NodeID {
+	out := make([]netsim.NodeID, 0, len(r.mprs))
+	for id := range r.mprs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Route reports the computed next hop toward dst.
+func (r *Router) Route(dst netsim.NodeID) (next netsim.NodeID, hops int, ok bool) {
+	e, found := r.routes[dst]
+	if !found {
+		return 0, 0, false
+	}
+	return e.next, e.hops, true
+}
+
+func (r *Router) now() sim.Time { return r.node.Kernel().Now() }
+
+func (r *Router) sendControl(ttl, size int, msg any) {
+	p := &netsim.Packet{
+		Kind:      netsim.KindControl,
+		Src:       r.node.ID(),
+		Dst:       netsim.BroadcastID,
+		Port:      netsim.PortRouting,
+		TTL:       ttl,
+		Size:      size + netsim.IPHeaderBytes,
+		Payload:   msg,
+		CreatedAt: r.now(),
+	}
+	r.ctrlPackets++
+	r.ctrlBytes += uint64(p.Size)
+	r.node.SendFrame(netsim.BroadcastID, p)
+}
+
+// symNeighbors lists neighbors with currently symmetric links.
+func (r *Router) symNeighbors() []netsim.NodeID {
+	now := r.now()
+	var out []netsim.NodeID
+	for id, lt := range r.links {
+		if lt.symUntil > now {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (r *Router) sendHello() {
+	now := r.now()
+	var links []HelloLink
+	for id, lt := range r.links {
+		if lt.until <= now {
+			continue
+		}
+		var code LinkCode
+		switch {
+		case lt.symUntil > now:
+			if _, isMPR := r.mprs[id]; isMPR {
+				code = LinkMPR
+			} else {
+				code = LinkSym
+			}
+		case lt.asymUntil > now:
+			code = LinkAsym
+		default:
+			code = LinkLost
+		}
+		hl := HelloLink{Neighbor: id, Code: code}
+		if r.cfg.ETX && lt.lq != nil {
+			hl.LQ = lt.lq.ratio()
+		}
+		links = append(links, hl)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i].Neighbor < links[j].Neighbor })
+	r.sendControl(1, helloBytes(len(links)), &Hello{From: r.node.ID(), Links: links})
+	// Advance every neighbor's expected-hello window.
+	if r.cfg.ETX {
+		for _, lt := range r.links {
+			if lt.lq != nil {
+				lt.lq.tick()
+			}
+		}
+	}
+}
+
+func (r *Router) sendTC() {
+	now := r.now()
+	var adv []netsim.NodeID
+	for id, until := range r.selectors {
+		if until > now {
+			adv = append(adv, id)
+		}
+	}
+	if len(adv) == 0 {
+		return // RFC 3626 §9.3: TC only with a non-empty selector set
+	}
+	sort.Slice(adv, func(i, j int) bool { return adv[i] < adv[j] })
+	r.msgSeq++
+	msg := &TC{Origin: r.node.ID(), ANSN: r.ansn, Advertised: adv, Seq: r.msgSeq}
+	if r.cfg.ETX {
+		msg.LQs = make([]float64, len(adv))
+		for i, id := range adv {
+			if lt := r.links[id]; lt != nil && lt.lq != nil {
+				msg.LQs[i] = lt.lq.ratio()
+			}
+		}
+	}
+	r.dups[dupKey{origin: msg.Origin, seq: msg.Seq}] = now + r.cfg.DupHold
+	r.sendControl(netsim.DefaultTTL, tcBytes(len(adv)), msg)
+}
+
+// Receive implements netsim.Router.
+func (r *Router) Receive(p *netsim.Packet, from netsim.NodeID) {
+	if p.Kind == netsim.KindControl {
+		switch msg := p.Payload.(type) {
+		case *Hello:
+			r.handleHello(msg, from)
+		case *TC:
+			r.handleTC(p, msg, from)
+		case *HNA:
+			r.handleHNA(p, msg, from)
+		default:
+			panic(fmt.Sprintf("olsr: unexpected control payload %T", p.Payload))
+		}
+		return
+	}
+	r.forwardData(p)
+}
+
+// Origin implements netsim.Router.
+func (r *Router) Origin(p *netsim.Packet) {
+	next, ok := r.nextHopFor(p.Dst)
+	if !ok {
+		// Proactive protocol: no buffering, packets without a current route
+		// are lost — a behaviour the paper's Fig. 9/11 comparison exposes.
+		r.node.DropData(p, "olsr:no-route")
+		return
+	}
+	r.node.SendFrame(next, p)
+}
+
+// nextHopFor resolves a destination through the routing table, falling
+// back to the HNA association set for external destinations.
+func (r *Router) nextHopFor(dst netsim.NodeID) (netsim.NodeID, bool) {
+	if e, ok := r.routes[dst]; ok {
+		return e.next, true
+	}
+	if gw, ok := r.GatewayFor(dst); ok {
+		if e, ok := r.routes[gw]; ok {
+			return e.next, true
+		}
+	}
+	return 0, false
+}
+
+func (r *Router) forwardData(p *netsim.Packet) {
+	if r.localAssoc(p.Dst) {
+		// We are the gateway for this external destination: the packet has
+		// reached the MANET-side endpoint.
+		r.node.DeliverLocal(p)
+		return
+	}
+	p.TTL--
+	if p.TTL <= 0 {
+		r.node.DropData(p, "olsr:ttl")
+		return
+	}
+	next, ok := r.nextHopFor(p.Dst)
+	if !ok {
+		r.node.DropData(p, "olsr:no-forward-route")
+		return
+	}
+	r.node.NoteForward(p)
+	r.node.SendFrame(next, p)
+}
+
+func (r *Router) handleHello(msg *Hello, from netsim.NodeID) {
+	now := r.now()
+	lt := r.links[from]
+	if lt == nil {
+		lt = &linkTuple{neighbor: from}
+		if r.cfg.ETX {
+			lt.lq = newLQEstimator(r.cfg.LQWindow)
+		}
+		r.links[from] = lt
+	}
+	lt.asymUntil = now + r.cfg.NeighborHold
+	lt.until = now + r.cfg.NeighborHold
+	if lt.lq != nil {
+		lt.lq.heard()
+	}
+
+	me := r.node.ID()
+	meListed := false
+	selected := false
+	for _, hl := range msg.Links {
+		if hl.Neighbor != me {
+			continue
+		}
+		meListed = true
+		if hl.Code == LinkMPR {
+			selected = true
+		}
+		if hl.Code != LinkLost {
+			// The neighbor hears us: the link is symmetric.
+			lt.symUntil = now + r.cfg.NeighborHold
+		}
+	}
+	_ = meListed
+
+	if selected {
+		r.selectors[from] = now + r.cfg.NeighborHold
+		r.ansn++
+	}
+
+	// 2-hop set: symmetric neighbors of a symmetric neighbor.
+	if lt.symUntil > now {
+		for _, hl := range msg.Links {
+			if hl.Neighbor == me {
+				continue
+			}
+			if hl.Code == LinkSym || hl.Code == LinkMPR {
+				key := [2]netsim.NodeID{from, hl.Neighbor}
+				tuple := r.twoHop[key]
+				if tuple == nil {
+					tuple = &twoHopTuple{neighbor: from, twoHop: hl.Neighbor}
+					r.twoHop[key] = tuple
+				}
+				tuple.until = now + r.cfg.NeighborHold
+			}
+		}
+	}
+	r.recompute()
+}
+
+func (r *Router) handleTC(p *netsim.Packet, msg *TC, from netsim.NodeID) {
+	now := r.now()
+	me := r.node.ID()
+	if msg.Origin == me {
+		return
+	}
+	// Only process/forward messages received over a symmetric link
+	// (RFC 3626 §3.4 default forwarding algorithm).
+	lt := r.links[from]
+	if lt == nil || lt.symUntil <= now {
+		return
+	}
+	key := dupKey{origin: msg.Origin, seq: msg.Seq}
+	if _, dup := r.dups[key]; !dup {
+		r.dups[key] = now + r.cfg.DupHold
+		r.processTC(msg, now)
+		// Forward iff the sender selected us as MPR.
+		if until, sel := r.selectors[from]; sel && until > now && p.TTL > 1 {
+			fwd := *msg
+			r.ctrlPackets++
+			r.ctrlBytes += uint64(tcBytes(len(msg.Advertised)) + netsim.IPHeaderBytes)
+			fp := p.Clone()
+			fp.TTL--
+			fp.Payload = &fwd
+			r.node.SendFrame(netsim.BroadcastID, fp)
+		}
+	}
+	r.recompute()
+}
+
+func (r *Router) processTC(msg *TC, now sim.Time) {
+	// RFC 3626 §9.5: discard older ANSN state, then install tuples.
+	for key, t := range r.topology {
+		if t.last == msg.Origin && int16(msg.ANSN-t.ansn) > 0 {
+			delete(r.topology, key)
+		}
+	}
+	for i, dest := range msg.Advertised {
+		key := [2]netsim.NodeID{msg.Origin, dest}
+		t := r.topology[key]
+		if t == nil {
+			t = &topologyTuple{dest: dest, last: msg.Origin}
+			r.topology[key] = t
+		}
+		t.ansn = msg.ANSN
+		t.until = now + r.cfg.TopologyHold
+		if msg.LQs != nil {
+			t.linkLQ = msg.LQs[i]
+		}
+	}
+}
+
+// LinkFailure implements netsim.Router: link-layer feedback expires the
+// link immediately (RFC 3626 §13 link-layer notification option).
+func (r *Router) LinkFailure(next netsim.NodeID, p *netsim.Packet) {
+	if p.Kind == netsim.KindData {
+		r.node.DropData(p, "olsr:link-failure")
+	}
+	if lt := r.links[next]; lt != nil {
+		lt.symUntil = 0
+		lt.asymUntil = 0
+		lt.until = 0
+	}
+	r.recompute()
+}
+
+func (r *Router) purge() {
+	now := r.now()
+	for id, lt := range r.links {
+		if lt.until <= now {
+			delete(r.links, id)
+		}
+	}
+	for key, t := range r.twoHop {
+		if t.until <= now {
+			delete(r.twoHop, key)
+		}
+	}
+	for id, until := range r.selectors {
+		if until <= now {
+			delete(r.selectors, id)
+			r.ansn++
+		}
+	}
+	for key, t := range r.topology {
+		if t.until <= now {
+			delete(r.topology, key)
+		}
+	}
+	for key, until := range r.dups {
+		if until <= now {
+			delete(r.dups, key)
+		}
+	}
+	r.purgeHNA(now)
+	r.recompute()
+}

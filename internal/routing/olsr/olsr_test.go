@@ -1,0 +1,316 @@
+package olsr
+
+import (
+	"testing"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/netsim"
+	"cavenet/internal/sim"
+	"cavenet/internal/traffic"
+)
+
+func chainWorld(t *testing.T, n int, spacing float64, cfg Config) *netsim.World {
+	t.Helper()
+	positions := make([]geometry.Vec2, n)
+	for i := range positions {
+		positions[i] = geometry.Vec2{X: float64(i) * spacing}
+	}
+	w, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes:  n,
+		Seed:   1,
+		Static: positions,
+	}, func(node *netsim.Node) netsim.Router { return New(node, cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func sendAt(w *netsim.World, at sim.Time, src, dst, size int) {
+	w.Kernel.Schedule(at, func() {
+		n := w.Node(src)
+		n.SendData(n.NewPacket(netsim.NodeID(dst), netsim.PortCBR, size))
+	})
+}
+
+func TestNeighborSensingSymmetric(t *testing.T) {
+	w := chainWorld(t, 2, 100, Config{})
+	w.Run(5 * sim.Second)
+	r := w.Node(0).Router().(*Router)
+	sym := r.symNeighbors()
+	if len(sym) != 1 || sym[0] != 1 {
+		t.Fatalf("symmetric neighbors = %v, want [1]", sym)
+	}
+}
+
+func TestRoutesToTwoHop(t *testing.T) {
+	w := chainWorld(t, 3, 200, Config{})
+	w.Run(6 * sim.Second)
+	r := w.Node(0).Router().(*Router)
+	next, hops, ok := r.Route(2)
+	if !ok || next != 1 || hops != 2 {
+		t.Fatalf("route to 2-hop: next=%d hops=%d ok=%v", next, hops, ok)
+	}
+}
+
+func TestRoutesViaTopology(t *testing.T) {
+	// 5-node chain: reaching node 4 from node 0 needs TC dissemination.
+	w := chainWorld(t, 5, 200, Config{})
+	w.Run(15 * sim.Second)
+	r := w.Node(0).Router().(*Router)
+	next, hops, ok := r.Route(4)
+	if !ok {
+		t.Fatal("no route to far node after convergence")
+	}
+	if next != 1 || hops != 4 {
+		t.Fatalf("route = next %d hops %d, want 1/4", next, hops)
+	}
+}
+
+func TestDataDeliveryAfterConvergence(t *testing.T) {
+	w := chainWorld(t, 4, 200, Config{})
+	sink := &traffic.Sink{}
+	w.Node(3).AttachPort(netsim.PortCBR, sink)
+	sendAt(w, 10*sim.Second, 0, 3, 512)
+	w.Run(12 * sim.Second)
+	if sink.Received != 1 {
+		t.Fatalf("delivered %d, want 1", sink.Received)
+	}
+}
+
+func TestNoRouteBeforeConvergenceDrops(t *testing.T) {
+	w := chainWorld(t, 4, 200, Config{})
+	var drops int
+	w.SetHooks(netsim.Hooks{DataDropped: func(n *netsim.Node, p *netsim.Packet, reason string) {
+		if reason == "olsr:no-route" {
+			drops++
+		}
+	}})
+	// Send before any HELLO has been exchanged: proactive protocol must
+	// drop (no buffering) — the behaviour visible in the paper's Fig. 9.
+	sendAt(w, sim.Millisecond, 0, 3, 512)
+	w.Run(2 * sim.Second)
+	if drops != 1 {
+		t.Fatalf("drops = %d, want 1", drops)
+	}
+}
+
+func TestMPRSelectionChainMiddle(t *testing.T) {
+	// In a 3-node chain the middle node is the only path to the far node,
+	// so both ends must select it as MPR.
+	w := chainWorld(t, 3, 200, Config{})
+	w.Run(8 * sim.Second)
+	r0 := w.Node(0).Router().(*Router)
+	mprs := r0.MPRSet()
+	if len(mprs) != 1 || mprs[0] != 1 {
+		t.Fatalf("node 0 MPRs = %v, want [1]", mprs)
+	}
+	// The middle node should know it was selected.
+	r1 := w.Node(1).Router().(*Router)
+	if len(r1.selectors) == 0 {
+		t.Fatal("middle node has empty MPR-selector set")
+	}
+}
+
+func TestMPRNotNeededInClique(t *testing.T) {
+	// Three mutually-connected nodes: no strict 2-hop neighbors, so the
+	// MPR set must be empty.
+	positions := []geometry.Vec2{{X: 0}, {X: 100}, {X: 50, Y: 50}}
+	w, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes: 3, Seed: 1, Static: positions,
+	}, func(node *netsim.Node) netsim.Router { return New(node, Config{}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(8 * sim.Second)
+	for i := 0; i < 3; i++ {
+		r := w.Node(i).Router().(*Router)
+		if mprs := r.MPRSet(); len(mprs) != 0 {
+			t.Fatalf("node %d MPRs = %v in a clique", i, mprs)
+		}
+	}
+}
+
+func TestMPRCoverageProperty(t *testing.T) {
+	// Star-with-fringe: center node 0; ring of neighbors; fringe nodes
+	// reachable through subsets of them. After convergence, every strict
+	// 2-hop neighbor of node 0 must be covered by at least one MPR.
+	positions := []geometry.Vec2{
+		{X: 0, Y: 0},     // 0 center
+		{X: 200, Y: 0},   // 1
+		{X: 0, Y: 200},   // 2
+		{X: 400, Y: 0},   // 3: via 1 only
+		{X: 0, Y: 400},   // 4: via 2 only
+		{X: 200, Y: 200}, // 5: via 1 and 2
+	}
+	w, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes: 6, Seed: 3, Static: positions,
+	}, func(node *netsim.Node) netsim.Router { return New(node, Config{}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(10 * sim.Second)
+	r := w.Node(0).Router().(*Router)
+	mprs := make(map[netsim.NodeID]bool)
+	for _, m := range r.MPRSet() {
+		mprs[m] = true
+	}
+	now := w.Kernel.Now()
+	sym := make(map[netsim.NodeID]bool)
+	for _, s := range r.symNeighbors() {
+		sym[s] = true
+	}
+	for _, th := range r.twoHop {
+		if th.until <= now || sym[th.twoHop] || th.twoHop == 0 {
+			continue
+		}
+		covered := false
+		for _, other := range r.twoHop {
+			if other.twoHop == th.twoHop && mprs[other.neighbor] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("2-hop node %d not covered by MPR set %v", th.twoHop, r.MPRSet())
+		}
+	}
+	if !mprs[1] || !mprs[2] {
+		t.Fatalf("sole providers must be MPRs; got %v", r.MPRSet())
+	}
+}
+
+func TestTCOnlyWithSelectors(t *testing.T) {
+	// Two isolated nodes: no 2-hop topology → nobody selects MPRs → no TC
+	// traffic at all.
+	w := chainWorld(t, 2, 100, Config{})
+	w.Run(10 * sim.Second)
+	for i := 0; i < 2; i++ {
+		r := w.Node(i).Router().(*Router)
+		if len(r.topology) != 0 {
+			t.Fatalf("node %d learned topology %v without any TC generator", i, r.topology)
+		}
+	}
+}
+
+func TestLinkFailureFeedbackExpiresLink(t *testing.T) {
+	w := chainWorld(t, 2, 100, Config{})
+	w.Run(5 * sim.Second)
+	r := w.Node(0).Router().(*Router)
+	if len(r.symNeighbors()) != 1 {
+		t.Fatal("precondition: link up")
+	}
+	r.LinkFailure(1, &netsim.Packet{Kind: netsim.KindData})
+	if len(r.symNeighbors()) != 0 {
+		t.Fatal("link-layer failure should expire the link immediately")
+	}
+}
+
+func TestExpiryPurgesDeadNeighbor(t *testing.T) {
+	cfg := Config{}
+	w := chainWorld(t, 2, 100, cfg)
+	w.Run(5 * sim.Second)
+	r := w.Node(0).Router().(*Router)
+	if len(r.symNeighbors()) != 1 {
+		t.Fatal("precondition failed")
+	}
+	// Stop node 1's router so its HELLOs cease, then advance well past the
+	// neighbor hold time.
+	w.Node(1).Router().Stop()
+	w.Kernel.Schedule(w.Kernel.Now()+10*sim.Second, func() {})
+	w.Kernel.Run()
+	r.purge()
+	if len(r.symNeighbors()) != 0 {
+		t.Fatal("dead neighbor not purged")
+	}
+}
+
+func TestETXPrefersReliableRoute(t *testing.T) {
+	// Unit-level: with ETX, a 2-edge topology path of quality 1.0 must beat
+	// a 1-hop-plus-edge path with terrible quality.
+	cost := etxCost(1, 1)
+	if cost != 1 {
+		t.Fatalf("perfect link ETX = %v, want 1", cost)
+	}
+	bad := etxCost(0.2, 0.2)
+	if bad < 24.9 || bad > 25.1 {
+		t.Fatalf("lossy link ETX = %v, want ≈25", bad)
+	}
+	if etxCost(0, 0) <= 0 {
+		t.Fatal("unmeasured link cost must stay positive (clamped)")
+	}
+}
+
+func TestLQEstimatorWindow(t *testing.T) {
+	e := newLQEstimator(4)
+	if e.ratio() != 1 {
+		t.Fatal("optimistic prior should be 1")
+	}
+	// Pattern: heard, missed, heard, missed → ratio 0.5.
+	e.heard()
+	e.tick()
+	e.tick()
+	e.heard()
+	e.tick()
+	e.tick()
+	if got := e.ratio(); got != 0.5 {
+		t.Fatalf("ratio = %v, want 0.5", got)
+	}
+	// Window slides: four straight hits push the misses out.
+	for i := 0; i < 4; i++ {
+		e.heard()
+		e.tick()
+	}
+	if got := e.ratio(); got != 1 {
+		t.Fatalf("ratio after window slide = %v, want 1", got)
+	}
+}
+
+func TestETXModeEndToEnd(t *testing.T) {
+	w := chainWorld(t, 3, 200, Config{ETX: true})
+	sink := &traffic.Sink{}
+	w.Node(2).AttachPort(netsim.PortCBR, sink)
+	sendAt(w, 10*sim.Second, 0, 2, 512)
+	w.Run(12 * sim.Second)
+	if sink.Received != 1 {
+		t.Fatalf("ETX mode delivery failed: %d", sink.Received)
+	}
+}
+
+func TestControlTrafficGrows(t *testing.T) {
+	w := chainWorld(t, 3, 200, Config{})
+	w.Run(10 * sim.Second)
+	pkts, bytes := w.Node(1).Router().ControlTraffic()
+	if pkts < 5 || bytes == 0 {
+		t.Fatalf("control traffic = %d pkts %d bytes", pkts, bytes)
+	}
+}
+
+func TestRouterName(t *testing.T) {
+	w := chainWorld(t, 2, 100, Config{})
+	if w.Node(0).Router().Name() != "olsr" {
+		t.Fatal("Name() should be olsr")
+	}
+}
+
+func TestDataForwardTTLExpiry(t *testing.T) {
+	w := chainWorld(t, 3, 200, Config{})
+	w.Run(8 * sim.Second)
+	var ttlDrops int
+	w.SetHooks(netsim.Hooks{DataDropped: func(n *netsim.Node, p *netsim.Packet, reason string) {
+		if reason == "olsr:ttl" {
+			ttlDrops++
+		}
+	}})
+	// Inject a packet with TTL 1 at node 0 toward node 2; the relay must
+	// kill it.
+	w.Kernel.Schedule(w.Kernel.Now(), func() {
+		p := w.Node(0).NewPacket(2, netsim.PortCBR, 100)
+		p.TTL = 1
+		w.Node(0).SendData(p)
+	})
+	w.Kernel.RunUntil(w.Kernel.Now() + 2*sim.Second)
+	if ttlDrops != 1 {
+		t.Fatalf("ttl drops = %d, want 1", ttlDrops)
+	}
+}

@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	k := NewKernel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(k.Now()+Time(i%1000)*Microsecond, func() {})
+		if i%1024 == 1023 {
+			k.Run()
+		}
+	}
+	k.Run()
+}
+
+func BenchmarkTimerResetStorm(b *testing.B) {
+	k := NewKernel()
+	t := NewTimer(k, func() {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset(Second)
+	}
+	t.Stop()
+	k.Run()
+}
+
+func BenchmarkEventChurnWithCancels(b *testing.B) {
+	k := NewKernel()
+	events := make([]*Event, 0, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events = append(events, k.Schedule(k.Now()+Time(i%977)*Microsecond, func() {}))
+		if len(events) == 128 {
+			for j := 0; j < 64; j++ {
+				k.Cancel(events[j])
+			}
+			k.Run()
+			events = events[:0]
+		}
+	}
+	k.Run()
+}

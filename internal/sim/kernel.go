@@ -1,0 +1,191 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the CPS substrate of CAVENET: it plays the role ns-2's
+// scheduler plays in the paper. Events are executed in strictly
+// non-decreasing timestamp order; ties are broken by insertion order so a
+// run is fully reproducible. The kernel is single-threaded by design — all
+// model code (PHY, MAC, routing, traffic) runs inside event callbacks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Time is a simulation timestamp in nanoseconds since the start of the run.
+//
+// Nanosecond resolution comfortably covers 802.11 slot times (20 µs) while
+// an int64 still spans ~292 years of simulated time.
+type Time int64
+
+// Common durations expressed as Time deltas.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts a floating-point second count to a Time.
+func Seconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
+
+// Micros converts a floating-point microsecond count to a Time.
+func Micros(us float64) Time { return Time(math.Round(us * float64(Microsecond))) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string {
+	return strconv.FormatFloat(t.Seconds(), 'f', 6, 64) + "s"
+}
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created by Kernel.Schedule or Kernel.After and may be cancelled.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // position in the heap, -1 once popped or cancelled
+}
+
+// At reports the time the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event scheduler. Create one with NewKernel.
+type Kernel struct {
+	now       Time
+	seq       uint64
+	queue     eventQueue
+	processed uint64
+	stopped   bool
+}
+
+// NewKernel returns an empty kernel positioned at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now reports the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of events waiting in the queue.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Processed reports the total number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Schedule queues fn to run at absolute time at. Scheduling in the past
+// panics: it is always a model bug and silently clamping would hide it.
+func (k *Kernel) Schedule(at Time, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	ev := &Event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return ev
+}
+
+// After queues fn to run d after the current time. Negative d panics.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	return k.Schedule(k.now+d, fn)
+}
+
+// Cancel removes a pending event from the queue. It reports whether the
+// event was still pending; cancelling an already-fired or already-cancelled
+// event is a harmless no-op.
+func (k *Kernel) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&k.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+	return true
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.queue).(*Event)
+	k.now = ev.at
+	k.processed++
+	fn := ev.fn
+	ev.fn = nil
+	fn()
+	return true
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight event
+// completes. Pending events remain queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= end, then sets the clock to
+// end. Events scheduled after end remain queued.
+func (k *Kernel) RunUntil(end Time) {
+	k.stopped = false
+	for !k.stopped {
+		if len(k.queue) == 0 || k.queue[0].at > end {
+			break
+		}
+		k.Step()
+	}
+	if !k.stopped && k.now < end {
+		k.now = end
+	}
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := Seconds(1.5); got != 1500*Millisecond {
+		t.Fatalf("Seconds(1.5) = %v, want %v", got, 1500*Millisecond)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("(2s).Seconds() = %v, want 2", got)
+	}
+	if got := Micros(50); got != 50*Microsecond {
+		t.Fatalf("Micros(50) = %v, want %v", got, 50*Microsecond)
+	}
+	if got := (1500 * Millisecond).String(); got != "1.500000s" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestKernelOrdersByTime(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Schedule(3*Second, func() { order = append(order, 3) })
+	k.Schedule(1*Second, func() { order = append(order, 1) })
+	k.Schedule(2*Second, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order = %v, want [1 2 3]", order)
+	}
+	if k.Now() != 3*Second {
+		t.Fatalf("Now() = %v, want 3s", k.Now())
+	}
+}
+
+func TestKernelFIFOTieBreak(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(Second, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	ev := k.Schedule(Second, func() { fired = true })
+	if !k.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if k.Cancel(ev) {
+		t.Fatal("second Cancel should be a no-op returning false")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestKernelCancelNil(t *testing.T) {
+	k := NewKernel()
+	if k.Cancel(nil) {
+		t.Fatal("Cancel(nil) should return false")
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []int
+	k.Schedule(1*Second, func() { fired = append(fired, 1) })
+	k.Schedule(5*Second, func() { fired = append(fired, 5) })
+	k.RunUntil(2 * Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if k.Now() != 2*Second {
+		t.Fatalf("Now() = %v, want 2s (clock advances to horizon)", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", k.Pending())
+	}
+	k.RunUntil(10 * Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want both", fired)
+	}
+}
+
+func TestKernelSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(Second, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	k.Schedule(0, func() {})
+}
+
+func TestKernelNilCallbackPanics(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback must panic")
+		}
+	}()
+	k.Schedule(Second, nil)
+}
+
+func TestKernelReentrantScheduling(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			k.After(Second, chain)
+		}
+	}
+	k.Schedule(0, chain)
+	k.Run()
+	if count != 5 {
+		t.Fatalf("chained executions = %d, want 5", count)
+	}
+	if k.Now() != 4*Second {
+		t.Fatalf("Now() = %v, want 4s", k.Now())
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel()
+	ran := 0
+	k.Schedule(1*Second, func() { ran++; k.Stop() })
+	k.Schedule(2*Second, func() { ran++ })
+	k.Run()
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (Stop halts the loop)", ran)
+	}
+	k.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d after second Run, want 2", ran)
+	}
+}
+
+func TestKernelProcessedCount(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 7; i++ {
+		k.Schedule(Time(i)*Second, func() {})
+	}
+	k.Run()
+	if k.Processed() != 7 {
+		t.Fatalf("Processed() = %d, want 7", k.Processed())
+	}
+}
+
+func TestEventScheduledAccessors(t *testing.T) {
+	k := NewKernel()
+	ev := k.Schedule(3*Second, func() {})
+	if !ev.Scheduled() {
+		t.Fatal("event should report Scheduled before firing")
+	}
+	if ev.At() != 3*Second {
+		t.Fatalf("At() = %v, want 3s", ev.At())
+	}
+	k.Run()
+	if ev.Scheduled() {
+		t.Fatal("event should not report Scheduled after firing")
+	}
+}
+
+func TestKernelManyEventsHeapStress(t *testing.T) {
+	k := NewKernel()
+	// Interleave schedules and cancels to exercise heap indices.
+	var events []*Event
+	for i := 0; i < 1000; i++ {
+		at := Time((i*7919)%997) * Millisecond
+		events = append(events, k.Schedule(at, func() {}))
+	}
+	for i := 0; i < len(events); i += 3 {
+		k.Cancel(events[i])
+	}
+	var last Time
+	count := 0
+	for k.Pending() > 0 {
+		next := k.queue[0].at
+		if next < last {
+			t.Fatalf("heap order violated: %v after %v", next, last)
+		}
+		last = next
+		k.Step()
+		count++
+	}
+	want := 1000 - (1000+2)/3
+	if count != want {
+		t.Fatalf("executed %d events, want %d", count, want)
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+// Timer is a resettable one-shot timer built on a Kernel. It is the
+// building block for protocol timeouts (route lifetimes, HELLO validity,
+// retransmission timers) where the deadline moves every time fresh state
+// arrives.
+//
+// The zero value is not useful; construct with NewTimer.
+type Timer struct {
+	kernel *Kernel
+	fn     func()
+	ev     *Event
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it expires.
+func NewTimer(k *Kernel, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil callback")
+	}
+	return &Timer{kernel: k, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, replacing any pending
+// deadline.
+func (t *Timer) Reset(d Time) {
+	t.Stop()
+	t.ev = t.kernel.After(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// ResetAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	t.ev = t.kernel.Schedule(at, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Stop cancels the pending deadline, if any. It reports whether a deadline
+// was pending.
+func (t *Timer) Stop() bool {
+	if t.ev == nil {
+		return false
+	}
+	ok := t.kernel.Cancel(t.ev)
+	t.ev = nil
+	return ok
+}
+
+// Active reports whether the timer has a pending deadline.
+func (t *Timer) Active() bool { return t.ev != nil && t.ev.Scheduled() }
+
+// Deadline reports the pending fire time; valid only when Active.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.At()
+}
+
+// Ticker repeatedly invokes a callback at a fixed period, with optional
+// per-tick jitter supplied by the caller. Protocol HELLO/TC emission uses
+// jittered tickers to avoid the synchronized-broadcast artifacts real
+// implementations also avoid.
+type Ticker struct {
+	kernel  *Kernel
+	period  Time
+	jitter  func() Time // extra delay added to each tick; may be nil
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker returns a stopped ticker. jitter, when non-nil, is sampled once
+// per tick and added to the period (it may return negative values as long as
+// period+jitter stays positive).
+func NewTicker(k *Kernel, period Time, jitter func() Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker with non-positive period")
+	}
+	if fn == nil {
+		panic("sim: NewTicker with nil callback")
+	}
+	return &Ticker{kernel: k, period: period, jitter: jitter, fn: fn}
+}
+
+// Start schedules the first tick one (jittered) period from now.
+func (t *Ticker) Start() {
+	t.Stop()
+	t.stopped = false
+	t.schedule()
+}
+
+// StartNow fires the first tick immediately (as a scheduled event at the
+// current time) and continues periodically.
+func (t *Ticker) StartNow() {
+	t.Stop()
+	t.stopped = false
+	t.ev = t.kernel.After(0, t.tick)
+}
+
+func (t *Ticker) schedule() {
+	d := t.period
+	if t.jitter != nil {
+		d += t.jitter()
+	}
+	if d <= 0 {
+		d = 1
+	}
+	t.ev = t.kernel.After(d, t.tick)
+}
+
+func (t *Ticker) tick() {
+	t.ev = nil
+	t.fn()
+	if !t.stopped {
+		t.schedule()
+	}
+}
+
+// Stop cancels future ticks; safe to call from inside the tick callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.kernel.Cancel(t.ev)
+		t.ev = nil
+	}
+}

@@ -1,0 +1,186 @@
+package sim
+
+import "testing"
+
+func TestTimerFires(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	tm := NewTimer(k, func() { fired++ })
+	tm.Reset(Second)
+	if !tm.Active() {
+		t.Fatal("timer should be active after Reset")
+	}
+	if tm.Deadline() != Second {
+		t.Fatalf("Deadline() = %v, want 1s", tm.Deadline())
+	}
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if tm.Active() {
+		t.Fatal("timer should be inactive after firing")
+	}
+}
+
+func TestTimerResetReplacesDeadline(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	tm := NewTimer(k, func() { at = k.Now() })
+	tm.Reset(Second)
+	tm.Reset(3 * Second)
+	k.Run()
+	if at != 3*Second {
+		t.Fatalf("fired at %v, want 3s (second Reset wins)", at)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := NewTimer(k, func() { fired = true })
+	tm.Reset(Second)
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for an armed timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerResetAt(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	tm := NewTimer(k, func() { at = k.Now() })
+	tm.ResetAt(5 * Second)
+	k.Run()
+	if at != 5*Second {
+		t.Fatalf("fired at %v, want 5s", at)
+	}
+}
+
+func TestTimerRearmInsideCallback(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var tm *Timer
+	tm = NewTimer(k, func() {
+		count++
+		if count < 3 {
+			tm.Reset(Second)
+		}
+	})
+	tm.Reset(Second)
+	k.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestNewTimerNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTimer(nil fn) must panic")
+		}
+	}()
+	NewTimer(NewKernel(), nil)
+}
+
+func TestTickerPeriodic(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	tk := NewTicker(k, Second, nil, func() { times = append(times, k.Now()) })
+	tk.Start()
+	k.RunUntil(3500 * Millisecond)
+	tk.Stop()
+	if len(times) != 3 {
+		t.Fatalf("ticks = %v, want 3 ticks", times)
+	}
+	for i, at := range times {
+		want := Time(i+1) * Second
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStartNow(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	tk := NewTicker(k, Second, nil, func() { times = append(times, k.Now()) })
+	tk.StartNow()
+	k.RunUntil(2500 * Millisecond)
+	tk.Stop()
+	if len(times) != 3 || times[0] != 0 {
+		t.Fatalf("ticks = %v, want first tick at t=0", times)
+	}
+}
+
+func TestTickerJitter(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	jitter := func() Time { return 100 * Millisecond }
+	tk := NewTicker(k, Second, jitter, func() { times = append(times, k.Now()) })
+	tk.Start()
+	k.RunUntil(2500 * Millisecond)
+	tk.Stop()
+	if len(times) != 2 {
+		t.Fatalf("ticks = %v, want 2", times)
+	}
+	if times[0] != 1100*Millisecond || times[1] != 2200*Millisecond {
+		t.Fatalf("jittered ticks = %v, want [1.1s 2.2s]", times)
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(k, Second, nil, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	tk.Start()
+	k.RunUntil(10 * Second)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (stopped from callback)", count)
+	}
+}
+
+func TestTickerNegativeJitterClamped(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	jitter := func() Time { return -2 * Second } // would make delay <= 0
+	tk := NewTicker(k, Second, jitter, func() { count++ })
+	tk.Start()
+	k.RunUntil(10 * Millisecond)
+	tk.Stop()
+	if count == 0 {
+		t.Fatal("ticker with over-negative jitter should still fire (clamped to 1ns)")
+	}
+}
+
+func TestNewTickerValidation(t *testing.T) {
+	k := NewKernel()
+	for _, tc := range []struct {
+		name   string
+		period Time
+		fn     func()
+	}{
+		{"zero period", 0, func() {}},
+		{"nil fn", Second, nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			NewTicker(k, tc.period, nil, tc.fn)
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package stats
+
+// Ensemble runs trials independent replications of an experiment and
+// averages a scalar result — the Monte-Carlo machinery behind each point of
+// the paper's fundamental diagram (Fig. 4: "each point ... is the ensemble
+// average over 20 trials").
+//
+// run receives the trial index; determinism is the caller's job (fork a
+// seeded RNG per trial).
+func Ensemble(trials int, run func(trial int) float64) (mean, stddev float64) {
+	var w Welford
+	for t := 0; t < trials; t++ {
+		w.Add(run(t))
+	}
+	return w.Mean(), w.StdDev()
+}
+
+// EnsembleSeries averages a whole series across trials. All trials must
+// return series of the same length; shorter series are an error expressed
+// by panic since it is a harness bug, not a runtime condition.
+func EnsembleSeries(trials int, run func(trial int) []float64) []float64 {
+	var acc []float64
+	for t := 0; t < trials; t++ {
+		s := run(t)
+		if acc == nil {
+			acc = make([]float64, len(s))
+		}
+		if len(s) != len(acc) {
+			panic("stats: EnsembleSeries length mismatch across trials")
+		}
+		for i, x := range s {
+			acc[i] += x
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(trials)
+	}
+	return acc
+}
+
+// Histogram counts samples into equal-width bins spanning [lo, hi]. Samples
+// outside the range are clamped into the edge bins (the distribution tails
+// still show up rather than silently vanishing).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	N      int
+}
+
+// NewHistogram builds a histogram with the given number of bins; bins must
+// be positive and hi > lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(bins))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bins {
+		idx = bins - 1
+	}
+	h.Counts[idx]++
+	h.N++
+}
+
+// Fraction reports the share of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}

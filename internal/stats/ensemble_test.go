@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnsembleMeanStd(t *testing.T) {
+	mean, sd := Ensemble(4, func(trial int) float64 { return float64(trial) })
+	if mean != 1.5 {
+		t.Fatalf("mean = %v", mean)
+	}
+	want := math.Sqrt(5.0 / 3)
+	if math.Abs(sd-want) > 1e-12 {
+		t.Fatalf("sd = %v, want %v", sd, want)
+	}
+}
+
+func TestEnsembleSeriesAverages(t *testing.T) {
+	got := EnsembleSeries(3, func(trial int) []float64 {
+		return []float64{float64(trial), float64(trial * 2)}
+	})
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("series = %v, want [1 2]", got)
+	}
+}
+
+func TestEnsembleSeriesMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	EnsembleSeries(2, func(trial int) []float64 {
+		return make([]float64, trial+1)
+	})
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 3, 5, 7, 9, 9.9} {
+		h.Add(x)
+	}
+	if h.N != 7 {
+		t.Fatalf("N = %d", h.N)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 7 {
+		t.Fatalf("bin total = %d", total)
+	}
+	if h.Counts[0] != 2 { // 0.5 and 1.0 fall in [0,2)
+		t.Fatalf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	if got := h.Fraction(0); math.Abs(got-2.0/7) > 1e-12 {
+		t.Fatalf("Fraction(0) = %v", got)
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-100)
+	h.Add(+100)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Fatalf("outliers not clamped to edge bins: %v", h.Counts)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid histogram must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if h.Fraction(0) != 0 {
+		t.Fatal("fraction of empty histogram should be 0")
+	}
+}

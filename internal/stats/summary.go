@@ -1,0 +1,105 @@
+// Package stats is CAVENET's statistics toolbox. It provides the estimators
+// the paper's Behavioural Analyzer relies on: running moments, the
+// autocorrelation function used to define SRD vs. LRD (footnote 2), the
+// periodogram of Fig. 7, Hurst-exponent estimators, transient-time
+// detection (§IV-B), and a Monte-Carlo ensemble runner (Fig. 4).
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance in one pass with the numerically
+// stable Welford recurrence.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add feeds one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N reports the sample count.
+func (w *Welford) N() int { return w.n }
+
+// Mean reports the sample mean; zero before any sample.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance reports the unbiased sample variance; zero with fewer than two
+// samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Mean returns the arithmetic mean of xs; zero for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs.
+func Variance(xs []float64) float64 {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w.Variance()
+}
+
+// MinMax returns the extrema of xs; (0, 0) for an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// LinearFit returns the least-squares slope and intercept of y against x.
+// It is used for the GPH log-periodogram regression and the R/S Hurst
+// estimator. Fewer than two points yield (0, mean(y)).
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	n := len(x)
+	if n != len(y) {
+		panic("stats: LinearFit length mismatch")
+	}
+	if n < 2 {
+		return 0, Mean(y)
+	}
+	mx, my := Mean(x), Mean(y)
+	num, den := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		dx := x[i] - mx
+		num += dx * (y[i] - my)
+		den += dx * dx
+	}
+	if den == 0 {
+		return 0, my
+	}
+	slope = num / den
+	return slope, my - slope*mx
+}

@@ -1,0 +1,114 @@
+package stats
+
+import "math"
+
+// TransientTime estimates the transient duration τ of a series (§IV-B of
+// the paper): the number of initial samples to discard before the process
+// can be treated as stationary.
+//
+// The estimator smooths the series with a moving average, derives a
+// tolerance band of tol standard deviations around the steady-state mean
+// (both estimated from the final half), and reports the start of the first
+// window-length run that stays inside the band. A trend guard first checks
+// that the last two quarters agree; a series that is still drifting returns
+// len(series) — the signal that the simulation was too short, exactly the
+// diagnostic the paper wants before protocol simulations are trusted.
+func TransientTime(series []float64, tol float64) int {
+	n := len(series)
+	if n == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = 3
+	}
+
+	// Trend guard: quarters 3 and 4 must agree within the noise of their
+	// means, otherwise the series has not settled at all.
+	if n >= 8 {
+		q3 := series[n/2 : 3*n/4]
+		q4 := series[3*n/4:]
+		sd := math.Max(math.Sqrt(Variance(q3)), math.Sqrt(Variance(q4)))
+		noise := tol * sd / math.Sqrt(float64(len(q4)))
+		if noise == 0 {
+			noise = 1e-12
+		}
+		if math.Abs(Mean(q4)-Mean(q3)) > noise {
+			return n
+		}
+	}
+
+	w := n / 50
+	if w < 1 {
+		w = 1
+	}
+	smoothed := movingAverage(series, w)
+	tail := smoothed[len(smoothed)/2:]
+	mean := Mean(tail)
+	band := tol * math.Sqrt(Variance(tail))
+	if band == 0 {
+		band = 1e-12
+	}
+
+	// First run of >= w consecutive in-band smoothed samples.
+	run := 0
+	for i, v := range smoothed {
+		if math.Abs(v-mean) <= band {
+			run++
+			if run >= w {
+				return i - run + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	return n
+}
+
+// movingAverage returns the trailing moving average of the series with the
+// given window (window 1 returns a copy).
+func movingAverage(series []float64, window int) []float64 {
+	n := len(series)
+	out := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += series[i]
+		if i >= window {
+			sum -= series[i-window]
+		}
+		size := window
+		if i+1 < window {
+			size = i + 1
+		}
+		out[i] = sum / float64(size)
+	}
+	return out
+}
+
+// MSER5 implements the MSER-5 truncation heuristic: the series is averaged
+// into batches of 5, and the truncation point minimizes the standard error
+// of the remaining batch means. It is a standard alternative transient
+// detector, included so the two estimators can cross-check each other. The
+// returned index is in original-sample units.
+func MSER5(series []float64) int {
+	const batch = 5
+	nb := len(series) / batch
+	if nb < 4 {
+		return 0
+	}
+	means := make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		means[i] = Mean(series[i*batch : (i+1)*batch])
+	}
+	best, bestAt := math.Inf(1), 0
+	// Standard MSER rule: do not truncate more than half the series.
+	for d := 0; d < nb/2; d++ {
+		rest := means[d:]
+		v := Variance(rest)
+		stat := v / float64(len(rest))
+		if stat < best {
+			best = stat
+			bestAt = d
+		}
+	}
+	return bestAt * batch
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// decayingSeries ramps from 0 to level over ramp steps, then fluctuates
+// around level with the given noise.
+func decayingSeries(n, ramp int, level, noise float64, seed int64) []float64 {
+	rnd := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		base := level
+		if i < ramp {
+			base = level * float64(i) / float64(ramp)
+		}
+		out[i] = base + rnd.NormFloat64()*noise
+	}
+	return out
+}
+
+func TestTransientTimeDetectsRamp(t *testing.T) {
+	series := decayingSeries(2000, 400, 5, 0.05, 1)
+	tau := TransientTime(series, 3)
+	if tau < 200 || tau > 450 {
+		t.Fatalf("tau = %d, want ≈400 (ramp end)", tau)
+	}
+}
+
+func TestTransientTimeStationaryZero(t *testing.T) {
+	series := decayingSeries(1000, 0, 5, 0.05, 2)
+	tau := TransientTime(series, 4)
+	if tau > 50 {
+		t.Fatalf("tau = %d for stationary series, want ≈0", tau)
+	}
+}
+
+func TestTransientTimeNeverSettles(t *testing.T) {
+	// Monotonically growing series: last sample is always outside the band
+	// of the tail mean.
+	series := make([]float64, 500)
+	for i := range series {
+		series[i] = float64(i) * float64(i)
+	}
+	if tau := TransientTime(series, 1); tau != len(series) {
+		t.Fatalf("tau = %d for non-settling series, want n", tau)
+	}
+}
+
+func TestTransientTimeDeterministicExact(t *testing.T) {
+	// Deterministic convergence: the first sample at the steady-state value
+	// is index 5, so 5 samples belong to the transient.
+	series := []float64{0, 1, 2, 3, 4, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5}
+	tau := TransientTime(series, 3)
+	if tau != 5 {
+		t.Fatalf("tau = %d, want 5", tau)
+	}
+}
+
+func TestTransientTimeEdgeCases(t *testing.T) {
+	if TransientTime(nil, 3) != 0 {
+		t.Fatal("empty series tau should be 0")
+	}
+	if TransientTime([]float64{1}, 3) != 0 {
+		t.Fatal("singleton stationary series tau should be 0")
+	}
+	// Non-positive tolerance falls back to default rather than panicking.
+	series := decayingSeries(500, 100, 2, 0.01, 3)
+	if tau := TransientTime(series, 0); tau == 0 || tau > 150 {
+		t.Fatalf("default-tolerance tau = %d", tau)
+	}
+}
+
+func TestMSER5DetectsRamp(t *testing.T) {
+	series := decayingSeries(2000, 400, 5, 0.05, 4)
+	trunc := MSER5(series)
+	if trunc < 150 || trunc > 600 {
+		t.Fatalf("MSER-5 truncation = %d, want near 400", trunc)
+	}
+}
+
+func TestMSER5Stationary(t *testing.T) {
+	series := decayingSeries(1000, 0, 5, 0.05, 5)
+	if trunc := MSER5(series); trunc > 300 {
+		t.Fatalf("MSER-5 on stationary series = %d, want small", trunc)
+	}
+}
+
+func TestMSER5Short(t *testing.T) {
+	if MSER5(make([]float64, 10)) != 0 {
+		t.Fatal("short series should truncate nothing")
+	}
+}
+
+func TestDetectorsAgreeOnCleanRamp(t *testing.T) {
+	series := decayingSeries(3000, 600, 10, 0.02, 6)
+	tau := TransientTime(series, 3)
+	mser := MSER5(series)
+	if math.Abs(float64(tau-mser)) > 300 {
+		t.Fatalf("detectors disagree wildly: tau=%d mser=%d", tau, mser)
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/mobility"
+)
+
+// This file implements the BonnMotion waypoint format, the second trace
+// format the paper's §III promises is "straightforward" to add: one line
+// per node, whitespace-separated (time x y) triples.
+//
+//	0.0 12.5 30.0 1.0 20.0 30.0 2.0 27.5 30.0 ...
+
+// WriteBonnMotion emits a sampled trace in BonnMotion format, one waypoint
+// per sample.
+func WriteBonnMotion(w io.Writer, t *mobility.SampledTrace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	for n := 0; n < t.NumNodes(); n++ {
+		for i, p := range t.Positions[n] {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%.4f %.4f %.4f",
+				float64(i)*t.Interval, p.X, p.Y); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// waypoint is one (time, position) BonnMotion entry.
+type waypoint struct {
+	t float64
+	p geometry.Vec2
+}
+
+// ParseBonnMotion reads a BonnMotion file back into a sampled trace with
+// the given sampling interval (waypoints between samples are linearly
+// interpolated, which matches BonnMotion's constant-speed-segments
+// semantics).
+func ParseBonnMotion(r io.Reader, interval float64) (*mobility.SampledTrace, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("trace: non-positive interval %v", interval)
+	}
+	var nodes [][]waypoint
+	maxT := 0.0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields)%3 != 0 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want multiple of 3", lineNo, len(fields))
+		}
+		var wps []waypoint
+		prev := -1.0
+		for i := 0; i < len(fields); i += 3 {
+			t, err1 := strconv.ParseFloat(fields[i], 64)
+			x, err2 := strconv.ParseFloat(fields[i+1], 64)
+			y, err3 := strconv.ParseFloat(fields[i+2], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("trace: line %d: bad waypoint near field %d", lineNo, i)
+			}
+			if t <= prev && i > 0 {
+				return nil, fmt.Errorf("trace: line %d: waypoint times not increasing", lineNo)
+			}
+			prev = t
+			wps = append(wps, waypoint{t: t, p: geometry.Vec2{X: x, Y: y}})
+		}
+		if len(wps) == 0 {
+			return nil, fmt.Errorf("trace: line %d: empty node", lineNo)
+		}
+		if last := wps[len(wps)-1].t; last > maxT {
+			maxT = last
+		}
+		nodes = append(nodes, wps)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("trace: empty BonnMotion file")
+	}
+	samples := int(maxT/interval) + 1
+	out := &mobility.SampledTrace{
+		Interval:  interval,
+		Positions: make([][]geometry.Vec2, len(nodes)),
+	}
+	for n, wps := range nodes {
+		out.Positions[n] = make([]geometry.Vec2, samples)
+		for i := 0; i < samples; i++ {
+			out.Positions[n][i] = interpolateWaypoints(wps, float64(i)*interval)
+		}
+	}
+	return out, nil
+}
+
+func interpolateWaypoints(wps []waypoint, at float64) geometry.Vec2 {
+	if at <= wps[0].t {
+		return wps[0].p
+	}
+	for i := 1; i < len(wps); i++ {
+		if at <= wps[i].t {
+			a, b := wps[i-1], wps[i]
+			span := b.t - a.t
+			if span <= 0 {
+				return b.p
+			}
+			frac := (at - a.t) / span
+			return geometry.Vec2{
+				X: a.p.X + (b.p.X-a.p.X)*frac,
+				Y: a.p.Y + (b.p.Y-a.p.Y)*frac,
+			}
+		}
+	}
+	return wps[len(wps)-1].p
+}

@@ -1,0 +1,265 @@
+// Package trace reads and writes the ns-2 wireless mobility scenario
+// format, preserving the paper's BA→CPS decoupling: the Behavioural
+// Analyzer exports movement patterns "in a textual format compatible with
+// the CPS's language" (§III), and the CPS replays them.
+//
+// The format is the classical ns-2 one (Fig. 3-b of the paper):
+//
+//	$node_(3) set X_ 662.5
+//	$node_(3) set Y_ 50.0
+//	$node_(3) set Z_ 0.0
+//	$ns_ at 1.00 "$node_(3) setdest 670.0 50.0 7.50"
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/mobility"
+)
+
+// SetDest is one movement command: at time At the node turns toward Dest
+// and travels at Speed (m/s) until it arrives or receives another command.
+type SetDest struct {
+	At    float64
+	Dest  geometry.Vec2
+	Speed float64
+}
+
+// NodeScript is the full movement program of one node.
+type NodeScript struct {
+	Initial geometry.Vec2
+	Cmds    []SetDest
+}
+
+// Script is an ns-2 mobility scenario: one script per node.
+type Script struct {
+	Nodes []NodeScript
+}
+
+// Delta is added to exported coordinates, mirroring the paper's Δ parameter
+// ("used to avoid an apparent bug in ns-2, which fires strange errors when
+// the absolute position is 0", footnote 3).
+const Delta = 0.5
+
+// FromSampled converts a sampled trace into an ns-2 script by emitting one
+// setdest per sample interval, with the speed that covers the displacement
+// in exactly one interval. Stationary intervals emit no command.
+func FromSampled(t *mobility.SampledTrace) *Script {
+	s := &Script{Nodes: make([]NodeScript, t.NumNodes())}
+	for n := 0; n < t.NumNodes(); n++ {
+		samples := t.Positions[n]
+		if len(samples) == 0 {
+			continue
+		}
+		ns := NodeScript{Initial: samples[0].Add(geometry.Vec2{X: Delta, Y: Delta})}
+		for i := 1; i < len(samples); i++ {
+			prev, cur := samples[i-1], samples[i]
+			d := prev.Dist(cur)
+			if d == 0 {
+				continue
+			}
+			ns.Cmds = append(ns.Cmds, SetDest{
+				At:    float64(i-1) * t.Interval,
+				Dest:  cur.Add(geometry.Vec2{X: Delta, Y: Delta}),
+				Speed: d / t.Interval,
+			})
+		}
+		s.Nodes[n] = ns
+	}
+	return s
+}
+
+// Sample replays the script's setdest semantics and produces a sampled
+// trace with the given interval and duration (seconds).
+func (s *Script) Sample(interval, duration float64) *mobility.SampledTrace {
+	samples := int(duration/interval) + 1
+	out := &mobility.SampledTrace{
+		Interval:  interval,
+		Positions: make([][]geometry.Vec2, len(s.Nodes)),
+	}
+	for n, script := range s.Nodes {
+		out.Positions[n] = replay(script, interval, samples)
+	}
+	return out
+}
+
+func replay(script NodeScript, interval float64, samples int) []geometry.Vec2 {
+	pos := script.Initial
+	cmds := append([]SetDest(nil), script.Cmds...)
+	sort.SliceStable(cmds, func(i, j int) bool { return cmds[i].At < cmds[j].At })
+	out := make([]geometry.Vec2, 0, samples)
+	var active *SetDest
+	next := 0
+	now := 0.0
+	advance := func(until float64) {
+		for now < until {
+			// Activate any command due.
+			if next < len(cmds) && cmds[next].At <= now {
+				active = &cmds[next]
+				next++
+				continue
+			}
+			stepEnd := until
+			if next < len(cmds) && cmds[next].At < stepEnd {
+				stepEnd = cmds[next].At
+			}
+			dt := stepEnd - now
+			if active != nil {
+				d := pos.Dist(active.Dest)
+				if d > 0 && active.Speed > 0 {
+					travel := active.Speed * dt
+					if travel >= d {
+						pos = active.Dest
+						active = nil
+					} else {
+						dir := active.Dest.Sub(pos).Scale(1 / d)
+						pos = pos.Add(dir.Scale(travel))
+					}
+				} else {
+					active = nil
+				}
+			}
+			now = stepEnd
+		}
+	}
+	for i := 0; i < samples; i++ {
+		advance(float64(i) * interval)
+		out = append(out, pos)
+	}
+	return out
+}
+
+// Write emits the script in ns-2 scenario syntax.
+func Write(w io.Writer, s *Script) error {
+	bw := bufio.NewWriter(w)
+	for i, n := range s.Nodes {
+		fmt.Fprintf(bw, "$node_(%d) set X_ %.4f\n", i, n.Initial.X)
+		fmt.Fprintf(bw, "$node_(%d) set Y_ %.4f\n", i, n.Initial.Y)
+		fmt.Fprintf(bw, "$node_(%d) set Z_ 0.0000\n", i)
+	}
+	for i, n := range s.Nodes {
+		for _, c := range n.Cmds {
+			fmt.Fprintf(bw, "$ns_ at %.4f \"$node_(%d) setdest %.4f %.4f %.4f\"\n",
+				c.At, i, c.Dest.X, c.Dest.Y, c.Speed)
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads an ns-2 mobility scenario back into a Script. Unknown lines
+// are ignored (real scenario files mix mobility with other OTcl commands);
+// malformed mobility lines are errors.
+func Parse(r io.Reader) (*Script, error) {
+	s := &Script{}
+	ensure := func(id int) {
+		for len(s.Nodes) <= id {
+			s.Nodes = append(s.Nodes, NodeScript{})
+		}
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "$node_("):
+			id, rest, err := parseNodeRef(line)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			fields := strings.Fields(rest)
+			if len(fields) != 3 || fields[0] != "set" {
+				return nil, fmt.Errorf("trace: line %d: malformed set command %q", lineNo, line)
+			}
+			val, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad coordinate: %w", lineNo, err)
+			}
+			ensure(id)
+			switch fields[1] {
+			case "X_":
+				s.Nodes[id].Initial.X = val
+			case "Y_":
+				s.Nodes[id].Initial.Y = val
+			case "Z_":
+				// Ignored: CAVENET is planar.
+			default:
+				return nil, fmt.Errorf("trace: line %d: unknown attribute %q", lineNo, fields[1])
+			}
+		case strings.HasPrefix(line, "$ns_ at "):
+			cmd, err := parseAt(line)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			if cmd != nil {
+				ensure(cmd.node)
+				s.Nodes[cmd.node].Cmds = append(s.Nodes[cmd.node].Cmds, cmd.sd)
+			}
+		default:
+			// Ignore unrelated OTcl.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return s, nil
+}
+
+func parseNodeRef(line string) (id int, rest string, err error) {
+	end := strings.Index(line, ")")
+	if end < 0 {
+		return 0, "", fmt.Errorf("malformed node reference %q", line)
+	}
+	id, err = strconv.Atoi(line[len("$node_("):end])
+	if err != nil {
+		return 0, "", fmt.Errorf("bad node id: %w", err)
+	}
+	if id < 0 {
+		return 0, "", fmt.Errorf("negative node id %d", id)
+	}
+	return id, strings.TrimSpace(line[end+1:]), nil
+}
+
+type atCmd struct {
+	node int
+	sd   SetDest
+}
+
+func parseAt(line string) (*atCmd, error) {
+	rest := strings.TrimPrefix(line, "$ns_ at ")
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return nil, fmt.Errorf("malformed at command %q", line)
+	}
+	at, err := strconv.ParseFloat(rest[:sp], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad time: %w", err)
+	}
+	body := strings.TrimSpace(rest[sp+1:])
+	body = strings.Trim(body, `"`)
+	if !strings.HasPrefix(body, "$node_(") {
+		// Some other scheduled OTcl command; skip.
+		return nil, nil
+	}
+	id, tail, err := parseNodeRef(body)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(tail)
+	if len(fields) != 4 || fields[0] != "setdest" {
+		return nil, fmt.Errorf("malformed setdest %q", body)
+	}
+	x, err1 := strconv.ParseFloat(fields[1], 64)
+	y, err2 := strconv.ParseFloat(fields[2], 64)
+	v, err3 := strconv.ParseFloat(fields[3], 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("bad setdest numbers %q", body)
+	}
+	return &atCmd{node: id, sd: SetDest{At: at, Dest: geometry.Vec2{X: x, Y: y}, Speed: v}}, nil
+}

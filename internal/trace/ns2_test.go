@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/mobility"
+)
+
+func TestWriteFormat(t *testing.T) {
+	s := &Script{Nodes: []NodeScript{
+		{
+			Initial: geometry.Vec2{X: 662.5, Y: 50},
+			Cmds: []SetDest{
+				{At: 1, Dest: geometry.Vec2{X: 670, Y: 50}, Speed: 7.5},
+			},
+		},
+	}}
+	var sb strings.Builder
+	if err := Write(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$node_(0) set X_ 662.5000",
+		"$node_(0) set Y_ 50.0000",
+		"$node_(0) set Z_ 0.0000",
+		`$ns_ at 1.0000 "$node_(0) setdest 670.0000 50.0000 7.5000"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	orig := &Script{Nodes: []NodeScript{
+		{
+			Initial: geometry.Vec2{X: 100, Y: 200},
+			Cmds: []SetDest{
+				{At: 0, Dest: geometry.Vec2{X: 150, Y: 200}, Speed: 10},
+				{At: 5, Dest: geometry.Vec2{X: 150, Y: 300}, Speed: 20},
+			},
+		},
+		{Initial: geometry.Vec2{X: 7, Y: 8}},
+	}}
+	var sb strings.Builder
+	if err := Write(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Nodes) != 2 {
+		t.Fatalf("parsed %d nodes", len(parsed.Nodes))
+	}
+	if parsed.Nodes[0].Initial != orig.Nodes[0].Initial {
+		t.Fatalf("initial mismatch: %v", parsed.Nodes[0].Initial)
+	}
+	if len(parsed.Nodes[0].Cmds) != 2 {
+		t.Fatalf("parsed %d commands", len(parsed.Nodes[0].Cmds))
+	}
+	for i, c := range parsed.Nodes[0].Cmds {
+		o := orig.Nodes[0].Cmds[i]
+		if c.At != o.At || c.Dest != o.Dest || c.Speed != o.Speed {
+			t.Fatalf("cmd %d mismatch: %+v vs %+v", i, c, o)
+		}
+	}
+}
+
+func TestParseIgnoresUnrelatedLines(t *testing.T) {
+	input := `
+# a comment
+set opt(x) 1000
+$node_(0) set X_ 5.0
+$node_(0) set Y_ 6.0
+$node_(0) set Z_ 0.0
+$ns_ at 10.0 "$god_ set-dist 1 2 1"
+$ns_ at 2.0 "$node_(0) setdest 50.0 6.0 1.0"
+`
+	s, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Nodes) != 1 || len(s.Nodes[0].Cmds) != 1 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.Nodes[0].Initial.X != 5 {
+		t.Fatalf("initial = %v", s.Nodes[0].Initial)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"$node_(0) set X_ notanumber",
+		"$node_(0) set Q_ 1.0",
+		"$node_(x) set X_ 1.0",
+		"$node_(0 set X_ 1.0",
+		`$ns_ at abc "$node_(0) setdest 1 2 3"`,
+		`$ns_ at 1.0 "$node_(0) setdest 1 2"`,
+		`$ns_ at 1.0 "$node_(0) setdest a b c"`,
+		"$node_(-3) set X_ 1.0",
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Fatalf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestFromSampledAddsDelta(t *testing.T) {
+	st := &mobility.SampledTrace{
+		Interval: 1,
+		Positions: [][]geometry.Vec2{
+			{{X: 0, Y: 0}, {X: 10, Y: 0}},
+		},
+	}
+	s := FromSampled(st)
+	if s.Nodes[0].Initial.X != Delta || s.Nodes[0].Initial.Y != Delta {
+		t.Fatalf("Δ offset not applied: %v", s.Nodes[0].Initial)
+	}
+	if len(s.Nodes[0].Cmds) != 1 {
+		t.Fatalf("cmds = %d", len(s.Nodes[0].Cmds))
+	}
+	if got := s.Nodes[0].Cmds[0].Speed; got != 10 {
+		t.Fatalf("speed = %v", got)
+	}
+}
+
+func TestFromSampledSkipsStationary(t *testing.T) {
+	st := &mobility.SampledTrace{
+		Interval: 1,
+		Positions: [][]geometry.Vec2{
+			{{X: 3, Y: 3}, {X: 3, Y: 3}, {X: 3, Y: 3}},
+		},
+	}
+	s := FromSampled(st)
+	if len(s.Nodes[0].Cmds) != 0 {
+		t.Fatalf("stationary node emitted %d commands", len(s.Nodes[0].Cmds))
+	}
+}
+
+func TestSampleReplaySemantics(t *testing.T) {
+	// One node: at t=0 head to (10,0) at 1 m/s; arrival at t=10, then hold.
+	s := &Script{Nodes: []NodeScript{{
+		Initial: geometry.Vec2{},
+		Cmds:    []SetDest{{At: 0, Dest: geometry.Vec2{X: 10}, Speed: 1}},
+	}}}
+	tr := s.Sample(1, 15)
+	if tr.NumSamples() != 16 {
+		t.Fatalf("samples = %d", tr.NumSamples())
+	}
+	if p := tr.Positions[0][5]; math.Abs(p.X-5) > 1e-9 {
+		t.Fatalf("t=5 position = %v, want x=5", p)
+	}
+	if p := tr.Positions[0][12]; math.Abs(p.X-10) > 1e-9 {
+		t.Fatalf("t=12 position = %v, want parked at destination", p)
+	}
+}
+
+func TestSampleMidCourseRedirect(t *testing.T) {
+	// Second setdest preempts the first before arrival.
+	s := &Script{Nodes: []NodeScript{{
+		Initial: geometry.Vec2{},
+		Cmds: []SetDest{
+			{At: 0, Dest: geometry.Vec2{X: 100}, Speed: 1},
+			{At: 5, Dest: geometry.Vec2{X: 5, Y: 40}, Speed: 2},
+		},
+	}}}
+	tr := s.Sample(1, 10)
+	// At t=5 the node is at (5,0); it then climbs toward (5,40) at 2 m/s.
+	if p := tr.Positions[0][5]; math.Abs(p.X-5) > 1e-9 || math.Abs(p.Y) > 1e-9 {
+		t.Fatalf("t=5 position = %v", p)
+	}
+	if p := tr.Positions[0][10]; math.Abs(p.X-5) > 1e-9 || math.Abs(p.Y-10) > 1e-9 {
+		t.Fatalf("t=10 position = %v, want (5,10)", p)
+	}
+}
+
+func TestRoundTripSampledTrace(t *testing.T) {
+	// SampledTrace → ns-2 script → parse → re-sample ≈ original (+Δ).
+	orig := &mobility.SampledTrace{
+		Interval: 1,
+		Positions: [][]geometry.Vec2{
+			{{X: 0, Y: 0}, {X: 7.5, Y: 0}, {X: 22.5, Y: 0}, {X: 30, Y: 0}},
+			{{X: 50, Y: 10}, {X: 42.5, Y: 10}, {X: 35, Y: 10}, {X: 35, Y: 10}},
+		},
+	}
+	var sb strings.Builder
+	if err := Write(&sb, FromSampled(orig)); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := parsed.Sample(1, 3)
+	for n := 0; n < orig.NumNodes(); n++ {
+		for i := 0; i < orig.NumSamples(); i++ {
+			want := orig.Positions[n][i]
+			got := re.Positions[n][i]
+			if math.Abs(got.X-want.X-Delta) > 0.01 || math.Abs(got.Y-want.Y-Delta) > 0.01 {
+				t.Fatalf("node %d sample %d: got %v, want %v+Δ", n, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package cavenet
+
+import (
+	"testing"
+
+	"cavenet/internal/sim"
+)
+
+// TestPaperConclusionReproduces pins the paper's §V finding — "DYMO has a
+// better performance than AODV and OLSR" — and the supporting Fig. 8–11
+// shapes on a 60-second version of the Table I scenario (same topology and
+// traffic, shortened to keep the test under a couple of seconds).
+func TestPaperConclusionReproduces(t *testing.T) {
+	cfg := Scenario{
+		SimTime:      60 * sim.Second,
+		TrafficStart: 10 * sim.Second,
+		TrafficStop:  50 * sim.Second,
+		Seed:         1,
+	}
+	results, err := Compare(cfg, []Protocol{AODV, OLSR, DYMO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aodv := results[AODV]
+	olsr := results[OLSR]
+	dymo := results[DYMO]
+
+	// Reactive protocols beat the proactive one on delivery (Fig. 11).
+	if aodv.TotalPDR() <= olsr.TotalPDR() {
+		t.Errorf("AODV PDR %.3f should beat OLSR %.3f", aodv.TotalPDR(), olsr.TotalPDR())
+	}
+	if dymo.TotalPDR() <= olsr.TotalPDR() {
+		t.Errorf("DYMO PDR %.3f should beat OLSR %.3f", dymo.TotalPDR(), olsr.TotalPDR())
+	}
+	// DYMO is the overall winner (the paper's conclusion).
+	if dymo.TotalPDR() < aodv.TotalPDR()-0.03 {
+		t.Errorf("DYMO PDR %.3f should be at least on par with AODV %.3f",
+			dymo.TotalPDR(), aodv.TotalPDR())
+	}
+	// AODV's route repair costs it delay against DYMO on the far senders.
+	far := cfg.Senders
+	if far == nil {
+		far = results[AODV].Config.Senders
+	}
+	last := far[len(far)-1]
+	if aodv.MeanDelaySec[last] <= dymo.MeanDelaySec[last]*0.8 {
+		t.Errorf("AODV delay %.4fs at sender %d should not clearly beat DYMO %.4fs",
+			aodv.MeanDelaySec[last], last, dymo.MeanDelaySec[last])
+	}
+	// AODV is the burstiest (Fig. 8): its peak goodput tops the others.
+	peak := func(r *Result) float64 {
+		m := 0.0
+		for _, s := range r.Config.Senders {
+			for _, bps := range r.Goodput[s] {
+				if bps > m {
+					m = bps
+				}
+			}
+		}
+		return m
+	}
+	const offered = 5 * 512 * 8
+	if p := peak(aodv); p < 1.5*offered {
+		t.Errorf("AODV peak goodput %.0f bps lacks the Fig. 8 burstiness (offered %d)", p, offered)
+	}
+	if peak(olsr) >= peak(aodv) {
+		t.Errorf("OLSR peak %.0f should stay below AODV's %.0f", peak(olsr), peak(aodv))
+	}
+	// OLSR floods the most control traffic (the §V overhead metric).
+	if olsr.ControlPackets <= aodv.ControlPackets || olsr.ControlPackets <= dymo.ControlPackets {
+		t.Errorf("OLSR control packets %d should exceed AODV %d and DYMO %d",
+			olsr.ControlPackets, aodv.ControlPackets, dymo.ControlPackets)
+	}
+	// PDR declines with sender distance for every protocol: the nearest
+	// sender beats the farthest.
+	for p, r := range results {
+		senders := r.Config.Senders
+		first, lastS := senders[0], senders[len(senders)-1]
+		if r.PDR[first] < r.PDR[lastS] {
+			t.Errorf("%s: nearest sender PDR %.3f below farthest %.3f", p, r.PDR[first], r.PDR[lastS])
+		}
+	}
+}
+
+// TestRingImprovementReproduces pins the paper's §III-B motivation: the
+// circuit mobility (the "improvement") outperforms the first version's
+// straight line, whose wrap-around breaks head/tail communication.
+func TestRingImprovementReproduces(t *testing.T) {
+	base := Scenario{
+		Protocol:     DYMO,
+		SimTime:      60 * sim.Second,
+		TrafficStart: 10 * sim.Second,
+		TrafficStop:  50 * sim.Second,
+		Seed:         1,
+	}
+	ring, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := base
+	line.StraightLine = true
+	lineRes, err := Run(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.TotalPDR() <= lineRes.TotalPDR() {
+		t.Errorf("circuit PDR %.3f should beat straight-line PDR %.3f (the paper's improvement)",
+			ring.TotalPDR(), lineRes.TotalPDR())
+	}
+}
