@@ -1,0 +1,29 @@
+# Developer entry points. `make ci` is what the GitHub Actions workflow
+# runs; keep the two in sync.
+
+GO ?= go
+
+.PHONY: build vet test bench-smoke bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of the broadcast scaling bench: catches gross perf
+# regressions (e.g. the culling silently disabled) without the minutes-long
+# full table from PERF.md.
+bench-smoke:
+	$(GO) test ./internal/phy/ -bench ChannelBroadcast -benchtime=1x -benchmem -run XXX
+
+# Full benchmark tables; see PERF.md for interpretation.
+bench:
+	$(GO) test ./internal/phy/ -bench 'ChannelBroadcast|MobilityTick' -benchmem -benchtime=2000x -run XXX
+	$(GO) test ./internal/netsim/ -bench 'Connectivity|Components' -benchmem -benchtime=20x -run XXX
+	$(GO) test ./internal/sim/ -bench . -benchmem -run XXX
+
+ci: build vet test bench-smoke

@@ -1,0 +1,3 @@
+module cavenet
+
+go 1.22

@@ -18,9 +18,9 @@ func BenchmarkSaturatedPair(b *testing.B) {
 		posA := geometry.Vec2{}
 		posB := geometry.Vec2{X: 100}
 		up := &upperRec{}
-		a := New(k, c.Attach(func() geometry.Vec2 { return posA }), 0, Config{},
+		a := New(k, c.Attach(posA), 0, Config{},
 			rand.New(rand.NewSource(1)), &upperRec{})
-		New(k, c.Attach(func() geometry.Vec2 { return posB }), 1, Config{},
+		New(k, c.Attach(posB), 1, Config{},
 			rand.New(rand.NewSource(2)), up)
 		for j := 0; j < 50; j++ {
 			a.Send(1, j, 512)
@@ -41,7 +41,7 @@ func BenchmarkContention(b *testing.B) {
 		var macs []*DCF
 		for s := 0; s < 8; s++ {
 			pos := geometry.Vec2{X: float64(s) * 20}
-			macs = append(macs, New(k, c.Attach(func() geometry.Vec2 { return pos }),
+			macs = append(macs, New(k, c.Attach(pos),
 				Address(s), Config{}, rand.New(rand.NewSource(int64(s+1))), &upperRec{}))
 		}
 		for s := 0; s < 8; s++ {

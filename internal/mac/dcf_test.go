@@ -37,7 +37,7 @@ func testNet(t *testing.T, n int, spacing float64) (*sim.Kernel, []*DCF, []*uppe
 	for i := 0; i < n; i++ {
 		x := float64(i) * spacing
 		pos := geometry.Vec2{X: x}
-		radio := c.Attach(func() geometry.Vec2 { return pos })
+		radio := c.Attach(pos)
 		up := &upperRec{}
 		m := New(k, radio, Address(i), Config{}, rand.New(rand.NewSource(int64(i+1))), up)
 		macs = append(macs, m)
@@ -172,7 +172,7 @@ func TestHiddenTerminalEventualDelivery(t *testing.T) {
 	var ups []*upperRec
 	for i := 0; i < 3; i++ {
 		pos := geometry.Vec2{X: float64(i) * 200} // 0↔2 at 400 m: hidden
-		radio := c.Attach(func() geometry.Vec2 { return pos })
+		radio := c.Attach(pos)
 		up := &upperRec{}
 		macs = append(macs, New(k, radio, Address(i), Config{}, rand.New(rand.NewSource(int64(i+1))), up))
 		ups = append(ups, up)

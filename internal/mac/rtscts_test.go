@@ -23,7 +23,7 @@ func rtsNet(t *testing.T, n int, spacing float64, threshold int, csRange float64
 	var ups []*upperRec
 	for i := 0; i < n; i++ {
 		pos := geometry.Vec2{X: float64(i) * spacing}
-		radio := c.Attach(func() geometry.Vec2 { return pos })
+		radio := c.Attach(pos)
 		up := &upperRec{}
 		macs = append(macs, New(k, radio, Address(i),
 			Config{RTSThreshold: threshold},

@@ -1,7 +1,11 @@
 package metrics
 
 import (
+	"sort"
+
+	"cavenet/internal/geometry"
 	"cavenet/internal/mobility"
+	"cavenet/internal/spatial"
 )
 
 // This file implements the "topology change" metric the paper's §V defers
@@ -27,6 +31,13 @@ type TopologyStats struct {
 
 // AnalyzeTopology replays a mobility trace at its native sampling interval
 // and measures link dynamics for the given radio range.
+//
+// Each sample maintains a spatial grid of node positions (updated with
+// incremental moves between samples), so only grid-near pairs pay a
+// distance test; links that went down are found by rechecking the set of
+// currently-up pairs, which is the sparse neighbor set rather than all
+// N(N-1)/2 pairs. The output is identical to the all-pairs scan, including
+// the order of LinkUpDurations.
 func AnalyzeTopology(tr *mobility.SampledTrace, rangeMeters float64) TopologyStats {
 	n := tr.NumNodes()
 	samples := tr.NumSamples()
@@ -36,30 +47,68 @@ func AnalyzeTopology(tr *mobility.SampledTrace, rangeMeters float64) TopologySta
 	}
 	up := make(map[[2]int]int) // pair -> sample index the link came up
 	degreeSum := 0.0
+	// A degenerate (zero or negative) range still has a defined answer —
+	// only coincident nodes link at range 0, nothing at negative range —
+	// but needs a positive cell size for the index.
+	cell := rangeMeters
+	if cell <= 0 {
+		cell = 1
+	}
+	grid := spatial.NewGrid(cell)
+	positions := make([]geometry.Vec2, n)
+	var nearBuf []int32
+	var downs [][2]int
 	for s := 0; s < samples; s++ {
 		tsec := float64(s) * tr.Interval
-		links := 0
 		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
+			p := tr.At(i, tsec)
+			if s == 0 {
+				grid.Insert(i, p)
+			} else if p != positions[i] {
+				grid.Move(i, p)
+			}
+			positions[i] = p
+		}
+		links := 0
+		// Pass 1: discover connected pairs from each node's grid
+		// neighborhood; record up-transitions.
+		for i := 0; i < n; i++ {
+			nearBuf = grid.Near(nearBuf[:0], positions[i], rangeMeters)
+			for _, jj := range nearBuf {
+				j := int(jj)
+				if j <= i || positions[i].Dist(positions[j]) > rangeMeters {
+					continue
+				}
+				links++
 				pair := [2]int{i, j}
-				connected := tr.At(i, tsec).Dist(tr.At(j, tsec)) <= rangeMeters
-				_, wasUp := up[pair]
-				switch {
-				case connected && !wasUp:
+				if _, wasUp := up[pair]; !wasUp {
 					up[pair] = s
 					if s > 0 {
 						stats.LinkChanges++
 					}
-				case !connected && wasUp:
-					stats.LinkUpDurations = append(stats.LinkUpDurations,
-						float64(s-up[pair])*tr.Interval)
-					delete(up, pair)
-					stats.LinkChanges++
-				}
-				if connected {
-					links++
 				}
 			}
+		}
+		// Pass 2: any tracked pair now out of range went down this sample.
+		// Sort the downs so LinkUpDurations keeps the deterministic (i,j)
+		// order of the original all-pairs scan.
+		downs = downs[:0]
+		for pair := range up {
+			if positions[pair[0]].Dist(positions[pair[1]]) > rangeMeters {
+				downs = append(downs, pair)
+			}
+		}
+		sort.Slice(downs, func(a, b int) bool {
+			if downs[a][0] != downs[b][0] {
+				return downs[a][0] < downs[b][0]
+			}
+			return downs[a][1] < downs[b][1]
+		})
+		for _, pair := range downs {
+			stats.LinkUpDurations = append(stats.LinkUpDurations,
+				float64(s-up[pair])*tr.Interval)
+			delete(up, pair)
+			stats.LinkChanges++
 		}
 		degreeSum += 2 * float64(links) / float64(n)
 	}

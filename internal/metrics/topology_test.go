@@ -93,3 +93,23 @@ func TestAnalyzeTopologyCAvsRW(t *testing.T) {
 }
 
 func testRand() *rand.Rand { return rand.New(rand.NewSource(77)) }
+
+func TestAnalyzeTopologyDegenerateRange(t *testing.T) {
+	tr := &mobility.SampledTrace{
+		Interval: 1,
+		Positions: [][]geometry.Vec2{
+			{{X: 0}, {X: 0}, {X: 0}},
+			{{X: 0}, {X: 0}, {X: 0}},
+		},
+	}
+	// Range 0: the coincident pair stays linked, nothing panics.
+	st := AnalyzeTopology(tr, 0)
+	if st.LinkChanges != 0 || st.MeanDegree != 1 {
+		t.Fatalf("range 0: changes=%d degree=%v, want 0 changes, degree 1", st.LinkChanges, st.MeanDegree)
+	}
+	// Negative range: no links at all.
+	st = AnalyzeTopology(tr, -5)
+	if st.MeanDegree != 0 || st.LinkChanges != 0 {
+		t.Fatalf("negative range: %+v, want no links", st)
+	}
+}

@@ -45,8 +45,12 @@ func (n *Node) Rand() *rand.Rand { return n.rnd }
 // Position reports the node's current location.
 func (n *Node) Position() geometry.Vec2 { return n.pos }
 
-// SetPosition moves the node (called by the world's mobility driver).
-func (n *Node) SetPosition(p geometry.Vec2) { n.pos = p }
+// SetPosition moves the node (called by the world's mobility driver),
+// keeping the channel's spatial index in sync.
+func (n *Node) SetPosition(p geometry.Vec2) {
+	n.pos = p
+	n.radio.SetPosition(p)
+}
 
 // MAC exposes the MAC for stats collection.
 func (n *Node) MAC() *mac.DCF { return n.mac }

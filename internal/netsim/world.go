@@ -96,7 +96,7 @@ func NewWorld(cfg WorldConfig, factory RouterFactory) (*World, error) {
 		} else {
 			n.pos = cfg.Static[i]
 		}
-		n.radio = w.Channel.Attach(func() geometry.Vec2 { return n.pos })
+		n.radio = w.Channel.Attach(n.pos)
 		n.mac = mac.New(w.Kernel, n.radio, mac.Address(i), cfg.MAC,
 			w.src.Stream(fmt.Sprintf("mac/%d", i)), macUpper{n})
 		n.router = factory(n)
@@ -146,7 +146,11 @@ func (w *World) scheduleMobility(duration sim.Time) {
 		now := w.Kernel.Now()
 		tsec := now.Seconds()
 		for i, n := range w.nodes {
-			n.SetPosition(w.cfg.Mobility.At(i, tsec))
+			// Parked or static vehicles sample the same position every
+			// tick; skipping them avoids pointless spatial-index churn.
+			if p := w.cfg.Mobility.At(i, tsec); p != n.pos {
+				n.SetPosition(p)
+			}
 		}
 		if now < duration {
 			w.Kernel.After(w.cfg.MobilityInterval, tick)
@@ -157,18 +161,38 @@ func (w *World) scheduleMobility(duration sim.Time) {
 
 // ConnectivityMatrix reports which node pairs are currently within decode
 // range — the analysis behind the paper's Fig. 1 multi-lane connectivity
-// discussion.
+// discussion. The rows share one flat []bool backing array, and when the
+// channel's spatial culling is active only grid-near pairs are evaluated,
+// so sparse topologies cost O(N·neighbors) model evaluations instead of
+// O(N²).
 func (w *World) ConnectivityMatrix() [][]bool {
 	n := len(w.nodes)
 	m := make([][]bool, n)
-	thresh := w.Channel.RxThreshW()
+	flat := make([]bool, n*n)
 	for i := range m {
-		m[i] = make([]bool, n)
+		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
+	thresh := w.Channel.RxThreshW()
+	txW := w.Channel.TxPowerW()
 	for i := 0; i < n; i++ {
+		node := w.nodes[i]
+		if w.Channel.EachNearRx(node.pos, func(rx *phy.Radio) {
+			// Evaluate each unordered pair once, from its lower index.
+			// Radios attached to the channel beyond the world's nodes
+			// (monitors, sniffers) are not part of node connectivity.
+			j := rx.Index()
+			if j <= i || j >= n {
+				return
+			}
+			power := w.cfg.Propagation.RxPower(txW, node.pos, w.nodes[j].pos)
+			ok := power >= thresh
+			m[i][j] = ok
+			m[j][i] = ok
+		}) {
+			continue
+		}
 		for j := i + 1; j < n; j++ {
-			power := w.cfg.Propagation.RxPower(
-				w.channelTxPower(), w.nodes[i].pos, w.nodes[j].pos)
+			power := w.cfg.Propagation.RxPower(txW, node.pos, w.nodes[j].pos)
 			ok := power >= thresh
 			m[i][j] = ok
 			m[j][i] = ok
@@ -177,19 +201,43 @@ func (w *World) ConnectivityMatrix() [][]bool {
 	return m
 }
 
-func (w *World) channelTxPower() float64 {
-	if w.cfg.Channel.TxPowerW != 0 {
-		return w.cfg.Channel.TxPowerW
-	}
-	return 0.28183815
-}
-
 // ConnectedComponents returns the partition of nodes into radio-connectivity
 // components (used by the highway example to show relay lanes closing gaps).
+// With spatial culling active the traversal expands each node through a
+// grid query instead of materializing the O(N²) connectivity matrix; both
+// paths share one flood fill, differing only in how a node's unseen
+// neighbors are enumerated.
 func (w *World) ConnectedComponents() [][]int {
-	m := w.ConnectivityMatrix()
-	n := len(m)
+	n := len(w.nodes)
 	seen := make([]bool, n)
+	var neighbors func(v int, visit func(u int))
+	if w.Channel.Culling() {
+		thresh := w.Channel.RxThreshW()
+		txW := w.Channel.TxPowerW()
+		neighbors = func(v int, visit func(u int)) {
+			src := w.nodes[v]
+			w.Channel.EachNearRx(src.pos, func(rx *phy.Radio) {
+				// Skip non-node radios (see ConnectivityMatrix) and
+				// already-seen nodes before paying for the model.
+				u := rx.Index()
+				if u >= n || seen[u] {
+					return
+				}
+				if w.cfg.Propagation.RxPower(txW, src.pos, w.nodes[u].pos) >= thresh {
+					visit(u)
+				}
+			})
+		}
+	} else {
+		m := w.ConnectivityMatrix()
+		neighbors = func(v int, visit func(u int)) {
+			for u := 0; u < n; u++ {
+				if m[v][u] && !seen[u] {
+					visit(u)
+				}
+			}
+		}
+	}
 	var comps [][]int
 	for i := 0; i < n; i++ {
 		if seen[i] {
@@ -202,12 +250,10 @@ func (w *World) ConnectedComponents() [][]int {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, v)
-			for u := 0; u < n; u++ {
-				if m[v][u] && !seen[u] {
-					seen[u] = true
-					stack = append(stack, u)
-				}
-			}
+			neighbors(v, func(u int) {
+				seen[u] = true
+				stack = append(stack, u)
+			})
 		}
 		comps = append(comps, comp)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"cavenet/internal/geometry"
 	"cavenet/internal/sim"
+	"cavenet/internal/spatial"
 )
 
 // Frame is one physical-layer transmission unit. Payload is opaque to the
@@ -33,6 +34,13 @@ type Config struct {
 	// PropDelay enables speed-of-light propagation delay (default on; the
 	// ablation bench turns it off to measure its cost).
 	NoPropDelay bool
+	// BruteForce disables the spatial-grid interference culling and visits
+	// every attached radio on each transmission. This is the O(N²) oracle
+	// path: it is what the grid is differentially tested against, and the
+	// fallback for propagation models whose received power is not a
+	// monotone function of distance (e.g. randomized shadowing), where
+	// distance-based culling could skip a radio the model would reach.
+	BruteForce bool
 }
 
 func (c *Config) normalize() {
@@ -46,6 +54,10 @@ func (c *Config) normalize() {
 		c.CSRangeM = 550
 	}
 }
+
+// cullMargin slightly inflates grid query radii so floating-point noise in
+// the exact power predicate can never disagree with the distance cull.
+const cullMargin = 1.001
 
 // Handler receives radio events. Implemented by the MAC.
 type Handler interface {
@@ -66,6 +78,12 @@ type Channel struct {
 	rxThreshW   float64
 	csThreshW   float64
 	radios      []*Radio
+	grid        *spatial.Grid // nil when running the brute-force oracle
+	csCullM     float64       // grid query radius covering the CS threshold
+	rxCullM     float64       // grid query radius covering the Rx threshold
+	nearBuf     []int32       // Transmit-only grid-query scratch (never re-entered)
+	bufPool     [][]int32     // recycled EachNearRx buffers; survives nesting
+	sigFree     []*signal     // recycled per-receiver signal records
 	nextFrameID uint64
 	transmitted uint64
 	delivered   uint64
@@ -73,6 +91,12 @@ type Channel struct {
 }
 
 // NewChannel builds a channel over the given propagation model.
+//
+// Unless cfg.BruteForce is set and provided the model guarantees power
+// monotone in distance (see DistanceMonotone), the channel indexes radio
+// positions in a uniform grid with cell size equal to the carrier-sense
+// range, so each Transmit visits only the 3×3 cell neighborhood of the
+// sender instead of every radio in the world.
 func NewChannel(k *sim.Kernel, prop Propagation, cfg Config) *Channel {
 	cfg.normalize()
 	c := &Channel{
@@ -82,8 +106,18 @@ func NewChannel(k *sim.Kernel, prop Propagation, cfg Config) *Channel {
 	}
 	c.rxThreshW = PowerAtRange(prop, cfg.TxPowerW, cfg.RxRangeM)
 	c.csThreshW = PowerAtRange(prop, cfg.TxPowerW, cfg.CSRangeM)
+	if !cfg.BruteForce && propIsDistanceMonotone(prop) {
+		c.grid = spatial.NewGrid(cfg.CSRangeM)
+		c.csCullM = cfg.CSRangeM * cullMargin
+		c.rxCullM = cfg.RxRangeM * cullMargin
+	}
 	return c
 }
+
+// TxPowerW reports the normalized transmit power all thresholds derive
+// from; analysis code should read it here rather than re-applying the
+// Config defaulting rules.
+func (c *Channel) TxPowerW() float64 { return c.cfg.TxPowerW }
 
 // RxThreshW reports the derived receive-power threshold.
 func (c *Channel) RxThreshW() float64 { return c.rxThreshW }
@@ -91,22 +125,52 @@ func (c *Channel) RxThreshW() float64 { return c.rxThreshW }
 // CSThreshW reports the derived carrier-sense threshold.
 func (c *Channel) CSThreshW() float64 { return c.csThreshW }
 
+// Culling reports whether the spatial-grid fast path is active.
+func (c *Channel) Culling() bool { return c.grid != nil }
+
 // Stats reports cumulative channel counters: frames transmitted, frame
 // deliveries (per receiver) and collision-corrupted receptions.
 func (c *Channel) Stats() (transmitted, delivered, collided uint64) {
 	return c.transmitted, c.delivered, c.collided
 }
 
-// Attach registers a new radio whose position is read lazily via pos.
-// The handler must be set via Radio.SetHandler before first use.
-func (c *Channel) Attach(pos func() geometry.Vec2) *Radio {
+// Attach registers a new radio at the given position; move it afterwards
+// with Radio.SetPosition. The handler must be set via Radio.SetHandler
+// before first use.
+func (c *Channel) Attach(pos geometry.Vec2) *Radio {
 	r := &Radio{
-		channel: c,
-		pos:     pos,
-		index:   len(c.radios),
+		channel:  c,
+		position: pos,
+		index:    len(c.radios),
 	}
 	c.radios = append(c.radios, r)
+	if c.grid != nil {
+		c.grid.Insert(r.index, pos)
+	}
 	return r
+}
+
+// EachNearRx visits every radio that could possibly receive at or above the
+// decode threshold from pos, plus false positives the caller must filter
+// with an exact power test. It reports false without visiting anything when
+// culling is disabled — the caller must then scan all radios itself.
+// The visit callback may re-enter the channel (nested EachNearRx,
+// Transmit): each call iterates its own pooled buffer.
+func (c *Channel) EachNearRx(pos geometry.Vec2, visit func(*Radio)) bool {
+	if c.grid == nil {
+		return false
+	}
+	var buf []int32
+	if n := len(c.bufPool); n > 0 {
+		buf = c.bufPool[n-1]
+		c.bufPool = c.bufPool[:n-1]
+	}
+	buf = c.grid.Near(buf[:0], pos, c.rxCullM)
+	for _, idx := range buf {
+		visit(c.radios[idx])
+	}
+	c.bufPool = append(c.bufPool, buf)
+	return true
 }
 
 // Transmit broadcasts a frame from radio r. Duration must cover the whole
@@ -120,50 +184,98 @@ func (c *Channel) Transmit(r *Radio, payload any, bytes int, duration sim.Time) 
 	c.transmitted++
 	f := &Frame{ID: c.nextFrameID, Bytes: bytes, Duration: duration, Payload: payload}
 	r.transmitting = true
-	src := r.pos()
+	src := r.position
 	// A transmitting radio cannot decode concurrent arrivals.
 	for _, sig := range r.active {
 		sig.corrupted = true
 	}
-	for _, rx := range c.radios {
-		if rx == r {
-			continue
+	if c.grid != nil {
+		c.nearBuf = c.grid.Near(c.nearBuf[:0], src, c.csCullM)
+		for _, idx := range c.nearBuf {
+			rx := c.radios[idx]
+			if rx != r {
+				c.propagate(src, rx, f)
+			}
 		}
-		power := c.prop.RxPower(c.cfg.TxPowerW, src, rx.pos())
-		if power < c.csThreshW {
-			continue
+	} else {
+		for _, rx := range c.radios {
+			if rx != r {
+				c.propagate(src, rx, f)
+			}
 		}
-		rx := rx
-		delay := sim.Time(0)
-		if !c.cfg.NoPropDelay {
-			meters := src.Dist(rx.pos())
-			delay = sim.Time(meters / lightSpeed * float64(sim.Second))
-		}
-		c.kernel.After(delay, func() {
-			rx.signalStart(f, power)
-		})
 	}
-	c.kernel.After(duration, func() {
+	r.txFrame = f
+	c.kernel.AfterArg(duration, txDoneFn, r)
+	return f
+}
+
+// propagate schedules the arrival of frame f at rx if the received power
+// clears the carrier-sense threshold.
+func (c *Channel) propagate(src geometry.Vec2, rx *Radio, f *Frame) {
+	rxPos := rx.position
+	power := c.prop.RxPower(c.cfg.TxPowerW, src, rxPos)
+	if power < c.csThreshW {
+		return
+	}
+	sig := c.newSignal()
+	sig.radio = rx
+	sig.frame = f
+	sig.power = power
+	delay := sim.Time(0)
+	if !c.cfg.NoPropDelay {
+		meters := src.Dist(rxPos)
+		delay = sim.Time(meters / lightSpeed * float64(sim.Second))
+	}
+	c.kernel.AfterArg(delay, signalStartFn, sig)
+}
+
+// newSignal takes a signal record from the pool. Records return to the pool
+// in signalEnd, after the last reference (the radio's active list) is gone.
+func (c *Channel) newSignal() *signal {
+	if n := len(c.sigFree); n > 0 {
+		sig := c.sigFree[n-1]
+		c.sigFree[n-1] = nil
+		c.sigFree = c.sigFree[:n-1]
+		return sig
+	}
+	return &signal{}
+}
+
+func (c *Channel) releaseSignal(sig *signal) {
+	*sig = signal{}
+	c.sigFree = append(c.sigFree, sig)
+}
+
+// Package-level event callbacks: scheduling these through AfterArg reuses a
+// pooled kernel event instead of allocating a closure per signal edge.
+var (
+	signalStartFn = func(a any) { s := a.(*signal); s.radio.signalStart(s) }
+	signalEndFn   = func(a any) { s := a.(*signal); s.radio.signalEnd(s) }
+	txDoneFn      = func(a any) {
+		r := a.(*Radio)
+		f := r.txFrame
+		r.txFrame = nil
 		r.transmitting = false
 		if r.handler != nil {
 			r.handler.RadioTxDone(f)
 		}
-	})
-	return f
-}
+	}
+)
 
 // Radio is one station's attachment to the channel.
 type Radio struct {
 	channel      *Channel
-	pos          func() geometry.Vec2
+	position     geometry.Vec2
 	handler      Handler
 	index        int
 	transmitting bool
+	txFrame      *Frame
 	active       []*signal
 	decoding     *signal
 }
 
 type signal struct {
+	radio     *Radio
 	frame     *Frame
 	power     float64
 	corrupted bool
@@ -182,15 +294,26 @@ func (r *Radio) CarrierBusy() bool {
 }
 
 // Position reports the radio's current location.
-func (r *Radio) Position() geometry.Vec2 { return r.pos() }
+func (r *Radio) Position() geometry.Vec2 { return r.position }
+
+// SetPosition moves the radio, updating the channel's spatial index
+// incrementally (a move within the same grid cell is a field store).
+func (r *Radio) SetPosition(p geometry.Vec2) {
+	r.position = p
+	if g := r.channel.grid; g != nil {
+		g.Move(r.index, p)
+	}
+}
+
+// Index reports the radio's attach-order index on its channel.
+func (r *Radio) Index() int { return r.index }
 
 // Transmit broadcasts a frame from this radio; see Channel.Transmit.
 func (r *Radio) Transmit(payload any, bytes int, duration sim.Time) *Frame {
 	return r.channel.Transmit(r, payload, bytes, duration)
 }
 
-func (r *Radio) signalStart(f *Frame, power float64) {
-	sig := &signal{frame: f, power: power}
+func (r *Radio) signalStart(sig *signal) {
 	wasBusy := r.CarrierBusy()
 	r.active = append(r.active, sig)
 
@@ -198,11 +321,11 @@ func (r *Radio) signalStart(f *Frame, power float64) {
 	case r.transmitting:
 		// Half-duplex: arrivals during our own transmission are lost.
 		sig.corrupted = true
-	case power < r.channel.rxThreshW:
+	case sig.power < r.channel.rxThreshW:
 		// Sensed but not decodable; pure interference. It can still corrupt
 		// an ongoing weaker reception below.
 		sig.corrupted = true
-		if r.decoding != nil && !capturedOver(r.channel.cfg.CaptureRatio, r.decoding.power, power) {
+		if r.decoding != nil && !capturedOver(r.channel.cfg.CaptureRatio, r.decoding.power, sig.power) {
 			r.decoding.corrupted = true
 		}
 	case r.decoding == nil:
@@ -213,17 +336,17 @@ func (r *Radio) signalStart(f *Frame, power float64) {
 				strongest = other.power
 			}
 		}
-		sig.corrupted = strongest > 0 && !capturedOver(r.channel.cfg.CaptureRatio, power, strongest)
+		sig.corrupted = strongest > 0 && !capturedOver(r.channel.cfg.CaptureRatio, sig.power, strongest)
 		r.decoding = sig
 	default:
 		cur := r.decoding
 		switch {
-		case capturedOver(r.channel.cfg.CaptureRatio, power, cur.power):
+		case capturedOver(r.channel.cfg.CaptureRatio, sig.power, cur.power):
 			// The newcomer captures the receiver.
 			cur.corrupted = true
 			sig.corrupted = false
 			r.decoding = sig
-		case capturedOver(r.channel.cfg.CaptureRatio, cur.power, power):
+		case capturedOver(r.channel.cfg.CaptureRatio, cur.power, sig.power):
 			// Ongoing reception survives; newcomer is lost.
 			sig.corrupted = true
 		default:
@@ -236,7 +359,7 @@ func (r *Radio) signalStart(f *Frame, power float64) {
 	if !wasBusy && r.CarrierBusy() && r.handler != nil {
 		r.handler.RadioCarrier(true)
 	}
-	r.channel.kernel.After(f.Duration, func() { r.signalEnd(sig) })
+	r.channel.kernel.AfterArg(sig.frame.Duration, signalEndFn, sig)
 }
 
 // capturedOver reports whether a signal with power p survives interference
@@ -266,6 +389,7 @@ func (r *Radio) signalEnd(sig *signal) {
 			r.channel.collided++
 		}
 	}
+	r.channel.releaseSignal(sig)
 	if !r.CarrierBusy() && r.handler != nil {
 		r.handler.RadioCarrier(false)
 	}

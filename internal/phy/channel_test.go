@@ -22,10 +22,6 @@ func (r *recorder) RadioReceive(f *Frame, p float64) {
 func (r *recorder) RadioCarrier(busy bool) { r.carrier = append(r.carrier, busy) }
 func (r *recorder) RadioTxDone(*Frame)     { r.txDone++ }
 
-func fixedPos(x, y float64) func() geometry.Vec2 {
-	return func() geometry.Vec2 { return geometry.Vec2{X: x, Y: y} }
-}
-
 func testChannel(t *testing.T, cfg Config) (*sim.Kernel, *Channel) {
 	t.Helper()
 	k := sim.NewKernel()
@@ -33,7 +29,7 @@ func testChannel(t *testing.T, cfg Config) (*sim.Kernel, *Channel) {
 }
 
 func attach(c *Channel, x, y float64) (*Radio, *recorder) {
-	r := c.Attach(fixedPos(x, y))
+	r := c.Attach(geometry.Vec2{X: x, Y: y})
 	rec := &recorder{}
 	r.SetHandler(rec)
 	return r, rec

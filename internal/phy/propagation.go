@@ -26,6 +26,29 @@ type Propagation interface {
 	RxPower(txW float64, from, to geometry.Vec2) float64
 }
 
+// DistanceMonotone is the optional contract behind the channel's
+// spatial-grid culling. A model that reports true guarantees that for any
+// distance d beyond a reference distance r, RxPower at d is *strictly
+// below* RxPower at r — i.e. power strictly decreases past every range of
+// interest. "Never increases" is not enough: a model whose power plateaus
+// at the carrier-sense threshold beyond the CS range would satisfy
+// non-increase yet still reach radios the grid would cull. Under the
+// strict contract, any radio farther away than the carrier-sense range is
+// guaranteed below the derived carrier-sense threshold and can be skipped
+// without evaluating the model. Models that do not implement the
+// interface, or report false (e.g. shadowing with a random component),
+// force the channel onto the brute-force oracle path.
+type DistanceMonotone interface {
+	DistanceMonotone() bool
+}
+
+// propIsDistanceMonotone reports whether the model opted into
+// distance-based culling.
+func propIsDistanceMonotone(m Propagation) bool {
+	dm, ok := m.(DistanceMonotone)
+	return ok && dm.DistanceMonotone()
+}
+
 // FreeSpace is the Friis free-space model:
 // Pr = Pt·Gt·Gr·λ² / ((4π·d)²·L).
 type FreeSpace struct {
@@ -54,6 +77,10 @@ func (m FreeSpace) params() (gt, gr, l, lambda float64) {
 	}
 	return gt, gr, l, lightSpeed / f
 }
+
+// DistanceMonotone implements the culling contract: Friis power decays
+// strictly with distance.
+func (m FreeSpace) DistanceMonotone() bool { return true }
 
 // RxPower implements Propagation.
 func (m FreeSpace) RxPower(txW float64, from, to geometry.Vec2) float64 {
@@ -101,6 +128,10 @@ func (m TwoRayGround) Crossover() float64 {
 	return 4 * math.Pi * ht * hr / lambda
 }
 
+// DistanceMonotone implements the culling contract: both branches decay
+// with distance and the model is continuous at the crossover.
+func (m TwoRayGround) DistanceMonotone() bool { return true }
+
 // RxPower implements Propagation.
 func (m TwoRayGround) RxPower(txW float64, from, to geometry.Vec2) float64 {
 	d := from.Dist(to)
@@ -129,6 +160,11 @@ type Shadowing struct {
 	// is zero.
 	Rnd *rand.Rand
 }
+
+// DistanceMonotone implements the culling contract. With a random source
+// the sampled deviation can lift far-away receivers above threshold, so
+// culling is only sound in the deterministic (mean path loss) setting.
+func (m Shadowing) DistanceMonotone() bool { return m.Rnd == nil }
 
 // RxPower implements Propagation.
 func (m Shadowing) RxPower(txW float64, from, to geometry.Vec2) float64 {

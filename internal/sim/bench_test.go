@@ -27,7 +27,7 @@ func BenchmarkTimerResetStorm(b *testing.B) {
 
 func BenchmarkEventChurnWithCancels(b *testing.B) {
 	k := NewKernel()
-	events := make([]*Event, 0, 128)
+	events := make([]Handle, 0, 128)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		events = append(events, k.Schedule(k.Now()+Time(i%977)*Microsecond, func() {}))

@@ -5,6 +5,14 @@
 // non-decreasing timestamp order; ties are broken by insertion order so a
 // run is fully reproducible. The kernel is single-threaded by design — all
 // model code (PHY, MAC, routing, traffic) runs inside event callbacks.
+//
+// Event records are pooled: once an event fires or is cancelled its record
+// returns to a free list and is reused by a later Schedule, so the steady
+// state of a long run performs no per-event heap allocation. Callers hold
+// Handle values, which pair the record pointer with a generation number;
+// a handle to a recycled record is detected by the generation mismatch and
+// behaves exactly like a handle to a fired event (not scheduled, Cancel is
+// a no-op), never touching the record's new occupant.
 package sim
 
 import (
@@ -45,22 +53,46 @@ func (t Time) String() string {
 	return strconv.FormatFloat(t.Seconds(), 'f', 6, 64) + "s"
 }
 
-// Event is a scheduled callback. The zero value is not useful; events are
-// created by Kernel.Schedule or Kernel.After and may be cancelled.
-type Event struct {
+// event is a pooled scheduled-callback record. Exactly one of fn and afn is
+// set while the event is pending. gen increments every time the record is
+// released, invalidating outstanding handles.
+type event struct {
 	at    Time
 	seq   uint64
 	fn    func()
+	afn   func(any)
+	arg   any
 	index int // position in the heap, -1 once popped or cancelled
+	gen   uint64
 }
 
-// At reports the time the event is (or was) scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Handle identifies a scheduled event. It is a small value, cheap to copy
+// and store; the zero Handle refers to no event (not scheduled, cancel is a
+// no-op). A handle outlives its event harmlessly: once the event fires or
+// is cancelled the handle reports not-scheduled even after the kernel
+// recycles the underlying record for a new event.
+type Handle struct {
+	ev  *event
+	gen uint64
+}
+
+// live reports whether the handle still refers to the pending incarnation
+// of its event record.
+func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen }
 
 // Scheduled reports whether the event is still pending.
-func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+func (h Handle) Scheduled() bool { return h.live() && h.ev.index >= 0 }
 
-type eventQueue []*Event
+// At reports the time the event is scheduled to fire; it returns 0 once the
+// event has fired, been cancelled, or been recycled.
+func (h Handle) At() Time {
+	if !h.live() {
+		return 0
+	}
+	return h.ev.at
+}
+
+type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 
@@ -78,7 +110,7 @@ func (q eventQueue) Swap(i, j int) {
 }
 
 func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
+	ev := x.(*event)
 	ev.index = len(*q)
 	*q = append(*q, ev)
 }
@@ -98,6 +130,7 @@ type Kernel struct {
 	now       Time
 	seq       uint64
 	queue     eventQueue
+	free      []*event // recycled event records
 	processed uint64
 	stopped   bool
 }
@@ -116,36 +149,88 @@ func (k *Kernel) Pending() int { return len(k.queue) }
 // Processed reports the total number of events executed so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
+// alloc takes an event record from the free list, or grows the pool.
+func (k *Kernel) alloc(at Time) *event {
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = k.seq
+	k.seq++
+	return ev
+}
+
+// release invalidates outstanding handles to ev and returns the record to
+// the free list.
+func (k *Kernel) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	k.free = append(k.free, ev)
+}
+
+func (k *Kernel) push(ev *event) Handle {
+	heap.Push(&k.queue, ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
 // Schedule queues fn to run at absolute time at. Scheduling in the past
 // panics: it is always a model bug and silently clamping would hide it.
-func (k *Kernel) Schedule(at Time, fn func()) *Event {
+func (k *Kernel) Schedule(at Time, fn func()) Handle {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
 	}
 	if fn == nil {
 		panic("sim: schedule with nil callback")
 	}
-	ev := &Event{at: at, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.queue, ev)
-	return ev
+	ev := k.alloc(at)
+	ev.fn = fn
+	return k.push(ev)
+}
+
+// ScheduleArg queues fn(arg) to run at absolute time at. Unlike Schedule,
+// the callback receives its state as an argument, so hot paths can pass a
+// package-level func plus a pointer argument and avoid allocating a closure
+// per event. The same past-time and nil-callback panics apply.
+func (k *Kernel) ScheduleArg(at Time, fn func(any), arg any) Handle {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	ev := k.alloc(at)
+	ev.afn = fn
+	ev.arg = arg
+	return k.push(ev)
 }
 
 // After queues fn to run d after the current time. Negative d panics.
-func (k *Kernel) After(d Time, fn func()) *Event {
+func (k *Kernel) After(d Time, fn func()) Handle {
 	return k.Schedule(k.now+d, fn)
 }
 
+// AfterArg queues fn(arg) to run d after the current time; see ScheduleArg.
+func (k *Kernel) AfterArg(d Time, fn func(any), arg any) Handle {
+	return k.ScheduleArg(k.now+d, fn, arg)
+}
+
 // Cancel removes a pending event from the queue. It reports whether the
-// event was still pending; cancelling an already-fired or already-cancelled
-// event is a harmless no-op.
-func (k *Kernel) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 {
+// event was still pending; cancelling an already-fired, already-cancelled
+// or recycled handle is a harmless no-op.
+func (k *Kernel) Cancel(h Handle) bool {
+	if !h.live() || h.ev.index < 0 {
 		return false
 	}
-	heap.Remove(&k.queue, ev.index)
-	ev.index = -1
-	ev.fn = nil
+	heap.Remove(&k.queue, h.ev.index)
+	h.ev.index = -1
+	k.release(h.ev)
 	return true
 }
 
@@ -155,12 +240,18 @@ func (k *Kernel) Step() bool {
 	if len(k.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&k.queue).(*Event)
+	ev := heap.Pop(&k.queue).(*event)
 	k.now = ev.at
 	k.processed++
-	fn := ev.fn
-	ev.fn = nil
-	fn()
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	// Recycle before running so the callback can schedule into the freed
+	// record; its handle is distinguished by the bumped generation.
+	k.release(ev)
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
 	return true
 }
 

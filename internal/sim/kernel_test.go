@@ -65,10 +65,13 @@ func TestKernelCancel(t *testing.T) {
 	}
 }
 
-func TestKernelCancelNil(t *testing.T) {
+func TestKernelCancelZeroHandle(t *testing.T) {
 	k := NewKernel()
-	if k.Cancel(nil) {
-		t.Fatal("Cancel(nil) should return false")
+	if k.Cancel(Handle{}) {
+		t.Fatal("Cancel of the zero Handle should return false")
+	}
+	if (Handle{}).Scheduled() {
+		t.Fatal("zero Handle should not report Scheduled")
 	}
 }
 
@@ -179,7 +182,7 @@ func TestEventScheduledAccessors(t *testing.T) {
 func TestKernelManyEventsHeapStress(t *testing.T) {
 	k := NewKernel()
 	// Interleave schedules and cancels to exercise heap indices.
-	var events []*Event
+	var events []Handle
 	for i := 0; i < 1000; i++ {
 		at := Time((i*7919)%997) * Millisecond
 		events = append(events, k.Schedule(at, func() {}))
@@ -203,3 +206,97 @@ func TestKernelManyEventsHeapStress(t *testing.T) {
 		t.Fatalf("executed %d events, want %d", count, want)
 	}
 }
+
+// --- event-pool recycling ---
+
+func TestKernelCancelAfterFireIsNoOp(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	ev := k.Schedule(Second, func() { fired++ })
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if k.Cancel(ev) {
+		t.Fatal("Cancel of an already-fired event must return false")
+	}
+	if ev.Scheduled() {
+		t.Fatal("fired event still reports Scheduled")
+	}
+}
+
+func TestKernelStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	k := NewKernel()
+	stale := k.Schedule(Second, func() {})
+	k.Run() // fires; the record returns to the free list
+
+	// The next Schedule reuses the freed record under a new generation.
+	fired := false
+	fresh := k.Schedule(2*Second, func() { fired = true })
+	if stale.Scheduled() {
+		t.Fatal("stale handle reports Scheduled after its record was recycled")
+	}
+	if stale.At() != 0 {
+		t.Fatalf("stale handle At() = %v, want 0", stale.At())
+	}
+	if k.Cancel(stale) {
+		t.Fatal("stale handle cancelled the recycled record's new event")
+	}
+	if !fresh.Scheduled() {
+		t.Fatal("fresh event lost its scheduling to a stale cancel")
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestKernelCancelThenRescheduleReusesRecord(t *testing.T) {
+	k := NewKernel()
+	a := k.Schedule(Second, noop)
+	k.Cancel(a)
+	fired := false
+	b := k.Schedule(Second, func() { fired = true })
+	if a.Scheduled() {
+		t.Fatal("cancelled handle reports Scheduled after reuse")
+	}
+	if !b.Scheduled() || b.At() != Second {
+		t.Fatalf("reused event not scheduled correctly: %v %v", b.Scheduled(), b.At())
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("rescheduled event did not fire")
+	}
+}
+
+func TestKernelScheduleArg(t *testing.T) {
+	k := NewKernel()
+	got := 0
+	fn := func(a any) { got = a.(int) }
+	k.ScheduleArg(Second, fn, 41)
+	k.AfterArg(2*Second, func(a any) { got += a.(int) }, 1)
+	k.Run()
+	if got != 42 {
+		t.Fatalf("arg callbacks computed %d, want 42", got)
+	}
+}
+
+func TestKernelScheduleSteadyStateAllocFree(t *testing.T) {
+	k := NewKernel()
+	var sink *Kernel = k
+	// Warm the pool, then check a schedule+run cycle allocates nothing.
+	for i := 0; i < 64; i++ {
+		sink.After(Time(i), noop)
+	}
+	k.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		sink.AfterArg(Microsecond, noopArg, sink)
+		sink.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ScheduleArg+Run allocated %v times per op", allocs)
+	}
+}
+
+func noop()       {}
+func noopArg(any) {}

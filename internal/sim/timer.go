@@ -9,7 +9,7 @@ package sim
 type Timer struct {
 	kernel *Kernel
 	fn     func()
-	ev     *Event
+	ev     Handle
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it expires.
@@ -24,42 +24,36 @@ func NewTimer(k *Kernel, fn func()) *Timer {
 // deadline.
 func (t *Timer) Reset(d Time) {
 	t.Stop()
-	t.ev = t.kernel.After(d, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.kernel.AfterArg(d, timerFire, t)
+}
+
+// timerFire is the shared expiry callback; keeping it package-level means a
+// Reset allocates no closure, only reuses a pooled event record.
+func timerFire(a any) {
+	t := a.(*Timer)
+	t.ev = Handle{}
+	t.fn()
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	t.ev = t.kernel.Schedule(at, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.kernel.ScheduleArg(at, timerFire, t)
 }
 
 // Stop cancels the pending deadline, if any. It reports whether a deadline
 // was pending.
 func (t *Timer) Stop() bool {
-	if t.ev == nil {
-		return false
-	}
 	ok := t.kernel.Cancel(t.ev)
-	t.ev = nil
+	t.ev = Handle{}
 	return ok
 }
 
 // Active reports whether the timer has a pending deadline.
-func (t *Timer) Active() bool { return t.ev != nil && t.ev.Scheduled() }
+func (t *Timer) Active() bool { return t.ev.Scheduled() }
 
 // Deadline reports the pending fire time; valid only when Active.
-func (t *Timer) Deadline() Time {
-	if t.ev == nil {
-		return 0
-	}
-	return t.ev.At()
-}
+func (t *Timer) Deadline() Time { return t.ev.At() }
 
 // Ticker repeatedly invokes a callback at a fixed period, with optional
 // per-tick jitter supplied by the caller. Protocol HELLO/TC emission uses
@@ -70,7 +64,7 @@ type Ticker struct {
 	period  Time
 	jitter  func() Time // extra delay added to each tick; may be nil
 	fn      func()
-	ev      *Event
+	ev      Handle
 	stopped bool
 }
 
@@ -99,7 +93,7 @@ func (t *Ticker) Start() {
 func (t *Ticker) StartNow() {
 	t.Stop()
 	t.stopped = false
-	t.ev = t.kernel.After(0, t.tick)
+	t.ev = t.kernel.AfterArg(0, tickerFire, t)
 }
 
 func (t *Ticker) schedule() {
@@ -110,13 +104,19 @@ func (t *Ticker) schedule() {
 	if d <= 0 {
 		d = 1
 	}
-	t.ev = t.kernel.After(d, t.tick)
+	t.ev = t.kernel.AfterArg(d, tickerFire, t)
 }
 
-func (t *Ticker) tick() {
-	t.ev = nil
+// tickerFire is the shared tick callback, package-level for the same
+// zero-closure reason as timerFire.
+func tickerFire(a any) {
+	t := a.(*Ticker)
+	t.ev = Handle{}
 	t.fn()
-	if !t.stopped {
+	// The callback may have restarted the ticker itself (Start/StartNow
+	// from inside fn); re-arming here too would fork a second, orphaned
+	// tick chain firing at double rate.
+	if !t.stopped && !t.ev.Scheduled() {
 		t.schedule()
 	}
 }
@@ -124,8 +124,6 @@ func (t *Ticker) tick() {
 // Stop cancels future ticks; safe to call from inside the tick callback.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.kernel.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.kernel.Cancel(t.ev)
+	t.ev = Handle{}
 }

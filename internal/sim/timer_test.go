@@ -184,3 +184,27 @@ func TestNewTickerValidation(t *testing.T) {
 		})
 	}
 }
+
+func TestTickerRestartFromCallbackDoesNotDoubleSchedule(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	var tk *Ticker
+	tk = NewTicker(k, Second, nil, func() {
+		ticks++
+		if ticks == 1 {
+			// Change cadence mid-run: restart from inside the callback.
+			tk.Start()
+		}
+	})
+	tk.Start()
+	k.RunUntil(10 * Second)
+	tk.Stop()
+	// One tick chain: first fire at 1s, restart, then 2s..10s = 10 total.
+	// A forked chain would roughly double this.
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10 (single chain)", ticks)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending events after Stop = %d, want 0 (no orphaned chain)", k.Pending())
+	}
+}

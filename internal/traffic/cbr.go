@@ -39,7 +39,7 @@ type CBR struct {
 	cfg  CBRConfig
 	node *netsim.Node
 	sent uint64
-	ev   *sim.Event
+	ev   sim.Handle
 }
 
 // NewCBR attaches a CBR source to node; call Start to begin.
@@ -61,28 +61,29 @@ func (c *CBR) Start() {
 	if start < k.Now() {
 		start = k.Now()
 	}
-	c.ev = k.Schedule(start, c.emit)
+	c.ev = k.ScheduleArg(start, cbrEmit, c)
 }
 
 // StopNow cancels any pending emission.
 func (c *CBR) StopNow() {
-	if c.ev != nil {
-		c.node.Kernel().Cancel(c.ev)
-		c.ev = nil
-	}
+	c.node.Kernel().Cancel(c.ev)
+	c.ev = sim.Handle{}
 }
 
-func (c *CBR) emit() {
+// cbrEmit is the shared emission callback; package-level so rescheduling
+// reuses a pooled kernel event without allocating a closure.
+func cbrEmit(a any) {
+	c := a.(*CBR)
 	k := c.node.Kernel()
 	if c.cfg.Stop > 0 && k.Now() >= c.cfg.Stop {
-		c.ev = nil
+		c.ev = sim.Handle{}
 		return
 	}
 	p := c.node.NewPacket(c.cfg.Dst, c.cfg.Port, c.cfg.PacketBytes)
 	c.node.SendData(p)
 	c.sent++
 	interval := sim.Seconds(1 / c.cfg.Rate)
-	c.ev = k.After(interval, c.emit)
+	c.ev = k.AfterArg(interval, cbrEmit, c)
 }
 
 // Sink counts packets arriving on a port; deliveries are also visible to
