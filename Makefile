@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test bench-smoke bench ci
+.PHONY: build vet test race sweep-smoke bench-smoke bench ci
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,16 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the parallel experiment engine and everything
+# that schedules work on it; mirrors the ci.yml race job.
+race:
+	$(GO) test -race ./internal/exp/ ./internal/stats/ ./internal/rng/ ./internal/core/
+
+# Tiny end-to-end grid through the sweep subcommand: catches CLI wiring
+# and engine regressions in a few seconds.
+sweep-smoke:
+	$(GO) run ./cmd/cavenet sweep -nodes 10,14 -senders 2 -circuit 1000 -trials 2 -time 20 -protocols aodv,dymo
 
 # One iteration of the broadcast scaling bench: catches gross perf
 # regressions (e.g. the culling silently disabled) without the minutes-long
@@ -26,4 +36,4 @@ bench:
 	$(GO) test ./internal/netsim/ -bench 'Connectivity|Components' -benchmem -benchtime=20x -run XXX
 	$(GO) test ./internal/sim/ -bench . -benchmem -run XXX
 
-ci: build vet test bench-smoke
+ci: build vet test bench-smoke sweep-smoke

@@ -27,6 +27,7 @@ import (
 
 	"cavenet/internal/core"
 	"cavenet/internal/mobility"
+	"cavenet/internal/stats"
 	"cavenet/internal/trace"
 )
 
@@ -62,6 +63,23 @@ func RunOnTrace(s Scenario, t *mobility.SampledTrace) (*Result, error) {
 func Compare(s Scenario, protocols []Protocol) (map[Protocol]*Result, error) {
 	return core.CompareProtocols(s, protocols)
 }
+
+// SweepConfig spans a (node count × protocol × trial) experiment grid; see
+// core.SweepConfig for the determinism contract.
+type SweepConfig = core.SweepConfig
+
+// SweepPoint is one aggregated (protocol, density) cell of a sweep.
+type SweepPoint = core.SweepPoint
+
+// Estimate is a mean ± spread summary of Monte-Carlo replications.
+type Estimate = stats.Estimate
+
+// Sweep executes a density × protocol × seed grid on the deterministic
+// parallel experiment engine: replications run concurrently (one worker
+// per core unless cfg.Workers says otherwise), every trial on its own
+// forked RNG stream, and the aggregated output is bit-identical for any
+// worker count.
+func Sweep(cfg SweepConfig) ([]SweepPoint, error) { return core.Sweep(cfg) }
 
 // CircuitTrace generates the Table I mobility input: vehicles on a ring
 // ("circuit") driven by the NaS cellular automaton, recorded after warmup.

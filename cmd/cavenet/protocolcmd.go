@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"strings"
 
 	"cavenet"
 	"cavenet/internal/plot"
@@ -34,18 +33,9 @@ func cmdProtocols(args []string) error {
 		Seed:          *seed,
 		OLSRETX:       *etx,
 	}
-	var protocols []cavenet.Protocol
-	switch strings.ToLower(*protocol) {
-	case "all":
-		protocols = []cavenet.Protocol{cavenet.AODV, cavenet.OLSR, cavenet.DYMO}
-	case "aodv":
-		protocols = []cavenet.Protocol{cavenet.AODV}
-	case "olsr":
-		protocols = []cavenet.Protocol{cavenet.OLSR}
-	case "dymo":
-		protocols = []cavenet.Protocol{cavenet.DYMO}
-	default:
-		return fmt.Errorf("unknown protocol %q", *protocol)
+	protocols, err := parseProtocolList(*protocol)
+	if err != nil {
+		return err
 	}
 
 	results, err := cavenet.Compare(cfg, protocols)

@@ -5,7 +5,13 @@
 // goodput characteristics behind Figs. 8–10. Expect the paper's ordering:
 // reactive protocols beat OLSR, DYMO ≈ AODV with lower delay.
 //
-//	go run ./examples/protocolcompare [-full]
+// With -trials N (N > 1) the comparison becomes a Monte-Carlo ensemble on
+// the deterministic parallel experiment engine: N seeded replications per
+// protocol run concurrently across cores and the table reports each
+// metric as mean ± 95% CI — the error bars the single-trace run cannot
+// give.
+//
+//	go run ./examples/protocolcompare [-full] [-trials 20]
 package main
 
 import (
@@ -21,6 +27,7 @@ func main() {
 	log.SetFlags(0)
 	full := flag.Bool("full", true, "run the full 100 s Table I scenario (false: 30 s)")
 	seed := flag.Int64("seed", 1, "scenario seed")
+	trials := flag.Int("trials", 1, "replications; > 1 reports ensemble mean ± 95% CI")
 	flag.Parse()
 
 	cfg := cavenet.Scenario{Seed: *seed}
@@ -29,6 +36,11 @@ func main() {
 		cfg.TrafficStop = 25 * sim.Second
 	}
 	protocols := []cavenet.Protocol{cavenet.AODV, cavenet.OLSR, cavenet.DYMO}
+
+	if *trials > 1 {
+		runEnsemble(cfg, protocols, *trials)
+		return
+	}
 
 	results, err := cavenet.Compare(cfg, protocols)
 	if err != nil {
@@ -76,5 +88,34 @@ func main() {
 	for _, p := range protocols {
 		r := results[p]
 		fmt.Printf("%-8s%8d control packets, %9d bytes\n", p, r.ControlPackets, r.ControlBytes)
+	}
+}
+
+// runEnsemble replicates the comparison over seeded Monte-Carlo trials on
+// the parallel experiment engine and prints mean ± 95% CI per protocol.
+func runEnsemble(cfg cavenet.Scenario, protocols []cavenet.Protocol, trials int) {
+	pts, err := cavenet.Sweep(cavenet.SweepConfig{
+		Base:      cfg,
+		Protocols: protocols,
+		Trials:    trials,
+	})
+	if err != nil {
+		log.Fatalf("protocolcompare: %v", err)
+	}
+	fmt.Printf("=== ensemble over %d trials (mean ± 95%% CI) ===\n", trials)
+	fmt.Printf("%-8s%20s%22s%24s\n", "proto", "totalPDR", "goodput (bps)", "mean delay (s)")
+	for _, pt := range pts {
+		fmt.Printf("%-8s%12.3f ± %.3f%15.0f ± %.0f%17.4f ± %.4f\n",
+			pt.Protocol,
+			pt.PDR.Mean, pt.PDR.CI95,
+			pt.GoodputBPS.Mean, pt.GoodputBPS.CI95,
+			pt.DelaySec.Mean, pt.DelaySec.CI95)
+	}
+	fmt.Printf("\n%-8s%20s%20s\n", "proto", "ctrl packets", "MAC retries")
+	for _, pt := range pts {
+		fmt.Printf("%-8s%12.0f ± %.0f%14.0f ± %.0f\n",
+			pt.Protocol,
+			pt.ControlPackets.Mean, pt.ControlPackets.CI95,
+			pt.MACRetries.Mean, pt.MACRetries.CI95)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"cavenet/internal/ca"
+	"cavenet/internal/exp"
 	"cavenet/internal/mobility"
 	"cavenet/internal/rng"
 	"cavenet/internal/stats"
@@ -20,6 +21,8 @@ type FundamentalPoint struct {
 	Density float64
 	Flow    float64
 	StdDev  float64
+	// CI95 is the 95% confidence half-width of Flow across the ensemble.
+	CI95 float64
 }
 
 // FundamentalConfig parameterizes a Fig. 4 sweep.
@@ -52,33 +55,47 @@ func (c *FundamentalConfig) normalize() {
 
 // FundamentalDiagram reproduces Fig. 4: flow J = ρ·v̄ against density ρ,
 // each point the ensemble average over Trials runs of Iterations steps.
+//
+// The density × trial grid executes on the exp worker pool, every trial on
+// its own hierarchical rng fork (seed → density → trial), and points are
+// reduced in trial order — the result is bit-identical for any worker
+// count.
 func FundamentalDiagram(cfg FundamentalConfig) ([]FundamentalPoint, error) {
 	cfg.normalize()
 	src := rng.NewSource(cfg.Seed)
-	out := make([]FundamentalPoint, 0, len(cfg.Densities))
+	counts := make([]int, len(cfg.Densities))
 	for di, rho := range cfg.Densities {
 		n := int(math.Round(rho * float64(cfg.LaneLength)))
 		if n < 1 {
 			n = 1
 		}
-		var runErr error
-		mean, sd := stats.Ensemble(cfg.Trials, func(trial int) float64 {
-			lane, err := ca.NewLane(ca.Config{
-				Length:    cfg.LaneLength,
-				Vehicles:  n,
-				SlowdownP: cfg.SlowdownP,
-				Placement: ca.RandomPlacement,
-			}, src.Fork(di*1000+trial).Stream("fundamental"))
-			if err != nil {
-				runErr = err
-				return 0
-			}
-			return ca.FundamentalPoint(lane, cfg.Warmup, cfg.Iterations)
-		})
-		if runErr != nil {
-			return nil, fmt.Errorf("core: fundamental diagram at rho=%v: %w", rho, runErr)
+		counts[di] = n
+	}
+	flows, err := exp.Map(exp.Runner{}, len(cfg.Densities)*cfg.Trials, func(j int) (float64, error) {
+		di, trial := j/cfg.Trials, j%cfg.Trials
+		lane, err := ca.NewLane(ca.Config{
+			Length:    cfg.LaneLength,
+			Vehicles:  counts[di],
+			SlowdownP: cfg.SlowdownP,
+			Placement: ca.RandomPlacement,
+		}, src.Fork(di).Fork(trial).Stream("fundamental"))
+		if err != nil {
+			return 0, fmt.Errorf("core: fundamental diagram at rho=%v: %w", cfg.Densities[di], err)
 		}
-		out = append(out, FundamentalPoint{Density: float64(n) / float64(cfg.LaneLength), Flow: mean, StdDev: sd})
+		return ca.FundamentalPoint(lane, cfg.Warmup, cfg.Iterations), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FundamentalPoint, 0, len(cfg.Densities))
+	for di := range cfg.Densities {
+		est := stats.EstimateOf(flows[di*cfg.Trials : (di+1)*cfg.Trials])
+		out = append(out, FundamentalPoint{
+			Density: float64(counts[di]) / float64(cfg.LaneLength),
+			Flow:    est.Mean,
+			StdDev:  est.StdDev,
+			CI95:    est.CI95,
+		})
 	}
 	return out, nil
 }

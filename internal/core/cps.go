@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"cavenet/internal/ca"
+	"cavenet/internal/exp"
 	"cavenet/internal/geometry"
 	"cavenet/internal/mac"
 	"cavenet/internal/metrics"
@@ -328,6 +329,11 @@ func RunScenarioOnTrace(cfg ScenarioConfig, trace *mobility.SampledTrace) (*Scen
 // CompareProtocols runs the Table I scenario once per protocol on the SAME
 // mobility trace ("the mobility pattern for all scenarios is the same"),
 // which is what makes Fig. 11's per-sender comparison meaningful.
+//
+// The per-protocol runs execute concurrently on the exp worker pool: each
+// builds its own world and kernel, shares only the read-only trace, and
+// seeds every RNG stream from cfg.Seed — so the results are identical to
+// the old sequential loop for any worker count.
 func CompareProtocols(cfg ScenarioConfig, protocols []Protocol) (map[Protocol]*ScenarioResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -336,15 +342,21 @@ func CompareProtocols(cfg ScenarioConfig, protocols []Protocol) (map[Protocol]*S
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[Protocol]*ScenarioResult, len(protocols))
-	for _, p := range protocols {
+	results, err := exp.Map(exp.Runner{}, len(protocols), func(i int) (*ScenarioResult, error) {
 		c := cfg
-		c.Protocol = p
+		c.Protocol = protocols[i]
 		res, err := RunScenarioOnTrace(c, trace)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s scenario: %w", p, err)
+			return nil, fmt.Errorf("core: %s scenario: %w", protocols[i], err)
 		}
-		out[p] = res
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Protocol]*ScenarioResult, len(protocols))
+	for i, p := range protocols {
+		out[p] = results[i]
 	}
 	return out, nil
 }

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+
+	"cavenet/internal/exp"
+	"cavenet/internal/rng"
+	"cavenet/internal/stats"
+)
+
+// SweepConfig spans a (node count × protocol × trial) experiment grid —
+// the shape of every multi-point figure in the paper: density sweeps on
+// the x-axis, one curve per protocol, each point a seeded Monte-Carlo
+// ensemble.
+type SweepConfig struct {
+	// Base is the scenario template; Nodes, Protocol and Seed are
+	// overridden per grid point, everything else (circuit length, traffic,
+	// PHY/MAC parameters) is shared. Base.Seed is the root seed of the
+	// whole sweep.
+	Base ScenarioConfig
+	// Protocols lists the routing protocols to compare; default all three.
+	Protocols []Protocol
+	// Nodes is the density axis: vehicle counts on the circuit. Default
+	// {Base.Nodes} (a single density).
+	Nodes []int
+	// Trials is the number of replications per grid point (the paper uses
+	// 20); trial t of density cell d runs with seed root.Fork(d).Fork(t).
+	// Default 1.
+	Trials int
+	// Workers bounds the worker pool; <= 0 uses every core. The output is
+	// bit-identical for any worker count.
+	Workers int
+}
+
+func (c *SweepConfig) normalize() error {
+	if err := c.Base.normalize(); err != nil {
+		return err
+	}
+	if len(c.Protocols) == 0 {
+		c.Protocols = []Protocol{AODV, OLSR, DYMO}
+	}
+	for _, p := range c.Protocols {
+		switch p {
+		case AODV, OLSR, DYMO:
+		default:
+			return fmt.Errorf("core: unknown protocol %q in sweep", p)
+		}
+	}
+	if len(c.Nodes) == 0 {
+		c.Nodes = []int{c.Base.Nodes}
+	}
+	for _, n := range c.Nodes {
+		// A non-positive count would silently re-default to 30 vehicles
+		// inside the per-trial normalize while the output row reported the
+		// bogus density — reject it here instead.
+		if n <= 0 {
+			return fmt.Errorf("core: invalid node count %d in sweep", n)
+		}
+	}
+	if c.Trials == 0 {
+		c.Trials = 1
+	}
+	if c.Trials < 0 {
+		return fmt.Errorf("core: negative trial count %d", c.Trials)
+	}
+	return nil
+}
+
+// SweepPoint aggregates the Trials replications of one (protocol, nodes)
+// grid cell. Every metric is a mean ± spread across trials.
+type SweepPoint struct {
+	Protocol Protocol `json:"protocol"`
+	Nodes    int      `json:"nodes"`
+	// DensityPerKM is vehicles per kilometre of circuit.
+	DensityPerKM float64 `json:"densityPerKm"`
+	Trials       int     `json:"trials"`
+	// PDR is the total packet delivery ratio across senders (Fig. 11).
+	PDR stats.Estimate `json:"pdr"`
+	// GoodputBPS is the summed sender goodput averaged over 1-s bins
+	// (Figs. 8–10).
+	GoodputBPS stats.Estimate `json:"goodputBps"`
+	// DelaySec is the mean end-to-end delay across senders.
+	DelaySec stats.Estimate `json:"delaySec"`
+	// ControlPackets is the routing overhead per trial.
+	ControlPackets stats.Estimate `json:"controlPackets"`
+	// MACRetries counts link-layer retransmissions per trial.
+	MACRetries stats.Estimate `json:"macRetries"`
+}
+
+// trialRow is the scalarized outcome of one scenario run.
+type trialRow struct {
+	pdr, goodput, delay, ctrl, retries float64
+}
+
+func rowOf(res *ScenarioResult) trialRow {
+	var row trialRow
+	row.pdr = res.TotalPDR()
+	var delaySum float64
+	var bins int
+	for _, s := range res.Config.Senders {
+		delaySum += res.MeanDelaySec[s]
+		g := res.Goodput[s]
+		if len(g) > bins {
+			bins = len(g)
+		}
+	}
+	if n := len(res.Config.Senders); n > 0 {
+		row.delay = delaySum / float64(n)
+	}
+	if bins > 0 {
+		var sum float64
+		for _, s := range res.Config.Senders {
+			for _, bps := range res.Goodput[s] {
+				sum += bps
+			}
+		}
+		row.goodput = sum / float64(bins)
+	}
+	row.ctrl = float64(res.ControlPackets)
+	row.retries = float64(res.MACStats.Retries)
+	return row
+}
+
+// Sweep executes the grid on the deterministic parallel engine and returns
+// one aggregated point per (protocol, nodes) cell, protocols outermost in
+// the order given, densities in the order given.
+//
+// The unit of parallel work is one (nodes, trial) pair: the job builds the
+// cell's CA mobility trace once and evaluates every protocol on that same
+// trace, preserving the paper's methodology ("the mobility pattern for all
+// scenarios is the same"). Each pair derives its scenario seed as
+// root.Fork(densityIndex).Fork(trial), so a trial's result depends only on
+// (root seed, cell, trial) — never on scheduling — and the output is
+// bit-identical for any Workers value, including 1.
+func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	src := rng.NewSource(cfg.Base.Seed)
+	nt, np := cfg.Trials, len(cfg.Protocols)
+	rows, err := exp.Map(exp.Runner{Workers: cfg.Workers}, len(cfg.Nodes)*nt, func(j int) ([]trialRow, error) {
+		ni, trial := j/nt, j%nt
+		run := cfg.Base
+		run.Nodes = cfg.Nodes[ni]
+		run.Seed = src.Fork(ni).Fork(trial).Seed()
+		trace, err := BuildCircuitTrace(run)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep trace (nodes=%d trial=%d): %w", run.Nodes, trial, err)
+		}
+		out := make([]trialRow, np)
+		for pi, p := range cfg.Protocols {
+			c := run
+			c.Protocol = p
+			res, err := RunScenarioOnTrace(c, trace)
+			if err != nil {
+				return nil, fmt.Errorf("core: sweep %s (nodes=%d trial=%d): %w", p, run.Nodes, trial, err)
+			}
+			out[pi] = rowOf(res)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	points := make([]SweepPoint, 0, np*len(cfg.Nodes))
+	samples := make([]float64, nt)
+	estimate := func(ni, pi int, pick func(trialRow) float64) stats.Estimate {
+		for t := 0; t < nt; t++ {
+			samples[t] = pick(rows[ni*nt+t][pi])
+		}
+		return stats.EstimateOf(samples)
+	}
+	for pi, p := range cfg.Protocols {
+		for ni, nodes := range cfg.Nodes {
+			points = append(points, SweepPoint{
+				Protocol:       p,
+				Nodes:          nodes,
+				DensityPerKM:   float64(nodes) / (cfg.Base.CircuitMeters / 1000),
+				Trials:         nt,
+				PDR:            estimate(ni, pi, func(r trialRow) float64 { return r.pdr }),
+				GoodputBPS:     estimate(ni, pi, func(r trialRow) float64 { return r.goodput }),
+				DelaySec:       estimate(ni, pi, func(r trialRow) float64 { return r.delay }),
+				ControlPackets: estimate(ni, pi, func(r trialRow) float64 { return r.ctrl }),
+				MACRetries:     estimate(ni, pi, func(r trialRow) float64 { return r.retries }),
+			})
+		}
+	}
+	return points, nil
+}

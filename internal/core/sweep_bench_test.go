@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"cavenet/internal/sim"
+)
+
+// BenchmarkSweepEnsemble20 is the paper's ensemble unit of work: 20
+// replications of one protocol scenario. The engine sizes its pool from
+// GOMAXPROCS, so `go test -bench SweepEnsemble20 -cpu 1,2,4,8` produces
+// the parallel-speedup column of PERF.md directly.
+func BenchmarkSweepEnsemble20(b *testing.B) {
+	grid := SweepConfig{
+		Base: ScenarioConfig{
+			CircuitMeters: 1000,
+			Nodes:         10,
+			SimTime:       10 * sim.Second,
+			Senders:       []int{1, 2},
+			TrafficStart:  2 * sim.Second,
+			TrafficStop:   8 * sim.Second,
+			CAWarmup:      50,
+			Seed:          1,
+		},
+		Protocols: []Protocol{AODV},
+		Trials:    20,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

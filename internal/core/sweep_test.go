@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cavenet/internal/sim"
+)
+
+func sweepScenario() ScenarioConfig {
+	return ScenarioConfig{
+		CircuitMeters: 1000,
+		SimTime:       10 * sim.Second,
+		Senders:       []int{1, 2},
+		TrafficStart:  2 * sim.Second,
+		TrafficStop:   8 * sim.Second,
+		CAWarmup:      50,
+		Seed:          5,
+	}
+}
+
+// TestSweepBitIdenticalAcrossWorkerCounts is the engine's determinism
+// contract: the same grid with the same root seed must serialize to the
+// same bytes whether it ran on 1 worker or 8.
+func TestSweepBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	grid := SweepConfig{
+		Base:      sweepScenario(),
+		Protocols: []Protocol{AODV, DYMO},
+		Nodes:     []int{8, 10},
+		Trials:    2,
+	}
+	marshal := func(workers int) []byte {
+		g := grid
+		g.Workers = workers
+		pts, err := Sweep(g)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := json.Marshal(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	one := marshal(1)
+	eight := marshal(8)
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("sweep output differs across worker counts:\n 1: %s\n 8: %s", one, eight)
+	}
+}
+
+func TestSweepGridShapeAndAggregation(t *testing.T) {
+	pts, err := Sweep(SweepConfig{
+		Base:      sweepScenario(),
+		Protocols: []Protocol{DYMO, AODV},
+		Nodes:     []int{10, 8},
+		Trials:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 2 protocols × 2 densities", len(pts))
+	}
+	// Protocols outermost in the given order, densities in the given order.
+	wantOrder := []struct {
+		p Protocol
+		n int
+	}{{DYMO, 10}, {DYMO, 8}, {AODV, 10}, {AODV, 8}}
+	for i, w := range wantOrder {
+		if pts[i].Protocol != w.p || pts[i].Nodes != w.n {
+			t.Fatalf("point %d = (%s, %d), want (%s, %d)",
+				i, pts[i].Protocol, pts[i].Nodes, w.p, w.n)
+		}
+	}
+	for _, pt := range pts {
+		if pt.Trials != 3 || pt.PDR.N != 3 {
+			t.Fatalf("point %+v did not aggregate 3 trials", pt)
+		}
+		if pt.DensityPerKM != float64(pt.Nodes) {
+			t.Fatalf("density %v for %d nodes on a 1 km circuit", pt.DensityPerKM, pt.Nodes)
+		}
+		if pt.PDR.Mean <= 0 {
+			t.Fatalf("no traffic delivered for %+v", pt)
+		}
+	}
+}
+
+func TestSweepRejectsUnknownProtocol(t *testing.T) {
+	_, err := Sweep(SweepConfig{Base: sweepScenario(), Protocols: []Protocol{"dsr"}})
+	if err == nil {
+		t.Fatal("unknown protocol must fail")
+	}
+}
+
+// TestCompareMatchesDirectRuns pins the parallel CompareProtocols to the
+// semantics of the sequential loop it replaced: per-protocol results equal
+// a direct run over the same trace.
+func TestCompareMatchesDirectRuns(t *testing.T) {
+	cfg := sweepScenario()
+	cfg.Nodes = 10
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := CompareProtocols(cfg, []Protocol{AODV, OLSR, DYMO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := BuildCircuitTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Protocol{AODV, OLSR, DYMO} {
+		c := cfg
+		c.Protocol = p
+		want, err := RunScenarioOnTrace(c, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[p].TotalPDR() != want.TotalPDR() ||
+			got[p].ControlPackets != want.ControlPackets ||
+			got[p].MACStats.Retries != want.MACStats.Retries {
+			t.Fatalf("%s: parallel Compare diverges from direct run", p)
+		}
+	}
+}

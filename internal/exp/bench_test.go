@@ -1,0 +1,30 @@
+package exp
+
+import "testing"
+
+// BenchmarkMapOverhead measures the engine's fixed cost per job with a
+// trivial job body — the serial fraction the pool adds on top of the
+// experiment itself. Run with -cpu 1,2,4,8 to size it against GOMAXPROCS.
+func BenchmarkMapOverhead(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = Map(Runner{}, 64, func(j int) (int, error) { return j, nil })
+	}
+}
+
+// BenchmarkMapCPUBound runs a compute-heavy job mix; on an M-core machine
+// ns/op should fall roughly M× between -cpu 1 and -cpu M (Map defaults its
+// worker count to GOMAXPROCS, which -cpu sets).
+func BenchmarkMapCPUBound(b *testing.B) {
+	work := func(i int) (float64, error) {
+		x := float64(i + 1)
+		for k := 0; k < 200_000; k++ {
+			x = x*1.0000001 + 1e-9
+		}
+		return x, nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Map(Runner{}, 20, work)
+	}
+}

@@ -1,0 +1,127 @@
+// Package exp is CAVENET's deterministic parallel experiment engine.
+//
+// The paper's evaluation is built from embarrassingly parallel grids:
+// Monte-Carlo ensembles ("each point ... is the ensemble average over 20
+// trials", Fig. 4) and protocol × density sweeps over the same CA trace
+// (Figs. 8–11). Every trial derives all of its randomness from its own
+// rng fork, so trials share no mutable state and can run concurrently —
+// as long as parallelism cannot change the answer.
+//
+// Map provides exactly that contract: jobs are dispatched to a fixed-size
+// worker pool in index order and results are gathered into an
+// index-addressed slice, so the output — including which error or panic is
+// reported when jobs fail — is bit-identical for every worker count,
+// including 1. The job function must be safe for concurrent calls and must
+// derive everything it does from its index alone.
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner sizes the worker pool. The zero value uses one worker per
+// available CPU, which is the right default for CPU-bound simulation jobs.
+type Runner struct {
+	// Workers is the number of concurrent jobs; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// failure records the outcome of the lowest-index failing job. Dispatch is
+// strictly index-ordered and every grabbed job runs to completion, so the
+// lowest failing index is always executed no matter how many workers race —
+// which makes the reported error (or re-raised panic) independent of the
+// worker count.
+type failure struct {
+	idx      int
+	err      error
+	panicVal any
+	panicked bool
+}
+
+// Map runs job(0) … job(n-1) on the pool and returns their results in index
+// order. On failure it returns the error of the lowest-index failing job;
+// a panicking job is re-panicked in the caller with its original value.
+// After the first observed failure no new jobs are started.
+func Map[T any](r Runner, n int, job func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	w := r.workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			v, err := job(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		mu   sync.Mutex
+		fail *failure
+		stop atomic.Bool
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	record := func(f failure) {
+		mu.Lock()
+		if fail == nil || f.idx < fail.idx {
+			fail = &f
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	runOne := func(i int) {
+		defer func() {
+			if p := recover(); p != nil {
+				record(failure{idx: i, panicVal: p, panicked: true})
+			}
+		}()
+		v, err := job(i)
+		if err != nil {
+			record(failure{idx: i, err: err})
+			return
+		}
+		out[i] = v
+	}
+	worker := func() {
+		defer wg.Done()
+		for {
+			if stop.Load() {
+				return
+			}
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			runOne(i)
+		}
+	}
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go worker()
+	}
+	wg.Wait()
+	if fail != nil {
+		if fail.panicked {
+			panic(fail.panicVal)
+		}
+		return nil, fail.err
+	}
+	return out, nil
+}

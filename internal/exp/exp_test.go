@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedAcrossWorkerCounts(t *testing.T) {
+	want := make([]int, 500)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got, err := Map(Runner{Workers: workers}, len(want), func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results out of order", workers)
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	got, err := Map(Runner{}, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	// The zero Runner must still run every job exactly once.
+	var ran atomic.Int64
+	got, err := Map(Runner{}, 100, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if err != nil || len(got) != 100 || ran.Load() != 100 {
+		t.Fatalf("got %d results, %d runs, err %v", len(got), ran.Load(), err)
+	}
+}
+
+func TestMapReportsLowestIndexError(t *testing.T) {
+	// Index 7 fails immediately, index 3 fails slowly: the reported error
+	// must still be index 3's, exactly as a sequential run would report,
+	// for every worker count.
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Map(Runner{Workers: workers}, 16, func(i int) (int, error) {
+			switch i {
+			case 3:
+				time.Sleep(10 * time.Millisecond)
+				return 0, fmt.Errorf("job %d", i)
+			case 7:
+				return 0, fmt.Errorf("job %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 3" {
+			t.Fatalf("workers=%d: err = %v, want job 3", workers, err)
+		}
+	}
+}
+
+func TestMapStopsDispatchAfterError(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(Runner{Workers: 2}, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() > 100 {
+		t.Fatalf("ran %d jobs after early failure", ran.Load())
+	}
+}
+
+func TestMapRepanicsWithOriginalValue(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if p := recover(); p != "harness bug 2" {
+					t.Fatalf("workers=%d: recovered %v", workers, p)
+				}
+			}()
+			_, _ = Map(Runner{Workers: workers}, 8, func(i int) (int, error) {
+				if i == 2 {
+					panic("harness bug 2")
+				}
+				return i, nil
+			})
+			t.Fatalf("workers=%d: Map returned instead of panicking", workers)
+		}()
+	}
+}
+
+func TestMapConcurrentWritesAreDisjoint(t *testing.T) {
+	// Exercised under -race in CI: each job writes only its own slot.
+	got, err := Map(Runner{Workers: 8}, 10_000, func(i int) ([]int, error) {
+		return []int{i}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if len(v) != 1 || v[0] != i {
+			t.Fatalf("slot %d holds %v", i, v)
+		}
+	}
+}

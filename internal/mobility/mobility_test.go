@@ -189,6 +189,35 @@ func TestRandomWaypointTraceShape(t *testing.T) {
 	}
 }
 
+func TestSampleCountFloatTruncation(t *testing.T) {
+	cases := []struct {
+		duration, interval float64
+		want               int
+	}{
+		{0.3, 0.1, 4},    // 0.3/0.1 = 2.999…96: truncation dropped a sample
+		{10, 0.5, 21},    // 10/0.5 = 20.000…04: must not gain one either
+		{10, 1, 11},      // exact division
+		{10.4, 1, 11},    // genuine remainder still floors
+		{0, 1, 1},        // a zero-length trace is the initial sample
+		{3600, 0.1, 36001}, // long trace at a fine interval
+	}
+	for _, c := range cases {
+		if got := SampleCount(c.duration, c.interval); got != c.want {
+			t.Errorf("SampleCount(%v, %v) = %d, want %d", c.duration, c.interval, got, c.want)
+		}
+	}
+}
+
+func TestRandomWaypointSampleCountRegression(t *testing.T) {
+	// duration/interval one ulp below an integer must not lose the final
+	// sample: 0.3/0.1 covers t = 0, 0.1, 0.2, 0.3.
+	cfg := RandomWaypointConfig{Nodes: 2, AreaX: 10, AreaY: 10, VMin: 1, VMax: 2, Interval: 0.1}
+	tr, vel := RandomWaypoint(cfg, 0.3, rand.New(rand.NewSource(6)))
+	if tr.NumSamples() != 4 || len(vel) != 4 {
+		t.Fatalf("samples = %d, velocity = %d, want 4", tr.NumSamples(), len(vel))
+	}
+}
+
 func TestRandomWaypointPause(t *testing.T) {
 	// With an enormous pause every node is parked at its first waypoint
 	// arrival; positions must eventually stop changing.

@@ -46,7 +46,7 @@ func randomWaypoint(cfg RandomWaypointConfig, duration float64, rnd *rand.Rand, 
 	if cfg.Interval <= 0 {
 		cfg.Interval = 1
 	}
-	samples := int(duration/cfg.Interval) + 1
+	samples := SampleCount(duration, cfg.Interval)
 	trace := &SampledTrace{
 		Interval:  cfg.Interval,
 		Positions: make([][]geometry.Vec2, cfg.Nodes),

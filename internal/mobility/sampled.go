@@ -25,6 +25,19 @@ type SampledTrace struct {
 	Positions [][]geometry.Vec2
 }
 
+// SampleCount reports how many interval-spaced samples cover [0, duration]
+// inclusive of both endpoints: floor(duration/interval) + 1, with a
+// one-ulp-scale tolerance on the quotient. A bare int(duration/interval)
+// drops the final sample whenever the division lands just below an integer
+// (0.3/0.1 = 2.999…96), which silently shortened traces by one step.
+func SampleCount(duration, interval float64) int {
+	q := duration / interval
+	if q < 0 {
+		return 1
+	}
+	return int(q+q*4e-16+1e-9) + 1
+}
+
 // NumNodes reports the number of nodes in the trace.
 func (t *SampledTrace) NumNodes() int { return len(t.Positions) }
 

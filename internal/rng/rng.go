@@ -36,7 +36,24 @@ func (s *Source) Stream(name string) *rand.Rand {
 	return rand.New(rand.NewSource(mixed))
 }
 
-// Fork derives a child Source, e.g. one per Monte-Carlo trial.
+// Fork derives a child Source, e.g. one per Monte-Carlo trial. The child
+// seed is a splitmix64-style mix of (seed, trial), so distinct
+// (seed, trial) pairs map to distinct, decorrelated children — the earlier
+// affine derivation seed*1_000_003+trial aliased (1, 1_000_003) with
+// (2, 0), silently correlating trials across large sweeps. Forks nest:
+// src.Fork(i).Fork(j) is a well-mixed stream for grid cell (i, j).
 func (s *Source) Fork(trial int) *Source {
-	return &Source{seed: s.seed*1_000_003 + int64(trial)}
+	h := splitmix64(uint64(s.seed))
+	h = splitmix64(h + uint64(trial))
+	return &Source{seed: int64(h)}
+}
+
+// splitmix64 is the finalizer of Steele et al.'s SplitMix generator: a
+// bijective avalanche mix whose outputs pass BigCrush even on sequential
+// inputs, which is exactly the trial-index shape Fork feeds it.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }

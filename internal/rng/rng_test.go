@@ -55,6 +55,65 @@ func TestForkDeterministicAndDistinct(t *testing.T) {
 	}
 }
 
+func TestForkNoCrossSeedCollisions(t *testing.T) {
+	// The old affine derivation seed*1_000_003+trial collided exactly here:
+	a := NewSource(1).Fork(1_000_003)
+	b := NewSource(2).Fork(0)
+	if a.Seed() == b.Seed() {
+		t.Fatal("Fork(1, 1_000_003) and Fork(2, 0) collide")
+	}
+	// ... and in general any (seed, trial) pair must map to a distinct
+	// child across a sweep-sized grid.
+	seen := make(map[int64][2]int, 50*2000)
+	for seed := 0; seed < 50; seed++ {
+		src := NewSource(int64(seed))
+		for trial := 0; trial < 2000; trial++ {
+			child := src.Fork(trial).Seed()
+			if prev, dup := seen[child]; dup {
+				t.Fatalf("fork collision: (%d,%d) and (%d,%d) -> %d",
+					prev[0], prev[1], seed, trial, child)
+			}
+			seen[child] = [2]int{seed, trial}
+		}
+	}
+}
+
+func TestForkStreamsIndependent(t *testing.T) {
+	// Adjacent trials must not produce correlated streams: compare draw
+	// sequences pairwise and require essentially no coincidences.
+	src := NewSource(9)
+	for trial := 0; trial < 20; trial++ {
+		a := src.Fork(trial).Stream("trial")
+		b := src.Fork(trial + 1).Stream("trial")
+		same := 0
+		for i := 0; i < 200; i++ {
+			if a.Int63() == b.Int63() {
+				same++
+			}
+		}
+		if same > 1 {
+			t.Fatalf("forks %d and %d coincide on %d/200 draws", trial, trial+1, same)
+		}
+	}
+}
+
+func TestNestedForksDistinct(t *testing.T) {
+	// Grid forks src.Fork(i).Fork(j) must be distinct across the grid and
+	// distinct from single-level forks.
+	src := NewSource(4)
+	seen := make(map[int64]string)
+	for i := 0; i < 30; i++ {
+		seen[src.Fork(i).Seed()] = "single"
+		for j := 0; j < 30; j++ {
+			child := src.Fork(i).Fork(j).Seed()
+			if kind, dup := seen[child]; dup {
+				t.Fatalf("nested fork (%d,%d) collides with %s fork", i, j, kind)
+			}
+			seen[child] = "nested"
+		}
+	}
+}
+
 func TestSeedAccessor(t *testing.T) {
 	if NewSource(99).Seed() != 99 {
 		t.Fatal("Seed() should report the root seed")

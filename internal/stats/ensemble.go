@@ -1,27 +1,66 @@
 package stats
 
+import (
+	"math"
+
+	"cavenet/internal/exp"
+)
+
 // Ensemble runs trials independent replications of an experiment and
 // averages a scalar result — the Monte-Carlo machinery behind each point of
 // the paper's fundamental diagram (Fig. 4: "each point ... is the ensemble
 // average over 20 trials").
 //
-// run receives the trial index; determinism is the caller's job (fork a
-// seeded RNG per trial).
+// Trials execute concurrently on the exp worker pool, one per core, and
+// are reduced in trial order, so the result is bit-identical to a
+// sequential run. run receives the trial index and must be safe for
+// concurrent calls; determinism is the caller's job (fork a seeded RNG per
+// trial and derive nothing from shared mutable state).
 func Ensemble(trials int, run func(trial int) float64) (mean, stddev float64) {
-	var w Welford
-	for t := 0; t < trials; t++ {
-		w.Add(run(t))
-	}
-	return w.Mean(), w.StdDev()
+	est := EnsembleCI(trials, run)
+	return est.Mean, est.StdDev
 }
 
-// EnsembleSeries averages a whole series across trials. All trials must
-// return series of the same length; shorter series are an error expressed
+// Estimate summarizes the replications of one experiment cell.
+type Estimate struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stdDev"`
+	// CI95 is the half-width of the 95% confidence interval for the mean
+	// (Student-t, n-1 degrees of freedom); the interval is Mean ± CI95.
+	CI95 float64 `json:"ci95"`
+	N    int     `json:"n"`
+}
+
+// EstimateOf reduces a sample slice to an Estimate.
+func EstimateOf(xs []float64) Estimate {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return Estimate{Mean: w.Mean(), StdDev: w.StdDev(), CI95: w.CI95(), N: w.N()}
+}
+
+// EnsembleCI is Ensemble with the full summary: mean, spread and the 95%
+// confidence interval the paper's error bars call for. Same parallel
+// execution and concurrency contract as Ensemble.
+func EnsembleCI(trials int, run func(trial int) float64) Estimate {
+	vals, _ := exp.Map(exp.Runner{}, trials, func(t int) (float64, error) {
+		return run(t), nil
+	})
+	return EstimateOf(vals)
+}
+
+// EnsembleSeries averages a whole series across trials, executing the
+// trials concurrently (same contract as Ensemble: run must be
+// concurrency-safe and fully determined by the trial index). All trials
+// must return series of the same length; a mismatch is an error expressed
 // by panic since it is a harness bug, not a runtime condition.
 func EnsembleSeries(trials int, run func(trial int) []float64) []float64 {
+	series, _ := exp.Map(exp.Runner{}, trials, func(t int) ([]float64, error) {
+		return run(t), nil
+	})
 	var acc []float64
-	for t := 0; t < trials; t++ {
-		s := run(t)
+	for _, s := range series {
 		if acc == nil {
 			acc = make([]float64, len(s))
 		}
@@ -40,11 +79,16 @@ func EnsembleSeries(trials int, run func(trial int) []float64) []float64 {
 
 // Histogram counts samples into equal-width bins spanning [lo, hi]. Samples
 // outside the range are clamped into the edge bins (the distribution tails
-// still show up rather than silently vanishing).
+// still show up rather than silently vanishing). NaN samples are counted
+// separately and never binned: Go's NaN→int conversion is
+// platform-defined, so before the guard a NaN landed in an arbitrary edge
+// bin on some architectures.
 type Histogram struct {
 	Lo, Hi float64
 	Counts []int
 	N      int
+	// NaN counts rejected not-a-number samples.
+	NaN int
 }
 
 // NewHistogram builds a histogram with the given number of bins; bins must
@@ -56,8 +100,12 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
 }
 
-// Add records one sample.
+// Add records one sample. NaN is counted in h.NaN and otherwise ignored.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		h.NaN++
+		return
+	}
 	bins := len(h.Counts)
 	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(bins))
 	if idx < 0 {
@@ -70,7 +118,7 @@ func (h *Histogram) Add(x float64) {
 	h.N++
 }
 
-// Fraction reports the share of samples in bin i.
+// Fraction reports the share of finite samples in bin i.
 func (h *Histogram) Fraction(i int) float64 {
 	if h.N == 0 {
 		return 0

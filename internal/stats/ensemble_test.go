@@ -36,6 +36,62 @@ func TestEnsembleSeriesMismatchPanics(t *testing.T) {
 	})
 }
 
+func TestEnsembleCIMatchesSequentialWelford(t *testing.T) {
+	// The parallel ensemble must reduce in trial order: bit-identical to a
+	// hand-rolled sequential Welford pass over the same trial values.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i)) * float64(i%7)
+	}
+	est := EnsembleCI(len(vals), func(trial int) float64 { return vals[trial] })
+	var w Welford
+	for _, v := range vals {
+		w.Add(v)
+	}
+	if est.Mean != w.Mean() || est.StdDev != w.StdDev() || est.CI95 != w.CI95() || est.N != w.N() {
+		t.Fatalf("parallel estimate %+v differs from sequential reduction", est)
+	}
+}
+
+func TestWelfordCI95(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		w.Add(x)
+	}
+	// sd = sqrt(2.5), n = 5, t(4) = 2.776.
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if got := w.CI95(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+	var one Welford
+	one.Add(3)
+	if one.CI95() != 0 {
+		t.Fatal("CI95 of a single sample must be 0")
+	}
+}
+
+func TestHistogramIgnoresNaN(t *testing.T) {
+	// Regression: NaN→int conversion is platform-defined in Go, so a NaN
+	// sample could land in an arbitrary bin. It must be counted aside.
+	h := NewHistogram(0, 1, 4)
+	h.Add(math.NaN())
+	h.Add(0.5)
+	h.Add(math.NaN())
+	if h.N != 1 || h.NaN != 2 {
+		t.Fatalf("N = %d, NaN = %d, want 1 and 2", h.N, h.NaN)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 1 {
+		t.Fatalf("NaN leaked into a bin: %v", h.Counts)
+	}
+	if h.Fraction(2) != 1 { // 0.5 lands in [0.5, 0.75)
+		t.Fatalf("fractions skewed by NaN: %v", h.Counts)
+	}
+}
+
 func TestHistogramBasic(t *testing.T) {
 	h := NewHistogram(0, 10, 5)
 	for _, x := range []float64{0.5, 1, 3, 5, 7, 9, 9.9} {

@@ -101,7 +101,7 @@ func ParseBonnMotion(r io.Reader, interval float64) (*mobility.SampledTrace, err
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("trace: empty BonnMotion file")
 	}
-	samples := int(maxT/interval) + 1
+	samples := mobility.SampleCount(maxT, interval)
 	out := &mobility.SampledTrace{
 		Interval:  interval,
 		Positions: make([][]geometry.Vec2, len(nodes)),

@@ -78,7 +78,7 @@ func FromSampled(t *mobility.SampledTrace) *Script {
 // Sample replays the script's setdest semantics and produces a sampled
 // trace with the given interval and duration (seconds).
 func (s *Script) Sample(interval, duration float64) *mobility.SampledTrace {
-	samples := int(duration/interval) + 1
+	samples := mobility.SampleCount(duration, interval)
 	out := &mobility.SampledTrace{
 		Interval:  interval,
 		Positions: make([][]geometry.Vec2, len(s.Nodes)),

@@ -54,12 +54,21 @@ func (c *CBR) Sent() uint64 { return c.sent }
 // Config reports the normalized flow configuration.
 func (c *CBR) Config() CBRConfig { return c.cfg }
 
-// Start schedules the flow.
+// Start schedules the flow. A flow whose window already lies entirely in
+// the past (Stop > 0 and the clamped start is at or past it) emits
+// nothing and schedules nothing. Calling Start on a flow with a pending
+// emission reschedules it instead of stacking a second emission chain, so
+// StopNow followed by Start restarts cleanly at the configured rate.
 func (c *CBR) Start() {
 	k := c.node.Kernel()
+	k.Cancel(c.ev)
+	c.ev = sim.Handle{}
 	start := c.cfg.Start
 	if start < k.Now() {
 		start = k.Now()
+	}
+	if c.cfg.Stop > 0 && start >= c.cfg.Stop {
+		return
 	}
 	c.ev = k.ScheduleArg(start, cbrEmit, c)
 }

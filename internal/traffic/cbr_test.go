@@ -100,6 +100,62 @@ func TestCBRRateSpacing(t *testing.T) {
 	}
 }
 
+func TestCBRWindowEntirelyInPastEmitsNothing(t *testing.T) {
+	// Regression: starting a flow whose [Start, Stop) window has already
+	// closed must emit zero packets and leave nothing scheduled.
+	w := testWorld(t)
+	var count int
+	w.Node(0).AttachPort(netsim.PortCBR, netsim.PortFunc(func(*netsim.Packet, sim.Time) { count++ }))
+	var cbr *CBR
+	w.Kernel.Schedule(8*sim.Second, func() {
+		cbr = NewCBR(w.Node(0), CBRConfig{Dst: 1, Start: sim.Second, Stop: 5 * sim.Second})
+		cbr.Start() // clamped start (8 s) is past Stop (5 s)
+		if cbr.ev.Scheduled() {
+			t.Error("dead flow left an emission scheduled")
+		}
+	})
+	w.Run(20 * sim.Second)
+	if count != 0 || cbr.Sent() != 0 {
+		t.Fatalf("dead window emitted %d packets (Sent=%d)", count, cbr.Sent())
+	}
+}
+
+func TestCBRRestartAfterStopNow(t *testing.T) {
+	// StopNow then Start must resume a single emission chain at the
+	// configured rate — not stack a second one.
+	w := testWorld(t)
+	var times []sim.Time
+	w.Node(0).AttachPort(netsim.PortCBR, netsim.PortFunc(func(p *netsim.Packet, at sim.Time) {
+		times = append(times, at)
+	}))
+	cbr := NewCBR(w.Node(0), CBRConfig{Dst: 1, Rate: 10, Start: 0, Stop: 2 * sim.Second})
+	cbr.Start()
+	w.Kernel.Schedule(500*sim.Millisecond, func() { cbr.StopNow() })
+	w.Kernel.Schedule(sim.Second, func() { cbr.Start() })
+	w.Run(3 * sim.Second)
+	// 0 s..0.4 s (5 packets: the 0.5 s emission is cancelled), then
+	// 1.0 s..1.9 s (10 packets).
+	if len(times) != 15 {
+		t.Fatalf("emitted %d packets, want 15: %v", len(times), times)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] < 100*sim.Millisecond {
+			t.Fatalf("emissions %v and %v closer than the CBR interval", times[i-1], times[i])
+		}
+	}
+}
+
+func TestCBRDoubleStartDoesNotDoubleRate(t *testing.T) {
+	w := testWorld(t)
+	cbr := NewCBR(w.Node(0), CBRConfig{Dst: 1, Rate: 5, Start: 0, Stop: 2 * sim.Second})
+	cbr.Start()
+	cbr.Start() // must reschedule, not stack a second chain
+	w.Run(3 * sim.Second)
+	if cbr.Sent() != 10 {
+		t.Fatalf("sent %d packets after double Start, want 10", cbr.Sent())
+	}
+}
+
 func TestCBRLateStartClamps(t *testing.T) {
 	w := testWorld(t)
 	w.Kernel.Schedule(5*sim.Second, func() {
