@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race sweep-smoke bench-smoke bench ci
+.PHONY: build vet test race sweep-smoke bench-smoke bench-routing-smoke bench-routing bench ci
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,22 @@ sweep-smoke:
 bench-smoke:
 	$(GO) test ./internal/phy/ -bench ChannelBroadcast -benchtime=1x -benchmem -run XXX
 
+# One iteration of the routing control-plane bench: catches gross
+# regressions (e.g. the dense kernels silently allocating) in seconds,
+# mirroring the ChannelBroadcast smoke.
+bench-routing-smoke:
+	$(GO) test ./internal/routing/olsr/ -bench OLSRControlPlane -benchtime=1x -benchmem -run XXX
+
+# Full routing control-plane table (dense vs oracle at N=100/1k plus the
+# steady-state purge); see the "Routing control plane" section of PERF.md.
+bench-routing:
+	$(GO) test ./internal/routing/olsr/ -bench 'OLSRControlPlane|OLSRPurge' -benchmem -benchtime=50x -run XXX
+	$(GO) test ./internal/core/ -bench 'ScenarioOLSRN1000' -benchmem -benchtime=1x -run XXX
+
 # Full benchmark tables; see PERF.md for interpretation.
 bench:
 	$(GO) test ./internal/phy/ -bench 'ChannelBroadcast|MobilityTick' -benchmem -benchtime=2000x -run XXX
 	$(GO) test ./internal/netsim/ -bench 'Connectivity|Components' -benchmem -benchtime=20x -run XXX
 	$(GO) test ./internal/sim/ -bench . -benchmem -run XXX
 
-ci: build vet test bench-smoke sweep-smoke
+ci: build vet test bench-smoke bench-routing-smoke sweep-smoke

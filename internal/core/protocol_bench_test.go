@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"cavenet/internal/sim"
+)
+
+// n1kConfig is the routing-scale end-to-end scenario: 1000 vehicles at
+// highway density (1 per 15 m) on a 15 km circuit, 10 s of simulated time.
+// At this scale the OLSR control plane used to dominate the run — see the
+// "Routing control plane" section of PERF.md.
+func n1kConfig() ScenarioConfig {
+	return ScenarioConfig{
+		Nodes:         1000,
+		CircuitMeters: 15000,
+		SimTime:       10 * sim.Second,
+		TrafficStart:  2 * sim.Second,
+		TrafficStop:   8 * sim.Second,
+		CAWarmup:      50,
+		Seed:          1,
+	}
+}
+
+// BenchmarkCompareProtocolsN1000 runs the paper's protocol comparison at
+// N=1000 over a shared mobility trace — the ROADMAP-scale sweep cell.
+// Iteration-based benchtime only (the trace is rebuilt per iteration).
+func BenchmarkCompareProtocolsN1000(b *testing.B) {
+	cfg := n1kConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompareProtocols(cfg, []Protocol{AODV, OLSR, DYMO}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioOLSRN1000 isolates the OLSR cell of the comparison (the
+// control-plane-bound one; the trace build is excluded from the timing).
+func BenchmarkScenarioOLSRN1000(b *testing.B) {
+	cfg := n1kConfig()
+	cfg.Protocol = OLSR
+	trace, err := BuildCircuitTrace(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunScenarioOnTrace(cfg, trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

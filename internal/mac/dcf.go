@@ -211,8 +211,16 @@ func (d *DCF) Addr() Address { return d.addr }
 // Stats returns a copy of the MAC counters.
 func (d *DCF) Stats() Stats { return d.stats }
 
-// QueueLen reports the current interface-queue occupancy.
-func (d *DCF) QueueLen() int { return len(d.queue) }
+// QueueLen reports the current transmit backlog: queued frames plus the
+// in-flight job still contending or awaiting its ACK/retries. Counting
+// only the queue made the backlog read 0 while a frame was still retrying.
+func (d *DCF) QueueLen() int {
+	n := len(d.queue)
+	if d.current != nil {
+		n++
+	}
+	return n
+}
 
 // Config reports the normalized configuration.
 func (d *DCF) Config() Config { return d.cfg }

@@ -282,3 +282,33 @@ func TestBroadcastUnderLoadNoDeadlock(t *testing.T) {
 		t.Fatalf("broadcast delivery too low: %d/60", total)
 	}
 }
+
+// TestQueueLenIncludesInFlight is the regression test for backlog
+// undercounting: the job being served (contending, transmitting or
+// retrying) is part of the interface backlog, not just the waiting queue.
+func TestQueueLenIncludesInFlight(t *testing.T) {
+	// Station 1 is far out of range, so the unicast retries until the
+	// limit — the frame stays in flight for a long, observable window.
+	k, macs, _ := testNet(t, 2, 10000)
+	if macs[0].QueueLen() != 0 {
+		t.Fatalf("idle QueueLen = %d, want 0", macs[0].QueueLen())
+	}
+	macs[0].Send(1, "a", 512)
+	macs[0].Send(1, "b", 512)
+	if got := macs[0].QueueLen(); got != 2 {
+		t.Fatalf("QueueLen with 1 in-flight + 1 queued = %d, want 2", got)
+	}
+	// One retry round in: the first frame is still the current job.
+	k.RunUntil(5 * sim.Millisecond)
+	if got := macs[0].QueueLen(); got == 0 {
+		t.Fatal("QueueLen reads 0 while a frame is still retrying")
+	}
+	// After both frames exhaust their retries the backlog drains.
+	k.RunUntil(5 * sim.Second)
+	if got := macs[0].QueueLen(); got != 0 {
+		t.Fatalf("QueueLen after retry exhaustion = %d, want 0", got)
+	}
+	if f := macs[0].Stats().Failures; f != 2 {
+		t.Fatalf("failures = %d, want 2", f)
+	}
+}

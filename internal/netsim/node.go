@@ -136,18 +136,30 @@ func (u macUpper) MACReceive(payload any, from mac.Address) {
 	if !ok {
 		panic(fmt.Sprintf("netsim: MAC delivered %T", payload))
 	}
-	// The channel hands every receiver the same payload pointer (a
-	// broadcast reaches many radios); clone before mutating TTL/Hops so
-	// receivers cannot corrupt each other's copy.
-	p := shared.Clone()
 	n := u.n
+	if shared.Kind == KindControl {
+		// The channel hands every receiver the same payload pointer, so the
+		// per-receiver view is a clone — and control packets are consumed
+		// within Router.Receive (routers re-clone before re-flooding; see
+		// the Router contract in packet.go), so the clone comes from the
+		// world's pool and goes straight back. Flood-heavy protocols pay
+		// zero allocations per control reception this way. Data packets —
+		// including any on PortRouting, which routers may retain through
+		// SendFrame — must not take this path.
+		p := n.world.clonePacket(shared)
+		p.Hops++
+		n.router.Receive(p, NodeID(from))
+		n.world.releasePacket(p)
+		return
+	}
+	// Data packets outlive the receive callback (delivery to ports,
+	// forwarding, discovery buffers), so they get a fresh clone.
+	p := shared.Clone()
 	p.Hops++
 	switch {
-	case p.Kind == KindControl || p.Port == PortRouting:
+	case p.Port == PortRouting:
 		n.router.Receive(p, NodeID(from))
-	case p.Dst == n.id:
-		n.DeliverLocal(p)
-	case p.Dst == BroadcastID:
+	case p.Dst == n.id, p.Dst == BroadcastID:
 		n.DeliverLocal(p)
 	default:
 		// Data in transit: the routing protocol forwards it.

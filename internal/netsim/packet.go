@@ -84,7 +84,10 @@ type Router interface {
 	// Origin routes a locally generated data packet.
 	Origin(p *Packet)
 	// Receive handles a packet handed up by the MAC: either a routing
-	// control message or a data packet to forward.
+	// control message or a data packet to forward. KindControl packets
+	// are pooled: the *Packet is only valid for the duration of the call,
+	// so a router that re-floods one must Clone it first (payloads are
+	// not pooled and may be retained).
 	Receive(p *Packet, from NodeID)
 	// LinkFailure is data-link feedback: a unicast to next exhausted its
 	// MAC retries while carrying p.

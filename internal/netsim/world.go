@@ -52,6 +52,31 @@ type World struct {
 	src     *rng.Source
 	uid     uint64
 	hooks   Hooks
+	// pktFree recycles the per-reception clones of control broadcasts
+	// (see macUpper.MACReceive); the world is single-kernel and
+	// single-goroutine, so a plain freelist suffices.
+	pktFree []*Packet
+}
+
+// clonePacket copies src into a pooled Packet record.
+func (w *World) clonePacket(src *Packet) *Packet {
+	var p *Packet
+	if n := len(w.pktFree); n > 0 {
+		p = w.pktFree[n-1]
+		w.pktFree[n-1] = nil
+		w.pktFree = w.pktFree[:n-1]
+	} else {
+		p = new(Packet)
+	}
+	*p = *src
+	return p
+}
+
+// releasePacket returns a pooled clone; the record is zeroed so it retains
+// no payload reference.
+func (w *World) releasePacket(p *Packet) {
+	*p = Packet{}
+	w.pktFree = append(w.pktFree, p)
 }
 
 // NewWorld wires up a scenario. Routers are created per node via factory

@@ -98,7 +98,7 @@ type Router struct {
 	table       *table
 	seq         uint32
 	rreqID      uint32
-	seen        map[seenKey]sim.Time
+	seen        sim.ExpiringSet[seenKey]
 	discoveries map[netsim.NodeID]*discovery
 	neighbors   map[netsim.NodeID]*sim.Timer // hello liveness
 
@@ -118,7 +118,6 @@ func New(node *netsim.Node, cfg Config) *Router {
 		cfg:         cfg,
 		node:        node,
 		table:       newTable(node.Kernel()),
-		seen:        make(map[seenKey]sim.Time),
 		discoveries: make(map[netsim.NodeID]*discovery),
 		neighbors:   make(map[netsim.NodeID]*sim.Timer),
 	}
@@ -128,8 +127,24 @@ func New(node *netsim.Node, cfg Config) *Router {
 		return sim.Time(node.Rand().Int63n(span) - span/2)
 	}
 	r.helloTicker = sim.NewTicker(node.Kernel(), cfg.HelloInterval, jitter, r.sendHello)
-	r.purgeTicker = sim.NewTicker(node.Kernel(), sim.Second, nil, r.table.purgeExpired)
+	r.purgeTicker = sim.NewTicker(node.Kernel(), sim.Second, nil, r.purge)
 	return r
+}
+
+// markSeen installs an RREQ dedup entry, expiring after PATH_DISCOVERY_TIME
+// (RFC 3561 §10) through a lazy heap so the periodic purge costs
+// O(expired). The seed implementation never retired these entries, which
+// grew the table without bound over long runs.
+func (r *Router) markSeen(key seenKey) {
+	r.seen.Add(key, r.node.Kernel().Now()+2*r.cfg.netTraversalTime())
+}
+
+// SeenEntries reports the dedup-table size (for memory-stability tests).
+func (r *Router) SeenEntries() int { return r.seen.Len() }
+
+func (r *Router) purge() {
+	r.table.purgeExpired()
+	r.seen.Expire(r.node.Kernel().Now())
 }
 
 // Name implements netsim.Router.
@@ -240,7 +255,7 @@ func (r *Router) sendRREQ(d *discovery) {
 		Src:         r.node.ID(),
 		SrcSeq:      r.seq,
 	}
-	r.seen[seenKey{src: r.node.ID(), id: msg.ID}] = r.node.Kernel().Now()
+	r.markSeen(seenKey{src: r.node.ID(), id: msg.ID})
 	r.sendControl(netsim.BroadcastID, netsim.BroadcastID, ttl, rreqBytes, msg)
 	d.timer.Reset(r.cfg.ringTraversalTime(ttl))
 }
@@ -320,10 +335,10 @@ func (r *Router) handleRREQ(p *netsim.Packet, msg *RREQ, from netsim.NodeID) {
 		return // our own flood echoed back
 	}
 	key := seenKey{src: msg.Src, id: msg.ID}
-	if _, dup := r.seen[key]; dup {
+	if r.seen.Contains(key) {
 		return
 	}
-	r.seen[key] = r.node.Kernel().Now()
+	r.markSeen(key)
 
 	// Reverse route to the previous hop and to the originator (§6.5).
 	r.table.update(from, 0, false, 1, from, r.cfg.ActiveRouteTimeout)

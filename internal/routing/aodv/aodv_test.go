@@ -300,3 +300,21 @@ func TestSeqWraparound(t *testing.T) {
 		t.Fatalf("wraparound comparison failed: %+v", r)
 	}
 }
+
+// TestSeenEntriesExpire guards the fix for the unbounded RREQ dedup table:
+// the seed implementation never retired seen entries; they must now expire
+// after PATH_DISCOVERY_TIME via the lazy heap.
+func TestSeenEntriesExpire(t *testing.T) {
+	w := chainWorld(t, 3, 200, Config{})
+	sendAt(w, sim.Second, 0, 2, 128)
+	w.Run(3 * sim.Second)
+	r1 := w.Node(1).Router().(*Router)
+	if r1.SeenEntries() == 0 {
+		t.Fatal("precondition: relay recorded no RREQ dedup entries")
+	}
+	w.Kernel.RunUntil(w.Kernel.Now() + 3*r1.cfg.netTraversalTime())
+	r1.purge()
+	if got := r1.SeenEntries(); got != 0 {
+		t.Fatalf("seen entries after PATH_DISCOVERY_TIME = %d, want 0", got)
+	}
+}

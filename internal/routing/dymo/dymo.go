@@ -128,6 +128,11 @@ type seenKey struct {
 	seq  uint32
 }
 
+// seenHold bounds the RREQ duplicate-suppression memory; entries are
+// retired lazily through an expiry heap so the purge tick costs
+// O(expired), not O(table).
+const seenHold = 10 * sim.Second
+
 // Router is one node's DYMO instance.
 type Router struct {
 	cfg  Config
@@ -136,8 +141,7 @@ type Router struct {
 	seq         uint32
 	routes      map[netsim.NodeID]*route
 	discoveries map[netsim.NodeID]*discovery
-	seen        map[seenKey]sim.Time
-	rerrSeen    map[seenKey]sim.Time
+	seen        sim.ExpiringSet[seenKey]
 	neighbors   map[netsim.NodeID]*sim.Timer
 
 	helloTicker *sim.Ticker
@@ -157,8 +161,6 @@ func New(node *netsim.Node, cfg Config) *Router {
 		node:        node,
 		routes:      make(map[netsim.NodeID]*route),
 		discoveries: make(map[netsim.NodeID]*discovery),
-		seen:        make(map[seenKey]sim.Time),
-		rerrSeen:    make(map[seenKey]sim.Time),
 		neighbors:   make(map[netsim.NodeID]*sim.Timer),
 	}
 	jitter := func() sim.Time {
@@ -308,7 +310,7 @@ func (r *Router) sendRREQ(d *discovery) {
 		msg.TargetSeq = rt.seq
 		msg.TargetSeqKnown = true
 	}
-	r.seen[seenKey{orig: r.node.ID(), seq: r.seq}] = r.now()
+	r.markSeen(seenKey{orig: r.node.ID(), seq: r.seq})
 	r.sendControl(netsim.BroadcastID, r.cfg.HopLimit, rmBytes(msg), msg)
 	// Exponential backoff across retries, as the draft recommends.
 	wait := r.cfg.RREQWaitTime << uint(d.retries)
@@ -406,10 +408,10 @@ func (r *Router) handleRM(p *netsim.Packet, msg *RM, from netsim.NodeID) {
 	}
 	key := seenKey{orig: msg.Orig.Addr, seq: msg.Orig.Seq}
 	if !msg.IsReply {
-		if _, dup := r.seen[key]; dup {
+		if r.seen.Contains(key) {
 			return
 		}
-		r.seen[key] = r.now()
+		r.markSeen(key)
 	}
 	r.installFromRM(msg, from)
 
@@ -545,6 +547,16 @@ func (r *Router) handleRERR(msg *RERR, from netsim.NodeID) {
 	}
 }
 
+// markSeen installs a dedup entry and registers its deadline; keys are
+// unique per message, so one push per insert keeps the heap at one item
+// per live entry.
+func (r *Router) markSeen(key seenKey) {
+	r.seen.Add(key, r.now()+seenHold)
+}
+
+// SeenEntries reports the dedup-table size (for memory-stability tests).
+func (r *Router) SeenEntries() int { return r.seen.Len() }
+
 func (r *Router) purge() {
 	now := r.now()
 	for _, rt := range r.routes {
@@ -552,9 +564,5 @@ func (r *Router) purge() {
 			rt.valid = false
 		}
 	}
-	for k, t := range r.seen {
-		if now-t > 10*sim.Second {
-			delete(r.seen, k)
-		}
-	}
+	r.seen.Expire(now)
 }

@@ -252,3 +252,22 @@ func TestControlTrafficCounted(t *testing.T) {
 		t.Fatal("hello traffic should be counted")
 	}
 }
+
+// TestSeenEntriesExpire: RREQ dedup entries are reclaimed by the lazy
+// expiry heap once their hold passes, instead of accumulating forever.
+func TestSeenEntriesExpire(t *testing.T) {
+	w := chainWorld(t, 3, 200, Config{})
+	sendAt(w, sim.Second, 0, 2, 128)
+	w.Run(3 * sim.Second)
+	r1 := w.Node(1).Router().(*Router)
+	if r1.SeenEntries() == 0 {
+		t.Fatal("precondition: relay recorded no RREQ dedup entries")
+	}
+	// Advance well past seenHold with no new discoveries; the purge ticker
+	// only runs while routers run, so keep the world alive.
+	w.Kernel.RunUntil(w.Kernel.Now() + 2*seenHold)
+	r1.purge()
+	if got := r1.SeenEntries(); got != 0 {
+		t.Fatalf("seen entries after expiry window = %d, want 0", got)
+	}
+}

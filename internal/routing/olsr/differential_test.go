@@ -1,0 +1,268 @@
+package olsr
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/netsim"
+	"cavenet/internal/sim"
+)
+
+// newBareRouter builds a single-node world whose router the tests drive
+// directly through the message handlers.
+func newBareRouter(tb testing.TB, cfg Config) (*netsim.World, *Router) {
+	tb.Helper()
+	w, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes:  1,
+		Seed:   1,
+		Static: []geometry.Vec2{{}},
+	}, func(n *netsim.Node) netsim.Router { return New(n, cfg) })
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w, w.Node(0).Router().(*Router)
+}
+
+// feedRandomControlState drives the router through rounds of randomized
+// HELLO/TC traffic, link failures and purges, exercising tuple creation,
+// refresh, ANSN replacement and soft expiry. It returns the round
+// timestamps, so callers can probe exactly at tuple-expiry boundaries.
+func feedRandomControlState(w *netsim.World, r *Router, rnd *rand.Rand, etx bool) []sim.Time {
+	const nodes = 25
+	seq := uint16(0)
+	randCode := func() LinkCode {
+		return []LinkCode{LinkSym, LinkMPR, LinkAsym, LinkLost}[rnd.Intn(4)]
+	}
+	var roundAts []sim.Time
+	for round := 0; round < 4; round++ {
+		at := w.Kernel.Now() + sim.Time(rnd.Int63n(int64(sim.Second))) + 1
+		roundAts = append(roundAts, at)
+		w.Kernel.Schedule(at, func() {
+			for i := 1; i <= nodes; i++ {
+				if rnd.Float64() < 0.7 {
+					var links []HelloLink
+					if rnd.Float64() < 0.8 {
+						links = append(links, HelloLink{Neighbor: 0, Code: randCode(), LQ: rnd.Float64()})
+					}
+					for j := 1; j <= nodes; j++ {
+						if j != i && rnd.Float64() < 0.25 {
+							links = append(links, HelloLink{Neighbor: netsim.NodeID(j), Code: randCode(), LQ: rnd.Float64()})
+						}
+					}
+					r.handleHello(&Hello{From: netsim.NodeID(i), Links: links}, netsim.NodeID(i))
+				}
+				if rnd.Float64() < 0.5 {
+					seq++
+					var adv []netsim.NodeID
+					var lqs []float64
+					for j := 1; j <= nodes; j++ {
+						if j != i && rnd.Float64() < 0.3 {
+							adv = append(adv, netsim.NodeID(j))
+							lqs = append(lqs, rnd.Float64())
+						}
+					}
+					if len(adv) == 0 {
+						continue
+					}
+					msg := &TC{Origin: netsim.NodeID(i), ANSN: uint16(rnd.Intn(4)), Advertised: adv, Seq: seq}
+					if etx {
+						msg.LQs = lqs
+					}
+					from := netsim.NodeID(rnd.Intn(nodes) + 1)
+					r.handleTC(&netsim.Packet{Kind: netsim.KindControl, TTL: 1 + rnd.Intn(4)}, msg, from)
+				}
+			}
+			if rnd.Float64() < 0.3 {
+				r.LinkFailure(netsim.NodeID(rnd.Intn(nodes)+1), &netsim.Packet{Kind: netsim.KindControl})
+			}
+			if rnd.Float64() < 0.5 {
+				r.purge()
+			}
+		})
+		w.Kernel.Run()
+	}
+	return roundAts
+}
+
+// TestDenseMatchesOracle asserts the acceptance contract of the dense
+// kernels: across randomized topologies, routes, MPR sets and the HELLO/TC
+// wire contents are bit-identical between the dense recompute and the
+// retained map-based oracle.
+func TestDenseMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		etx := seed >= 30
+		t.Run(fmt.Sprintf("etx=%v/seed=%d", etx, seed), func(t *testing.T) {
+			w, r := newBareRouter(t, Config{ETX: etx})
+			roundAts := feedRandomControlState(w, r, rand.New(rand.NewSource(seed)), etx)
+			if seed%2 == 1 {
+				// Odd seeds compare exactly at the third round's
+				// NeighborHold boundary: tuples created there and not
+				// refreshed since sit exactly on the `until <= now`
+				// filter edge, while the final round's links are still
+				// alive.
+				w.Kernel.RunUntil(roundAts[2] + r.cfg.NeighborHold)
+			}
+			now := w.Kernel.Now()
+
+			r.cfg.OracleRecompute = false
+			r.recomputeNow()
+			denseRoutes := r.routesSnapshot()
+			denseMPRs := append([]netsim.NodeID(nil), r.mprList...)
+			denseHello := r.helloLinks(now)
+			denseTC := r.makeTC(now)
+
+			r.cfg.OracleRecompute = true
+			r.recomputeNow()
+			oracleRoutes := r.routesSnapshot()
+			oracleMPRs := append([]netsim.NodeID(nil), r.mprList...)
+			oracleHello := r.helloLinks(now)
+			oracleTC := r.makeTC(now)
+
+			if !reflect.DeepEqual(denseMPRs, oracleMPRs) {
+				t.Fatalf("MPR sets diverge:\n dense: %v\noracle: %v", denseMPRs, oracleMPRs)
+			}
+			if !reflect.DeepEqual(denseRoutes, oracleRoutes) {
+				for id, de := range denseRoutes {
+					if oe, ok := oracleRoutes[id]; !ok || oe != de {
+						t.Errorf("route %d: dense %+v oracle %+v (ok=%v)", id, de, oe, ok)
+					}
+				}
+				for id := range oracleRoutes {
+					if _, ok := denseRoutes[id]; !ok {
+						t.Errorf("route %d: only in oracle", id)
+					}
+				}
+				t.Fatalf("route tables diverge (%d vs %d entries)", len(denseRoutes), len(oracleRoutes))
+			}
+			if !reflect.DeepEqual(denseHello, oracleHello) {
+				t.Fatalf("HELLO wire diverges:\n dense: %v\noracle: %v", denseHello, oracleHello)
+			}
+			if !reflect.DeepEqual(denseTC, oracleTC) {
+				t.Fatalf("TC wire diverges:\n dense: %+v\noracle: %+v", denseTC, oracleTC)
+			}
+		})
+	}
+}
+
+// TestRecomputeCoalescedPerTimestamp asserts the trigger contract: any
+// number of control messages arriving in one kernel timestamp cause at
+// most one recompute, and pure lifetime refreshes cause none at all.
+func TestRecomputeCoalescedPerTimestamp(t *testing.T) {
+	w, r := newBareRouter(t, Config{})
+	w.Kernel.Schedule(0, func() {
+		r.handleHello(&Hello{From: 1, Links: []HelloLink{{Neighbor: 0, Code: LinkSym}}}, 1)
+	})
+	w.Kernel.Run()
+
+	base := r.recomputes
+	w.Kernel.Schedule(w.Kernel.Now()+sim.Second, func() {
+		for i := 0; i < 5; i++ {
+			msg := &TC{
+				Origin:     netsim.NodeID(10 + i),
+				ANSN:       1,
+				Advertised: []netsim.NodeID{netsim.NodeID(20 + i)},
+				Seq:        uint16(i + 1),
+			}
+			r.handleTC(&netsim.Packet{Kind: netsim.KindControl, TTL: 4}, msg, 1)
+		}
+	})
+	w.Kernel.Run()
+	if got := r.recomputes - base; got != 1 {
+		t.Fatalf("5 TCs in one timestamp caused %d recomputes, want 1", got)
+	}
+
+	// A HELLO that only refreshes existing lifetimes is immaterial: no
+	// recompute at all.
+	base = r.recomputes
+	w.Kernel.Schedule(w.Kernel.Now()+sim.Second, func() {
+		r.handleHello(&Hello{From: 1, Links: []HelloLink{{Neighbor: 0, Code: LinkSym}}}, 1)
+	})
+	w.Kernel.Run()
+	if got := r.recomputes - base; got != 0 {
+		t.Fatalf("pure refresh hello caused %d recomputes, want 0", got)
+	}
+
+	// Flush interleaving: a read flushes mid-slot, then another material
+	// message re-dirties the router. The recompute already pending for
+	// this timestamp must stand down — the rebuild coalesces to now+1.
+	base = r.recomputes
+	at := w.Kernel.Now() + sim.Second
+	w.Kernel.Schedule(at, func() {
+		tc := func(seq uint16, origin netsim.NodeID) *TC {
+			return &TC{Origin: origin, ANSN: 1, Advertised: []netsim.NodeID{netsim.NodeID(90 + seq)}, Seq: 100 + seq}
+		}
+		r.handleTC(&netsim.Packet{Kind: netsim.KindControl, TTL: 4}, tc(1, 40), 1) // schedules event at `at`
+		r.Route(40)                                                                // flush: recompute #1 at `at`
+		r.handleTC(&netsim.Packet{Kind: netsim.KindControl, TTL: 4}, tc(2, 41), 1) // re-dirty: schedules at+1
+	})
+	w.Kernel.Run()
+	if got := r.recomputes - base; got != 2 {
+		t.Fatalf("flush interleaving caused %d recomputes, want 2 (one per timestamp)", got)
+	}
+	if r.lastRecompute != at+1 {
+		t.Fatalf("second recompute ran at %v, want %v (the stale pending event must stand down)", r.lastRecompute, at+1)
+	}
+}
+
+// TestRecomputeZeroAlloc asserts the steady-state allocation contract of
+// the dense kernels.
+func TestRecomputeZeroAlloc(t *testing.T) {
+	for _, etx := range []bool{false, true} {
+		t.Run(fmt.Sprintf("etx=%v", etx), func(t *testing.T) {
+			w, r := newBareRouter(t, Config{ETX: etx})
+			feedRandomControlState(w, r, rand.New(rand.NewSource(7)), etx)
+			r.recomputeNow() // size the scratch
+			allocs := testing.AllocsPerRun(100, func() {
+				r.dirty = true
+				r.recomputeNow()
+			})
+			if allocs != 0 {
+				t.Fatalf("dense recompute allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestLinkFailureFailsOverSameRecompute: after MAC retry exhaustion on the
+// preferred next hop, traffic to a 2-hop destination fails over to the
+// alternative relay in the same recompute — no waiting out the hello
+// timeout.
+func TestLinkFailureFailsOverSameRecompute(t *testing.T) {
+	// Diamond: 0 ↔ {1, 2} ↔ 3, with 0 ↔ 3 out of range.
+	positions := []geometry.Vec2{
+		{X: 0, Y: 0},
+		{X: 150, Y: 80},
+		{X: 150, Y: -80},
+		{X: 300, Y: 0},
+	}
+	w, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes: 4, Seed: 1, Static: positions,
+	}, func(n *netsim.Node) netsim.Router { return New(n, Config{}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(8 * sim.Second)
+	r0 := w.Node(0).Router().(*Router)
+	next, hops, ok := r0.Route(3)
+	if !ok || next != 1 || hops != 2 {
+		t.Fatalf("precondition: route to 3 = next %d hops %d ok %v, want via 1 (deterministic tie-break)", next, hops, ok)
+	}
+
+	// MAC feedback: unicast to 1 exhausted its retries.
+	before := w.Kernel.Now()
+	r0.LinkFailure(1, &netsim.Packet{Kind: netsim.KindControl})
+	next, hops, ok = r0.Route(3)
+	if !ok || next != 2 || hops != 2 {
+		t.Fatalf("after link failure: route to 3 = next %d hops %d ok %v, want failover via 2", next, hops, ok)
+	}
+	if w.Kernel.Now() != before {
+		t.Fatal("failover must not require simulated time to pass")
+	}
+	// The dead neighbor itself is rerouted through the surviving relay.
+	if next, _, ok = r0.Route(1); !ok || next != 2 {
+		t.Fatalf("route to failed neighbor = %d/%v, want via 2", next, ok)
+	}
+}

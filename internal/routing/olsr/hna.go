@@ -60,6 +60,7 @@ func (r *Router) AdvertiseNetwork(assoc NetworkAssoc) {
 // GatewayFor reports the chosen gateway for an external destination, if the
 // association set knows one.
 func (r *Router) GatewayFor(dst netsim.NodeID) (netsim.NodeID, bool) {
+	r.flush()
 	now := r.now()
 	best := netsim.NodeID(-1)
 	bestCost := 0.0
@@ -67,7 +68,7 @@ func (r *Router) GatewayFor(dst netsim.NodeID) (netsim.NodeID, bool) {
 		if t.until <= now || !t.assoc.Contains(dst) {
 			continue
 		}
-		e, ok := r.routes[t.gateway]
+		e, ok := r.routeFor(t.gateway)
 		if !ok {
 			continue
 		}
@@ -99,7 +100,7 @@ func (r *Router) sendHNA() {
 	sort.Slice(nets, func(i, j int) bool { return nets[i].From < nets[j].From })
 	r.msgSeq++
 	msg := &HNA{Origin: r.node.ID(), Networks: nets, Seq: r.msgSeq}
-	r.dups[dupKey{origin: msg.Origin, seq: msg.Seq}] = r.now() + r.cfg.DupHold
+	r.recordDup(dupKey{origin: msg.Origin, seq: msg.Seq}, r.now())
 	r.sendControl(netsim.DefaultTTL, hnaBytes(len(nets)), msg)
 }
 
@@ -108,13 +109,13 @@ func (r *Router) handleHNA(p *netsim.Packet, msg *HNA, from netsim.NodeID) {
 	if msg.Origin == r.node.ID() {
 		return
 	}
-	lt := r.links[from]
-	if lt == nil || lt.symUntil <= now {
+	fi, ok := r.idxOf[from]
+	if !ok || !r.links[fi].present || r.links[fi].symUntil <= now {
 		return
 	}
 	key := dupKey{origin: msg.Origin, seq: msg.Seq}
-	if _, dup := r.dups[key]; !dup {
-		r.dups[key] = now + r.cfg.DupHold
+	if !r.dups.Contains(key) {
+		r.recordDup(key, now)
 		for _, assoc := range msg.Networks {
 			r.installHNA(msg.Origin, assoc, now)
 		}

@@ -1,0 +1,58 @@
+package olsr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLQEstimatorRingWraparound pins the sliding-window semantics across
+// ring wraparound against a brute-force reference window.
+func TestLQEstimatorRingWraparound(t *testing.T) {
+	const window = 5
+	e := newLQEstimator(window)
+	rnd := rand.New(rand.NewSource(42))
+	var history []bool
+	for i := 0; i < 4*window+3; i++ {
+		arrived := rnd.Float64() < 0.6
+		if arrived {
+			e.heard()
+		}
+		e.tick()
+		history = append(history, arrived)
+
+		ref := history
+		if len(ref) > window {
+			ref = ref[len(ref)-window:]
+		}
+		hits := 0
+		for _, ok := range ref {
+			if ok {
+				hits++
+			}
+		}
+		want := float64(hits) / float64(len(ref))
+		if got := e.ratio(); got != want {
+			t.Fatalf("tick %d: ratio = %v, want %v (window %v)", i, got, want, ref)
+		}
+	}
+}
+
+// TestLQEstimatorReset covers estimator recycling when a purged link
+// reappears: history must restart from the optimistic prior.
+func TestLQEstimatorReset(t *testing.T) {
+	e := newLQEstimator(3)
+	e.tick()
+	e.tick()
+	if e.ratio() != 0 {
+		t.Fatalf("two silent periods should give 0, got %v", e.ratio())
+	}
+	e.reset()
+	if e.ratio() != 1 {
+		t.Fatalf("reset estimator must return the optimistic prior, got %v", e.ratio())
+	}
+	e.heard()
+	e.tick()
+	if e.ratio() != 1 {
+		t.Fatalf("single hit after reset should give 1, got %v", e.ratio())
+	}
+}

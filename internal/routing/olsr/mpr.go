@@ -1,165 +1,33 @@
 package olsr
 
-import (
-	"sort"
+// Shared pieces of the two recompute implementations (dense.go holds the
+// production kernels, oracle.go the retained map-based reference): the
+// link-cost model, the deterministic route tie-break, and the ETX
+// link-quality estimator.
 
-	"cavenet/internal/netsim"
-)
-
-// recompute re-derives the MPR set and the routing table from the current
-// link, 2-hop and topology sets. It runs after every message and purge;
-// with tens of nodes both computations are microseconds.
-func (r *Router) recompute() {
-	r.selectMPRs()
-	r.computeRoutes()
+// linkCost is the outgoing edge weight of a 1-hop link: 1 in hop-count
+// mode, ETX otherwise. Weights are always ≥ 1, which the Dijkstra kernel's
+// finality argument relies on.
+func (r *Router) linkCost(lt *linkTuple) float64 {
+	if !r.cfg.ETX || lt.lq == nil {
+		return 1
+	}
+	return etxCost(lt.lq.ratio(), lt.lq.ratio())
 }
 
-// selectMPRs runs the greedy heuristic of RFC 3626 §8.3.1: first pick the
-// only-reachability neighbors (sole providers of some 2-hop node), then
-// repeatedly pick the neighbor covering the most uncovered 2-hop nodes.
-func (r *Router) selectMPRs() {
-	now := r.now()
-	me := r.node.ID()
-
-	sym := make(map[netsim.NodeID]bool)
-	for _, n := range r.symNeighbors() {
-		sym[n] = true
+// lessRoute orders route candidates by (cost, hops, next hop): the
+// deterministic tie-break shared by the dense kernels and the oracle. A
+// candidate replaces the incumbent only when strictly less, so both the
+// oracle's iterate-to-fixpoint relaxation and the dense Dijkstra converge
+// to the same unique minimal label per destination.
+func lessRoute(a, b routeEntry) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
 	}
-
-	// coverage[n] = set of strict 2-hop nodes reachable through neighbor n.
-	coverage := make(map[netsim.NodeID]map[netsim.NodeID]bool)
-	uncovered := make(map[netsim.NodeID]bool)
-	for _, t := range r.twoHop {
-		if t.until <= now || !sym[t.neighbor] {
-			continue
-		}
-		// Strict 2-hop: not us, not itself a symmetric neighbor.
-		if t.twoHop == me || sym[t.twoHop] {
-			continue
-		}
-		if coverage[t.neighbor] == nil {
-			coverage[t.neighbor] = make(map[netsim.NodeID]bool)
-		}
-		coverage[t.neighbor][t.twoHop] = true
-		uncovered[t.twoHop] = true
+	if a.hops != b.hops {
+		return a.hops < b.hops
 	}
-
-	mprs := make(map[netsim.NodeID]struct{})
-
-	// Pass 1: neighbors that are the sole route to some 2-hop node.
-	providers := make(map[netsim.NodeID][]netsim.NodeID)
-	for n, covers := range coverage {
-		for th := range covers {
-			providers[th] = append(providers[th], n)
-		}
-	}
-	for th, ps := range providers {
-		if len(ps) == 1 {
-			mprs[ps[0]] = struct{}{}
-			_ = th
-		}
-	}
-	for n := range mprs {
-		for th := range coverage[n] {
-			delete(uncovered, th)
-		}
-	}
-
-	// Pass 2: greedy max-coverage until everything is covered.
-	for len(uncovered) > 0 {
-		best := netsim.NodeID(-1)
-		bestCount := 0
-		// Deterministic iteration order for reproducibility.
-		candidates := make([]netsim.NodeID, 0, len(coverage))
-		for n := range coverage {
-			candidates = append(candidates, n)
-		}
-		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
-		for _, n := range candidates {
-			if _, already := mprs[n]; already {
-				continue
-			}
-			count := 0
-			for th := range coverage[n] {
-				if uncovered[th] {
-					count++
-				}
-			}
-			if count > bestCount {
-				bestCount = count
-				best = n
-			}
-		}
-		if best < 0 {
-			break // remaining 2-hop nodes are unreachable; sets will expire
-		}
-		mprs[best] = struct{}{}
-		for th := range coverage[best] {
-			delete(uncovered, th)
-		}
-	}
-
-	r.mprs = mprs
-}
-
-// computeRoutes rebuilds the routing table (RFC 3626 §10): symmetric
-// neighbors at distance 1, 2-hop tuples at distance 2, then topology-set
-// edges relaxed until no route changes. In ETX mode edge weights are
-// ETX = 1/(NI·LQI) and the relaxation minimizes total cost instead of hops.
-func (r *Router) computeRoutes() {
-	now := r.now()
-	me := r.node.ID()
-	routes := make(map[netsim.NodeID]routeEntry)
-
-	linkCost := func(lt *linkTuple) float64 {
-		if !r.cfg.ETX || lt == nil || lt.lq == nil {
-			return 1
-		}
-		return etxCost(lt.lq.ratio(), lt.lq.ratio())
-	}
-
-	for id, lt := range r.links {
-		if lt.symUntil > now {
-			routes[id] = routeEntry{next: id, hops: 1, cost: linkCost(lt)}
-		}
-	}
-	for _, t := range r.twoHop {
-		if t.until <= now || t.twoHop == me {
-			continue
-		}
-		base, ok := routes[t.neighbor]
-		if !ok || base.hops != 1 {
-			continue
-		}
-		cost := base.cost + 1 // neighbor→2hop quality unknown; count one hop
-		if cur, exists := routes[t.twoHop]; !exists || cost < cur.cost {
-			routes[t.twoHop] = routeEntry{next: t.neighbor, hops: 2, cost: cost}
-		}
-	}
-	// Relax topology edges (last → dest) until fixpoint.
-	for changed := true; changed; {
-		changed = false
-		for _, t := range r.topology {
-			if t.until <= now || t.dest == me {
-				continue
-			}
-			via, ok := routes[t.last]
-			if !ok {
-				continue
-			}
-			w := 1.0
-			if r.cfg.ETX && t.linkLQ > 0 {
-				w = etxCost(t.linkLQ, t.linkLQ)
-			}
-			cost := via.cost + w
-			hops := via.hops + 1
-			if cur, exists := routes[t.dest]; !exists || cost < cur.cost {
-				routes[t.dest] = routeEntry{next: via.next, hops: hops, cost: cost}
-				changed = true
-			}
-		}
-	}
-	r.routes = routes
+	return a.next < b.next
 }
 
 // etxCost computes ETX(i) = 1/(NI·LQI), clamped to avoid division blowups
@@ -176,15 +44,26 @@ func etxCost(ni, lqi float64) float64 {
 }
 
 // lqEstimator measures the hello-arrival ratio over a sliding window of
-// expected hello periods (the NI(i) of the paper's ETX description).
+// expected hello periods (the NI(i) of the paper's ETX description). The
+// window is a fixed ring buffer with a running arrival count, so closing a
+// period and reading the ratio are both O(1) — the previous implementation
+// shifted a slice per tick and rescanned the window per ratio query.
 type lqEstimator struct {
-	window  int
-	history []bool // true = hello arrived in that period
-	arrived bool
+	ring    []bool // one slot per closed period; true = hello arrived
+	head    int    // next slot to overwrite
+	filled  int    // closed periods recorded, ≤ len(ring)
+	hits    int    // arrivals among the recorded periods
+	arrived bool   // hello seen in the currently open period
 }
 
 func newLQEstimator(window int) *lqEstimator {
-	return &lqEstimator{window: window}
+	return &lqEstimator{ring: make([]bool, window)}
+}
+
+// reset clears the history (used when a purged link reappears and its
+// estimator object is recycled).
+func (e *lqEstimator) reset() {
+	e.head, e.filled, e.hits, e.arrived = 0, 0, 0, false
 }
 
 // heard records a hello arrival in the current period.
@@ -193,9 +72,20 @@ func (e *lqEstimator) heard() { e.arrived = true }
 // tick closes the current period (called once per local hello emission,
 // which has the right cadence since both ends use the same interval).
 func (e *lqEstimator) tick() {
-	e.history = append(e.history, e.arrived)
-	if len(e.history) > e.window {
-		e.history = e.history[1:]
+	if e.filled == len(e.ring) {
+		if e.ring[e.head] {
+			e.hits--
+		}
+	} else {
+		e.filled++
+	}
+	e.ring[e.head] = e.arrived
+	if e.arrived {
+		e.hits++
+	}
+	e.head++
+	if e.head == len(e.ring) {
+		e.head = 0
 	}
 	e.arrived = false
 }
@@ -203,14 +93,8 @@ func (e *lqEstimator) tick() {
 // ratio reports arrivals/expected over the window; optimistic 1.0 before
 // any period closes.
 func (e *lqEstimator) ratio() float64 {
-	if len(e.history) == 0 {
+	if e.filled == 0 {
 		return 1
 	}
-	n := 0
-	for _, ok := range e.history {
-		if ok {
-			n++
-		}
-	}
-	return float64(n) / float64(len(e.history))
+	return float64(e.hits) / float64(e.filled)
 }

@@ -4,6 +4,15 @@
 // Multi-Point Relay (MPR) selection, TC dissemination through MPR
 // forwarding, and shortest-path route computation. The olsrd LQ/ETX
 // extension described by the paper is available as an option.
+//
+// The control plane is built for scale: NodeIDs are interned to small
+// dense indices per router, MPR/route recomputation runs on reusable
+// slice/stamp scratch (zero steady-state allocations), recompute triggers
+// are coalesced to at most one run per kernel timestamp through a dirty
+// flag, and tuple expiry is tracked by lazy min-heaps so the periodic
+// purge costs O(expired) instead of sweeping every live entry. The
+// original map-based recompute is retained in oracle.go as the
+// differential-testing reference (Config.OracleRecompute).
 package olsr
 
 import (
@@ -68,6 +77,11 @@ type Config struct {
 	// LQWindow is the sampling window (in hello periods) for packet-arrival
 	// estimation; default 10.
 	LQWindow int
+	// OracleRecompute routes MPR/route recomputation through the retained
+	// map-based reference implementation instead of the dense kernels. It
+	// exists for differential tests and benchmarks; simulations should
+	// leave it off.
+	OracleRecompute bool
 }
 
 func (c *Config) normalize() {
@@ -91,25 +105,34 @@ func (c *Config) normalize() {
 	}
 }
 
-// linkTuple is the link-set entry of RFC 3626 §4.2.
+// linkTuple is the link-set entry of RFC 3626 §4.2, stored in a dense
+// per-router slot addressed by the neighbor's interned index.
 type linkTuple struct {
+	present bool
+	// inSymHeap is true while symExp holds an entry for this index; it
+	// dedups pushes so the heap keeps one item per once-symmetric link.
+	inSymHeap bool
 	neighbor  netsim.NodeID
 	symUntil  sim.Time
 	asymUntil sim.Time
 	until     sim.Time
-	// hellosSeen ring buffer for ETX: 1 if the expected hello arrived.
+	// lq estimates the hello-arrival ratio for ETX; retained (and reset)
+	// across tuple reincarnations to avoid reallocation.
 	lq *lqEstimator
 }
 
-type twoHopTuple struct {
-	neighbor netsim.NodeID // symmetric 1-hop neighbor
-	twoHop   netsim.NodeID
-	until    sim.Time
+// twoHopEdge is one 2-hop tuple (neighbor → th), stored in the neighbor's
+// edge list sorted by the 2-hop node's NodeID — the iteration order the
+// route/MPR kernels and the oracle share.
+type twoHopEdge struct {
+	th    int32 // interned 2-hop node
+	until sim.Time
 }
 
-type topologyTuple struct {
-	dest   netsim.NodeID // advertised neighbor
-	last   netsim.NodeID // TC originator
+// topoEdge is one topology tuple (origin → dest); the per-origin edge
+// lists double as the adjacency list of the route Dijkstra.
+type topoEdge struct {
+	dest   int32
 	ansn   uint16
 	until  sim.Time
 	linkLQ float64 // originator's LQ toward dest (ETX mode)
@@ -131,13 +154,60 @@ type Router struct {
 	cfg  Config
 	node *netsim.Node
 
-	links     map[netsim.NodeID]*linkTuple
-	twoHop    map[[2]netsim.NodeID]*twoHopTuple
+	// NodeID interning: every node mentioned by control traffic gets a
+	// small dense index so the recompute kernels run over slices and
+	// epoch-stamp arrays instead of maps. Indices are never recycled; the
+	// universe is bounded by the number of distinct nodes ever heard of.
+	idxOf map[netsim.NodeID]int32
+	ids   []netsim.NodeID
+
+	links    []linkTuple // slot per interned id
+	linkList []int32     // indices of present link tuples
+	linkPos  []int32     // position of an index in linkList; -1 if absent
+
+	twoHopOf [][]twoHopEdge // per 1-hop neighbor, sorted by 2-hop NodeID
+	twoHopN  int
+
+	topoOf     [][]topoEdge // per TC originator
+	topoInHeap []bool
+	topoN      int
+
 	selectors map[netsim.NodeID]sim.Time // nodes that chose us as MPR
-	topology  map[[2]netsim.NodeID]*topologyTuple
-	dups      map[dupKey]sim.Time
-	mprs      map[netsim.NodeID]struct{}
-	routes    map[netsim.NodeID]routeEntry
+	dups      sim.ExpiringSet[dupKey]
+
+	// Lazy expiry heaps: one item per live entry, surfaced at the deadline
+	// recorded when the entry was created and re-registered when the entry
+	// turns out to have been refreshed (see sim.ExpiryHeap).
+	linkExp   sim.ExpiryHeap[int32]
+	symExp    sim.ExpiryHeap[int32]
+	twoHopExp sim.ExpiryHeap[[2]int32]
+	topoExp   sim.ExpiryHeap[int32]
+	selExp    sim.ExpiryHeap[netsim.NodeID]
+
+	// Recompute output, epoch-stamped per interned index. A stamp equal to
+	// the current (non-zero) epoch marks the entry live; clearing the
+	// table is a counter increment, not a sweep.
+	epochCounter uint64
+	routeOf      []routeEntry
+	routeStamp   []uint64
+	routeEpoch   uint64
+	mprStamp     []uint64
+	mprEpoch     uint64
+	mprList      []netsim.NodeID // sorted by NodeID
+
+	// Coalesced recompute: handlers mark the router dirty and schedule at
+	// most one recompute event per kernel timestamp; reads flush
+	// synchronously so observable state is never stale.
+	dirty         bool
+	lastRecompute sim.Time
+	recomputes    uint64
+	// eagerRecompute disables coalescing and change filtering: every
+	// handler invocation recomputes synchronously, material or not. It
+	// reconstructs the seed implementation's cost profile for the
+	// before/after benchmarks (set directly, in-package only).
+	eagerRecompute bool
+
+	scratch denseScratch
 
 	hnaLocal []NetworkAssoc
 	hnaSet   []*hnaTuple
@@ -160,15 +230,11 @@ var _ netsim.Router = (*Router)(nil)
 func New(node *netsim.Node, cfg Config) *Router {
 	cfg.normalize()
 	r := &Router{
-		cfg:       cfg,
-		node:      node,
-		links:     make(map[netsim.NodeID]*linkTuple),
-		twoHop:    make(map[[2]netsim.NodeID]*twoHopTuple),
-		selectors: make(map[netsim.NodeID]sim.Time),
-		topology:  make(map[[2]netsim.NodeID]*topologyTuple),
-		dups:      make(map[dupKey]sim.Time),
-		mprs:      make(map[netsim.NodeID]struct{}),
-		routes:    make(map[netsim.NodeID]routeEntry),
+		cfg:           cfg,
+		node:          node,
+		idxOf:         make(map[netsim.NodeID]int32),
+		selectors:     make(map[netsim.NodeID]sim.Time),
+		lastRecompute: -1,
 	}
 	jitter := func() sim.Time {
 		span := int64(cfg.HelloInterval / 5)
@@ -178,6 +244,26 @@ func New(node *netsim.Node, cfg Config) *Router {
 	r.tcTicker = sim.NewTicker(node.Kernel(), cfg.TCInterval, jitter, r.sendTC)
 	r.purgeTicker = sim.NewTicker(node.Kernel(), cfg.HelloInterval/2, nil, r.purge)
 	return r
+}
+
+// intern maps id to its dense index, growing every per-index array when the
+// id is new.
+func (r *Router) intern(id netsim.NodeID) int32 {
+	if i, ok := r.idxOf[id]; ok {
+		return i
+	}
+	i := int32(len(r.ids))
+	r.idxOf[id] = i
+	r.ids = append(r.ids, id)
+	r.links = append(r.links, linkTuple{})
+	r.linkPos = append(r.linkPos, -1)
+	r.twoHopOf = append(r.twoHopOf, nil)
+	r.topoOf = append(r.topoOf, nil)
+	r.topoInHeap = append(r.topoInHeap, false)
+	r.routeOf = append(r.routeOf, routeEntry{})
+	r.routeStamp = append(r.routeStamp, 0)
+	r.mprStamp = append(r.mprStamp, 0)
+	return i
 }
 
 // Name implements netsim.Router.
@@ -203,26 +289,149 @@ func (r *Router) Stop() {
 // ControlTraffic implements netsim.Router.
 func (r *Router) ControlTraffic() (uint64, uint64) { return r.ctrlPackets, r.ctrlBytes }
 
+// TableStats reports live control-state sizes, including the expiry-heap
+// backlog (for analysis and the memory-stability tests).
+type TableStats struct {
+	Links     int
+	TwoHop    int
+	Topology  int
+	Selectors int
+	Dups      int
+	HeapItems int
+}
+
+// TableStats implements the memory introspection used by stability tests.
+func (r *Router) TableStats() TableStats {
+	return TableStats{
+		Links:     len(r.linkList),
+		TwoHop:    r.twoHopN,
+		Topology:  r.topoN,
+		Selectors: len(r.selectors),
+		Dups:      r.dups.Len(),
+		HeapItems: r.linkExp.Len() + r.symExp.Len() + r.twoHopExp.Len() +
+			r.topoExp.Len() + r.selExp.Len() + r.dups.Deadlines(),
+	}
+}
+
 // MPRSet returns the current multipoint relays (for tests and analysis).
 func (r *Router) MPRSet() []netsim.NodeID {
-	out := make([]netsim.NodeID, 0, len(r.mprs))
-	for id := range r.mprs {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	r.flush()
+	return append([]netsim.NodeID(nil), r.mprList...)
+}
+
+// isMPR reports whether the interned neighbor was selected as MPR by the
+// last recompute.
+func (r *Router) isMPR(fi int32) bool {
+	return r.mprEpoch != 0 && r.mprStamp[fi] == r.mprEpoch
 }
 
 // Route reports the computed next hop toward dst.
 func (r *Router) Route(dst netsim.NodeID) (next netsim.NodeID, hops int, ok bool) {
-	e, found := r.routes[dst]
+	r.flush()
+	e, found := r.routeFor(dst)
 	if !found {
 		return 0, 0, false
 	}
 	return e.next, e.hops, true
 }
 
+// routeFor looks dst up in the epoch-stamped route table.
+func (r *Router) routeFor(dst netsim.NodeID) (routeEntry, bool) {
+	if r.routeEpoch == 0 {
+		return routeEntry{}, false
+	}
+	i, ok := r.idxOf[dst]
+	if !ok || r.routeStamp[i] != r.routeEpoch {
+		return routeEntry{}, false
+	}
+	return r.routeOf[i], true
+}
+
+// routesSnapshot materializes the route table as a map (tests only).
+func (r *Router) routesSnapshot() map[netsim.NodeID]routeEntry {
+	out := make(map[netsim.NodeID]routeEntry)
+	if r.routeEpoch == 0 {
+		return out
+	}
+	for i, id := range r.ids {
+		if r.routeStamp[i] == r.routeEpoch {
+			out[id] = r.routeOf[i]
+		}
+	}
+	return out
+}
+
 func (r *Router) now() sim.Time { return r.node.Kernel().Now() }
+
+// noteChange is the handlers' recompute trigger: material changes mark the
+// router dirty (pure lifetime refreshes never force a rebuild). In eager
+// mode every call recomputes immediately, replicating the seed's
+// per-message rebuild for benchmarking.
+func (r *Router) noteChange(material bool) {
+	if r.eagerRecompute {
+		r.recomputeNow()
+		return
+	}
+	if material {
+		r.markDirty()
+	}
+}
+
+// markDirty notes that state feeding MPR selection or route computation
+// changed, and schedules at most one coalesced recompute per kernel
+// timestamp: a node forwarding k TCs in one slot pays one rebuild, not k.
+func (r *Router) markDirty() {
+	if r.dirty {
+		return
+	}
+	r.dirty = true
+	at := r.now()
+	if at <= r.lastRecompute {
+		// A recompute already ran at this timestamp (a read flushed);
+		// nudge the coalesced run one tick so the once-per-timestamp
+		// contract holds.
+		at = r.lastRecompute + 1
+	}
+	r.node.Kernel().ScheduleArg(at, recomputeEvent, r)
+}
+
+// recomputeEvent is the package-level coalesced-recompute callback (no
+// closure allocation; see sim.ScheduleArg).
+func recomputeEvent(a any) {
+	r := a.(*Router)
+	// If a read already flushed at this timestamp and a later change
+	// re-dirtied the router, that markDirty scheduled a fresh event at
+	// now+1 — running here would be a second rebuild in one timestamp,
+	// breaking the ≤1-recompute-per-(node, timestamp) contract.
+	if r.dirty && r.lastRecompute != r.now() {
+		r.recomputeNow()
+	}
+}
+
+// flush recomputes synchronously if state changed since the last run, so
+// reads (route lookups, MPR queries, wire emission) never observe staleness
+// from the coalescing.
+func (r *Router) flush() {
+	if r.dirty {
+		r.recomputeNow()
+	}
+}
+
+func (r *Router) recomputeNow() {
+	r.dirty = false
+	r.lastRecompute = r.now()
+	r.recomputes++
+	if r.cfg.OracleRecompute {
+		r.recomputeOracle()
+	} else {
+		r.recomputeDense()
+	}
+}
+
+func (r *Router) nextEpoch() uint64 {
+	r.epochCounter++
+	return r.epochCounter
+}
 
 func (r *Router) sendControl(ttl, size int, msg any) {
 	p := &netsim.Packet{
@@ -244,26 +453,36 @@ func (r *Router) sendControl(ttl, size int, msg any) {
 func (r *Router) symNeighbors() []netsim.NodeID {
 	now := r.now()
 	var out []netsim.NodeID
-	for id, lt := range r.links {
-		if lt.symUntil > now {
-			out = append(out, id)
+	for _, fi := range r.linkList {
+		if r.links[fi].symUntil > now {
+			out = append(out, r.links[fi].neighbor)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-func (r *Router) sendHello() {
-	now := r.now()
+// eachTwoHop visits every stored 2-hop tuple (for tests and the oracle).
+func (r *Router) eachTwoHop(f func(nbr, th netsim.NodeID, until sim.Time)) {
+	for fi, edges := range r.twoHopOf {
+		for _, e := range edges {
+			f(r.ids[fi], r.ids[e.th], e.until)
+		}
+	}
+}
+
+// helloLinks builds the link advertisements of a HELLO from current state.
+func (r *Router) helloLinks(now sim.Time) []HelloLink {
 	var links []HelloLink
-	for id, lt := range r.links {
+	for _, fi := range r.linkList {
+		lt := &r.links[fi]
 		if lt.until <= now {
 			continue
 		}
 		var code LinkCode
 		switch {
 		case lt.symUntil > now:
-			if _, isMPR := r.mprs[id]; isMPR {
+			if r.isMPR(fi) {
 				code = LinkMPR
 			} else {
 				code = LinkSym
@@ -273,26 +492,35 @@ func (r *Router) sendHello() {
 		default:
 			code = LinkLost
 		}
-		hl := HelloLink{Neighbor: id, Code: code}
+		hl := HelloLink{Neighbor: lt.neighbor, Code: code}
 		if r.cfg.ETX && lt.lq != nil {
 			hl.LQ = lt.lq.ratio()
 		}
 		links = append(links, hl)
 	}
 	sort.Slice(links, func(i, j int) bool { return links[i].Neighbor < links[j].Neighbor })
+	return links
+}
+
+func (r *Router) sendHello() {
+	r.flush()
+	now := r.now()
+	links := r.helloLinks(now)
 	r.sendControl(1, helloBytes(len(links)), &Hello{From: r.node.ID(), Links: links})
 	// Advance every neighbor's expected-hello window.
 	if r.cfg.ETX {
-		for _, lt := range r.links {
-			if lt.lq != nil {
+		for _, fi := range r.linkList {
+			if lt := &r.links[fi]; lt.lq != nil {
 				lt.lq.tick()
 			}
 		}
 	}
 }
 
-func (r *Router) sendTC() {
-	now := r.now()
+// makeTC assembles the TC advertisement from the current selector set, or
+// nil when there is nothing to advertise (RFC 3626 §9.3). The message
+// sequence number is assigned by sendTC.
+func (r *Router) makeTC(now sim.Time) *TC {
 	var adv []netsim.NodeID
 	for id, until := range r.selectors {
 		if until > now {
@@ -300,21 +528,39 @@ func (r *Router) sendTC() {
 		}
 	}
 	if len(adv) == 0 {
-		return // RFC 3626 §9.3: TC only with a non-empty selector set
+		return nil
 	}
 	sort.Slice(adv, func(i, j int) bool { return adv[i] < adv[j] })
-	r.msgSeq++
-	msg := &TC{Origin: r.node.ID(), ANSN: r.ansn, Advertised: adv, Seq: r.msgSeq}
+	msg := &TC{Origin: r.node.ID(), ANSN: r.ansn, Advertised: adv}
 	if r.cfg.ETX {
 		msg.LQs = make([]float64, len(adv))
 		for i, id := range adv {
-			if lt := r.links[id]; lt != nil && lt.lq != nil {
-				msg.LQs[i] = lt.lq.ratio()
+			if fi, ok := r.idxOf[id]; ok {
+				if lt := &r.links[fi]; lt.present && lt.lq != nil {
+					msg.LQs[i] = lt.lq.ratio()
+				}
 			}
 		}
 	}
-	r.dups[dupKey{origin: msg.Origin, seq: msg.Seq}] = now + r.cfg.DupHold
-	r.sendControl(netsim.DefaultTTL, tcBytes(len(adv)), msg)
+	return msg
+}
+
+func (r *Router) sendTC() {
+	now := r.now()
+	msg := r.makeTC(now)
+	if msg == nil {
+		return // RFC 3626 §9.3: TC only with a non-empty selector set
+	}
+	r.msgSeq++
+	msg.Seq = r.msgSeq
+	r.recordDup(dupKey{origin: msg.Origin, seq: msg.Seq}, now)
+	r.sendControl(netsim.DefaultTTL, tcBytes(len(msg.Advertised)), msg)
+}
+
+// recordDup installs a duplicate-suppression entry; keys are unique per
+// message, so one insert per key suffices.
+func (r *Router) recordDup(key dupKey, now sim.Time) {
+	r.dups.Add(key, now+r.cfg.DupHold)
 }
 
 // Receive implements netsim.Router.
@@ -350,11 +596,12 @@ func (r *Router) Origin(p *netsim.Packet) {
 // nextHopFor resolves a destination through the routing table, falling
 // back to the HNA association set for external destinations.
 func (r *Router) nextHopFor(dst netsim.NodeID) (netsim.NodeID, bool) {
-	if e, ok := r.routes[dst]; ok {
+	r.flush()
+	if e, ok := r.routeFor(dst); ok {
 		return e.next, true
 	}
 	if gw, ok := r.GatewayFor(dst); ok {
-		if e, ok := r.routes[gw]; ok {
+		if e, ok := r.routeFor(gw); ok {
 			return e.next, true
 		}
 	}
@@ -384,40 +631,60 @@ func (r *Router) forwardData(p *netsim.Packet) {
 
 func (r *Router) handleHello(msg *Hello, from netsim.NodeID) {
 	now := r.now()
-	lt := r.links[from]
-	if lt == nil {
-		lt = &linkTuple{neighbor: from}
+	hold := r.cfg.NeighborHold
+	fi := r.intern(from)
+	lt := &r.links[fi]
+	material := false
+	if !lt.present {
+		// Reincarnate the slot with fresh link state; the symExp flag must
+		// survive (its heap entry, if any, is still registered).
+		*lt = linkTuple{present: true, neighbor: from, inSymHeap: lt.inSymHeap, lq: lt.lq}
 		if r.cfg.ETX {
-			lt.lq = newLQEstimator(r.cfg.LQWindow)
+			if lt.lq == nil {
+				lt.lq = newLQEstimator(r.cfg.LQWindow)
+			} else {
+				lt.lq.reset()
+			}
 		}
-		r.links[from] = lt
+		r.linkPos[fi] = int32(len(r.linkList))
+		r.linkList = append(r.linkList, fi)
+		r.linkExp.Push(fi, now+hold)
+		material = true
 	}
-	lt.asymUntil = now + r.cfg.NeighborHold
-	lt.until = now + r.cfg.NeighborHold
+	lt.asymUntil = now + hold
+	lt.until = now + hold
 	if lt.lq != nil {
 		lt.lq.heard()
 	}
 
 	me := r.node.ID()
-	meListed := false
+	wasSym := lt.symUntil > now
 	selected := false
 	for _, hl := range msg.Links {
 		if hl.Neighbor != me {
 			continue
 		}
-		meListed = true
 		if hl.Code == LinkMPR {
 			selected = true
 		}
 		if hl.Code != LinkLost {
 			// The neighbor hears us: the link is symmetric.
-			lt.symUntil = now + r.cfg.NeighborHold
+			lt.symUntil = now + hold
 		}
 	}
-	_ = meListed
+	if lt.symUntil > now && !wasSym {
+		material = true
+		if !lt.inSymHeap {
+			lt.inSymHeap = true
+			r.symExp.Push(fi, lt.symUntil)
+		}
+	}
 
 	if selected {
-		r.selectors[from] = now + r.cfg.NeighborHold
+		if _, known := r.selectors[from]; !known {
+			r.selExp.Push(from, now+hold)
+		}
+		r.selectors[from] = now + hold
 		r.ansn++
 	}
 
@@ -428,69 +695,145 @@ func (r *Router) handleHello(msg *Hello, from netsim.NodeID) {
 				continue
 			}
 			if hl.Code == LinkSym || hl.Code == LinkMPR {
-				key := [2]netsim.NodeID{from, hl.Neighbor}
-				tuple := r.twoHop[key]
-				if tuple == nil {
-					tuple = &twoHopTuple{neighbor: from, twoHop: hl.Neighbor}
-					r.twoHop[key] = tuple
+				if r.upsertTwoHop(fi, hl.Neighbor, now+hold, now) {
+					material = true
 				}
-				tuple.until = now + r.cfg.NeighborHold
 			}
 		}
 	}
-	r.recompute()
+	// Pure lifetime refreshes cannot change recompute output; new links,
+	// asym→sym transitions and new/revived 2-hop edges can. Under ETX the
+	// carried link qualities move costs on every hello.
+	r.noteChange(material || r.cfg.ETX)
+}
+
+// upsertTwoHop installs or refreshes the 2-hop tuple (nbr → th), keeping
+// the neighbor's edge list sorted by 2-hop NodeID. It reports whether the
+// edge is new or was revived from soft expiry (material for recompute).
+func (r *Router) upsertTwoHop(fi int32, th netsim.NodeID, until, now sim.Time) bool {
+	ti := r.intern(th)
+	edges := r.twoHopOf[fi]
+	pos := len(edges)
+	for j := range edges {
+		if edges[j].th == ti {
+			material := edges[j].until <= now
+			edges[j].until = until
+			return material
+		}
+		if r.ids[edges[j].th] > th {
+			pos = j
+			break
+		}
+	}
+	edges = append(edges, twoHopEdge{})
+	copy(edges[pos+1:], edges[pos:])
+	edges[pos] = twoHopEdge{th: ti, until: until}
+	r.twoHopOf[fi] = edges
+	r.twoHopN++
+	r.twoHopExp.Push([2]int32{fi, ti}, until)
+	return true
 }
 
 func (r *Router) handleTC(p *netsim.Packet, msg *TC, from netsim.NodeID) {
 	now := r.now()
-	me := r.node.ID()
-	if msg.Origin == me {
+	if msg.Origin == r.node.ID() {
 		return
 	}
 	// Only process/forward messages received over a symmetric link
 	// (RFC 3626 §3.4 default forwarding algorithm).
-	lt := r.links[from]
-	if lt == nil || lt.symUntil <= now {
+	fi, ok := r.idxOf[from]
+	if !ok || !r.links[fi].present || r.links[fi].symUntil <= now {
 		return
 	}
 	key := dupKey{origin: msg.Origin, seq: msg.Seq}
-	if _, dup := r.dups[key]; !dup {
-		r.dups[key] = now + r.cfg.DupHold
-		r.processTC(msg, now)
-		// Forward iff the sender selected us as MPR.
-		if until, sel := r.selectors[from]; sel && until > now && p.TTL > 1 {
-			fwd := *msg
-			r.ctrlPackets++
-			r.ctrlBytes += uint64(tcBytes(len(msg.Advertised)) + netsim.IPHeaderBytes)
-			fp := p.Clone()
-			fp.TTL--
-			fp.Payload = &fwd
-			r.node.SendFrame(netsim.BroadcastID, fp)
-		}
+	if r.dups.Contains(key) {
+		return
 	}
-	r.recompute()
+	r.recordDup(key, now)
+	r.noteChange(r.processTC(msg, now))
+	// Forward iff the sender selected us as MPR.
+	if until, sel := r.selectors[from]; sel && until > now && p.TTL > 1 {
+		fwd := *msg
+		r.ctrlPackets++
+		r.ctrlBytes += uint64(tcBytes(len(msg.Advertised)) + netsim.IPHeaderBytes)
+		fp := p.Clone()
+		fp.TTL--
+		fp.Payload = &fwd
+		r.node.SendFrame(netsim.BroadcastID, fp)
+	}
 }
 
-func (r *Router) processTC(msg *TC, now sim.Time) {
-	// RFC 3626 §9.5: discard older ANSN state, then install tuples.
-	for key, t := range r.topology {
-		if t.last == msg.Origin && int16(msg.ANSN-t.ansn) > 0 {
-			delete(r.topology, key)
+// processTC installs the advertised topology tuples (RFC 3626 §9.5) into
+// the per-origin adjacency, reporting whether anything material to route
+// computation changed (pure refreshes of live edges are not).
+func (r *Router) processTC(msg *TC, now sim.Time) bool {
+	oi := r.intern(msg.Origin)
+	edges := r.topoOf[oi]
+	// RFC 3626 §9.5 condition 1: a message older than the recorded state
+	// for this originator is discarded outright — a delayed out-of-order
+	// TC must not resurrect withdrawn topology edges.
+	for _, e := range edges {
+		if e.until > now && int16(e.ansn-msg.ANSN) > 0 {
+			return false
 		}
 	}
+	material := false
+	// Discard tuples with a strictly older ANSN.
+	kept := edges[:0]
+	for _, e := range edges {
+		if int16(msg.ANSN-e.ansn) > 0 {
+			r.topoN--
+			material = true
+			continue
+		}
+		kept = append(kept, e)
+	}
+	edges = kept
 	for i, dest := range msg.Advertised {
-		key := [2]netsim.NodeID{msg.Origin, dest}
-		t := r.topology[key]
-		if t == nil {
-			t = &topologyTuple{dest: dest, last: msg.Origin}
-			r.topology[key] = t
-		}
-		t.ansn = msg.ANSN
-		t.until = now + r.cfg.TopologyHold
+		di := r.intern(dest)
+		var lq float64
 		if msg.LQs != nil {
-			t.linkLQ = msg.LQs[i]
+			lq = msg.LQs[i]
+		}
+		found := false
+		for j := range edges {
+			if edges[j].dest != di {
+				continue
+			}
+			if edges[j].until <= now {
+				material = true // revived from soft expiry
+			}
+			if r.cfg.ETX && edges[j].linkLQ != lq {
+				material = true
+			}
+			edges[j].ansn = msg.ANSN
+			edges[j].until = now + r.cfg.TopologyHold
+			edges[j].linkLQ = lq
+			found = true
+			break
+		}
+		if !found {
+			edges = append(edges, topoEdge{dest: di, ansn: msg.ANSN, until: now + r.cfg.TopologyHold, linkLQ: lq})
+			r.topoN++
+			material = true
 		}
 	}
+	r.topoOf[oi] = edges
+	if len(edges) > 0 && !r.topoInHeap[oi] {
+		r.topoInHeap[oi] = true
+		r.topoExp.Push(oi, minTopoUntil(edges))
+	}
+	return material
+}
+
+func minTopoUntil(edges []topoEdge) sim.Time {
+	min := edges[0].until
+	for _, e := range edges[1:] {
+		if e.until < min {
+			min = e.until
+		}
+	}
+	return min
 }
 
 // LinkFailure implements netsim.Router: link-layer feedback expires the
@@ -499,42 +842,117 @@ func (r *Router) LinkFailure(next netsim.NodeID, p *netsim.Packet) {
 	if p.Kind == netsim.KindData {
 		r.node.DropData(p, "olsr:link-failure")
 	}
-	if lt := r.links[next]; lt != nil {
-		lt.symUntil = 0
-		lt.asymUntil = 0
-		lt.until = 0
+	material := false
+	if fi, ok := r.idxOf[next]; ok {
+		lt := &r.links[fi]
+		if lt.present {
+			lt.symUntil, lt.asymUntil, lt.until = 0, 0, 0
+			material = true
+		}
 	}
-	r.recompute()
+	r.noteChange(material)
 }
 
+// removeLink deletes the link tuple at index fi from the live set.
+func (r *Router) removeLink(fi int32) {
+	lt := &r.links[fi]
+	if !lt.present {
+		return
+	}
+	lt.present = false
+	lt.symUntil, lt.asymUntil, lt.until = 0, 0, 0
+	pos := r.linkPos[fi]
+	last := int32(len(r.linkList) - 1)
+	moved := r.linkList[last]
+	r.linkList[pos] = moved
+	r.linkPos[moved] = pos
+	r.linkList = r.linkList[:last]
+	r.linkPos[fi] = -1
+}
+
+// removeTwoHop deletes the (nbr → th) edge, preserving the sorted order.
+func (r *Router) removeTwoHop(fi, ti int32) {
+	edges := r.twoHopOf[fi]
+	for j := range edges {
+		if edges[j].th == ti {
+			r.twoHopOf[fi] = append(edges[:j], edges[j+1:]...)
+			r.twoHopN--
+			return
+		}
+	}
+}
+
+// purge retires expired tuples. The expiry heaps surface exactly the
+// entries whose deadlines passed, so the cost is O(expired) — and when
+// nothing material expired, no recompute is triggered at all.
 func (r *Router) purge() {
 	now := r.now()
-	for id, lt := range r.links {
-		if lt.until <= now {
-			delete(r.links, id)
+	material := false
+
+	r.linkExp.Expire(now, func(fi int32) (sim.Time, bool) {
+		lt := &r.links[fi]
+		return lt.until, lt.present && lt.until > now
+	}, func(fi int32) {
+		if r.links[fi].present {
+			r.removeLink(fi)
+			material = true
 		}
-	}
-	for key, t := range r.twoHop {
-		if t.until <= now {
-			delete(r.twoHop, key)
+	})
+
+	r.symExp.Expire(now, func(fi int32) (sim.Time, bool) {
+		lt := &r.links[fi]
+		return lt.symUntil, lt.present && lt.symUntil > now
+	}, func(fi int32) {
+		// The symmetric window lapsed (or the link is gone): routes that
+		// used this neighbor must be recomputed.
+		r.links[fi].inSymHeap = false
+		material = true
+	})
+
+	r.twoHopExp.Expire(now, func(key [2]int32) (sim.Time, bool) {
+		for _, e := range r.twoHopOf[key[0]] {
+			if e.th == key[1] {
+				return e.until, e.until > now
+			}
 		}
-	}
-	for id, until := range r.selectors {
-		if until <= now {
+		return 0, false
+	}, func(key [2]int32) {
+		r.removeTwoHop(key[0], key[1])
+		material = true
+	})
+
+	r.selExp.Expire(now, func(id netsim.NodeID) (sim.Time, bool) {
+		until, ok := r.selectors[id]
+		return until, ok && until > now
+	}, func(id netsim.NodeID) {
+		if _, ok := r.selectors[id]; ok {
 			delete(r.selectors, id)
 			r.ansn++
 		}
-	}
-	for key, t := range r.topology {
-		if t.until <= now {
-			delete(r.topology, key)
+	})
+
+	r.topoExp.Expire(now, func(oi int32) (sim.Time, bool) {
+		edges := r.topoOf[oi]
+		kept := edges[:0]
+		for _, e := range edges {
+			if e.until > now {
+				kept = append(kept, e)
+			} else {
+				r.topoN--
+				material = true
+			}
 		}
-	}
-	for key, until := range r.dups {
-		if until <= now {
-			delete(r.dups, key)
+		r.topoOf[oi] = kept
+		if len(kept) == 0 {
+			return 0, false
 		}
-	}
+		return minTopoUntil(kept), true
+	}, func(oi int32) {
+		r.topoInHeap[oi] = false
+	})
+
+	r.dups.Expire(now)
+
 	r.purgeHNA(now)
-	r.recompute()
+	r.noteChange(material)
 }

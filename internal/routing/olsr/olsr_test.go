@@ -160,21 +160,20 @@ func TestMPRCoverageProperty(t *testing.T) {
 	for _, s := range r.symNeighbors() {
 		sym[s] = true
 	}
-	for _, th := range r.twoHop {
-		if th.until <= now || sym[th.twoHop] || th.twoHop == 0 {
-			continue
+	coveredBy := make(map[netsim.NodeID]bool)
+	r.eachTwoHop(func(nbr, th netsim.NodeID, until sim.Time) {
+		if mprs[nbr] {
+			coveredBy[th] = true
 		}
-		covered := false
-		for _, other := range r.twoHop {
-			if other.twoHop == th.twoHop && mprs[other.neighbor] {
-				covered = true
-				break
-			}
+	})
+	r.eachTwoHop(func(nbr, th netsim.NodeID, until sim.Time) {
+		if until <= now || sym[th] || th == 0 {
+			return
 		}
-		if !covered {
-			t.Fatalf("2-hop node %d not covered by MPR set %v", th.twoHop, r.MPRSet())
+		if !coveredBy[th] {
+			t.Fatalf("2-hop node %d not covered by MPR set %v", th, r.MPRSet())
 		}
-	}
+	})
 	if !mprs[1] || !mprs[2] {
 		t.Fatalf("sole providers must be MPRs; got %v", r.MPRSet())
 	}
@@ -187,8 +186,8 @@ func TestTCOnlyWithSelectors(t *testing.T) {
 	w.Run(10 * sim.Second)
 	for i := 0; i < 2; i++ {
 		r := w.Node(i).Router().(*Router)
-		if len(r.topology) != 0 {
-			t.Fatalf("node %d learned topology %v without any TC generator", i, r.topology)
+		if r.topoN != 0 {
+			t.Fatalf("node %d learned %d topology tuples without any TC generator", i, r.topoN)
 		}
 	}
 }

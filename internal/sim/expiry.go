@@ -1,0 +1,125 @@
+package sim
+
+// ExpiryHeap tracks soft deadlines for keyed protocol state (link tuples,
+// topology tuples, duplicate-suppression entries) so that purging costs
+// O(expired) instead of a full sweep of every live entry.
+//
+// The heap is lazy: it records the deadline a key had when it was pushed.
+// If the underlying entry's lifetime is extended afterwards, the stale heap
+// item still surfaces at the old deadline — Expire then asks the caller for
+// the entry's current deadline and re-registers the key instead of expiring
+// it. Callers therefore push once per entry creation, never per refresh,
+// which keeps the heap at one item per live key.
+//
+// The zero value is an empty heap ready for use.
+type ExpiryHeap[K comparable] struct {
+	items []expiryItem[K]
+}
+
+type expiryItem[K comparable] struct {
+	until Time
+	key   K
+}
+
+// Len reports the number of registered items (live keys plus any stale
+// duplicates that have not yet surfaced).
+func (h *ExpiryHeap[K]) Len() int { return len(h.items) }
+
+// Push registers key with the given deadline. Push once when the entry is
+// created; lifetime extensions are discovered lazily through Expire's
+// current callback.
+func (h *ExpiryHeap[K]) Push(key K, until Time) {
+	h.items = append(h.items, expiryItem[K]{until: until, key: key})
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].until <= h.items[i].until {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *ExpiryHeap[K]) pop() expiryItem[K] {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	var zero expiryItem[K]
+	h.items[n] = zero // release the key for GC
+	h.items = h.items[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.items[l].until < h.items[min].until {
+			min = l
+		}
+		if r < n && h.items[r].until < h.items[min].until {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+	return top
+}
+
+// Expire surfaces every registered deadline that has passed. For each such
+// key it calls current, which reports the entry's live deadline: when keep
+// is true and the deadline is still in the future the key is re-registered
+// at it (the entry was refreshed since the push); otherwise expired(key) is
+// invoked and the caller is expected to delete the underlying entry. Keys
+// whose entries are already gone must report keep=false.
+func (h *ExpiryHeap[K]) Expire(now Time, current func(K) (Time, bool), expired func(K)) {
+	for len(h.items) > 0 && h.items[0].until <= now {
+		it := h.pop()
+		if until, keep := current(it.key); keep && until > now {
+			h.Push(it.key, until)
+		} else {
+			expired(it.key)
+		}
+	}
+}
+
+// ExpiringSet is a keyed set with per-entry deadlines — the shape of a
+// protocol duplicate-suppression table. Entries are added once with a
+// fixed deadline (deadlines are not refreshed) and retired lazily by
+// Expire at O(expired) cost. The zero value is an empty set ready for use.
+type ExpiringSet[K comparable] struct {
+	m map[K]Time
+	h ExpiryHeap[K]
+}
+
+// Add installs key with the given deadline. Adding a key that is already
+// present is allowed but wasteful (one extra heap item until it expires);
+// dedup tables check Contains first.
+func (s *ExpiringSet[K]) Add(key K, until Time) {
+	if s.m == nil {
+		s.m = make(map[K]Time)
+	}
+	s.m[key] = until
+	s.h.Push(key, until)
+}
+
+// Contains reports whether key is present (and not yet expired by Expire).
+func (s *ExpiringSet[K]) Contains(key K) bool {
+	_, ok := s.m[key]
+	return ok
+}
+
+// Len reports the number of live entries.
+func (s *ExpiringSet[K]) Len() int { return len(s.m) }
+
+// Deadlines reports the number of registered heap items (for memory
+// accounting; at most one per live entry plus stale duplicates).
+func (s *ExpiringSet[K]) Deadlines() int { return s.h.Len() }
+
+// Expire deletes every entry whose deadline has passed.
+func (s *ExpiringSet[K]) Expire(now Time) {
+	s.h.Expire(now,
+		func(k K) (Time, bool) { u, ok := s.m[k]; return u, ok && u > now },
+		func(k K) { delete(s.m, k) })
+}

@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+func TestExpiryHeapOrdersAndExpires(t *testing.T) {
+	var h ExpiryHeap[string]
+	live := map[string]Time{"a": 10, "b": 20, "c": 30}
+	h.Push("c", 30)
+	h.Push("a", 10)
+	h.Push("b", 20)
+
+	var gone []string
+	expire := func(now Time) {
+		h.Expire(now,
+			func(k string) (Time, bool) { u, ok := live[k]; return u, ok },
+			func(k string) { delete(live, k); gone = append(gone, k) })
+	}
+
+	expire(5)
+	if len(gone) != 0 || h.Len() != 3 {
+		t.Fatalf("nothing should expire at t=5: gone=%v len=%d", gone, h.Len())
+	}
+	expire(20)
+	if len(gone) != 2 || gone[0] != "a" || gone[1] != "b" {
+		t.Fatalf("want [a b] expired in deadline order, got %v", gone)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("heap should still track c, len=%d", h.Len())
+	}
+}
+
+func TestExpiryHeapRefreshedEntryReRegisters(t *testing.T) {
+	var h ExpiryHeap[int]
+	until := Time(10)
+	h.Push(1, until)
+
+	// The entry's lifetime was extended after the push: the stale deadline
+	// surfaces, the key is re-registered, nothing expires.
+	until = 50
+	expired := 0
+	h.Expire(25,
+		func(int) (Time, bool) { return until, true },
+		func(int) { expired++ })
+	if expired != 0 {
+		t.Fatalf("refreshed entry expired %d times", expired)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("key must stay registered, len=%d", h.Len())
+	}
+	// At the extended deadline it finally expires.
+	h.Expire(50,
+		func(int) (Time, bool) { return until, false },
+		func(int) { expired++ })
+	if expired != 1 || h.Len() != 0 {
+		t.Fatalf("want exactly one expiry at the live deadline, got %d (len=%d)", expired, h.Len())
+	}
+}
+
+func TestExpiryHeapVanishedKeyExpiresOnce(t *testing.T) {
+	var h ExpiryHeap[int]
+	h.Push(7, 10)
+	var got []int
+	h.Expire(10,
+		func(int) (Time, bool) { return 0, false },
+		func(k int) { got = append(got, k) })
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("vanished key must surface exactly once, got %v", got)
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not drained")
+	}
+}
+
+// TestExpiryHeapKeepWithPassedDeadlineExpires guards against an infinite
+// re-push loop: current reporting keep=true with a deadline that is not in
+// the future must be treated as expired.
+func TestExpiryHeapKeepWithPassedDeadlineExpires(t *testing.T) {
+	var h ExpiryHeap[int]
+	h.Push(1, 10)
+	expired := 0
+	h.Expire(10,
+		func(int) (Time, bool) { return 10, true },
+		func(int) { expired++ })
+	if expired != 1 || h.Len() != 0 {
+		t.Fatalf("stale keep must expire: expired=%d len=%d", expired, h.Len())
+	}
+}
