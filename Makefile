@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race sweep-smoke bench-smoke bench-routing-smoke bench-routing bench ci
+.PHONY: build vet test race sweep-smoke scenario-smoke fuzz-smoke bench-smoke bench-routing-smoke bench-routing bench ci
 
 build:
 	$(GO) build ./...
@@ -15,14 +15,30 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the parallel experiment engine and everything
-# that schedules work on it; mirrors the ci.yml race job.
+# that schedules work on it; mirrors the ci.yml race job. The scenario
+# registry sweeps on the same engine, so it rides along (-short trims its
+# 20-seed property suite to keep the race pass quick).
 race:
 	$(GO) test -race ./internal/exp/ ./internal/stats/ ./internal/rng/ ./internal/core/
+	$(GO) test -race -short ./internal/scenario/...
 
 # Tiny end-to-end grid through the sweep subcommand: catches CLI wiring
 # and engine regressions in a few seconds.
 sweep-smoke:
 	$(GO) run ./cmd/cavenet sweep -nodes 10,14 -senders 2 -circuit 1000 -trials 2 -time 20 -protocols aodv,dymo
+
+# The scenario catalogue end to end: list the registry, then run one
+# workload under the invariant harness (non-zero exit on any violation).
+scenario-smoke:
+	$(GO) run ./cmd/cavenet scenario list
+	$(GO) run ./cmd/cavenet scenario run signalized -time 15 -seed 3
+
+# A few seconds of each trace-parser fuzz target: keeps the fuzz harness
+# compiling and catches shallow parser regressions in CI. Open-ended
+# hunting: go test ./internal/trace -fuzz FuzzParseNS2
+fuzz-smoke:
+	$(GO) test ./internal/trace/ -fuzz FuzzParseNS2 -fuzztime 5s -run XXX
+	$(GO) test ./internal/trace/ -fuzz FuzzParseBonnMotion -fuzztime 5s -run XXX
 
 # One iteration of the broadcast scaling bench: catches gross perf
 # regressions (e.g. the culling silently disabled) without the minutes-long
@@ -48,4 +64,4 @@ bench:
 	$(GO) test ./internal/netsim/ -bench 'Connectivity|Components' -benchmem -benchtime=20x -run XXX
 	$(GO) test ./internal/sim/ -bench . -benchmem -run XXX
 
-ci: build vet test bench-smoke bench-routing-smoke sweep-smoke
+ci: build vet test bench-smoke bench-routing-smoke sweep-smoke scenario-smoke fuzz-smoke

@@ -12,6 +12,7 @@
 //	velocity      Fig. 6  — sample realizations of the mean velocity (CSV)
 //	periodogram   Fig. 7  — spectrum of the mean velocity + LRD indicators
 //	protocols     Figs. 8–11 + Table I — protocol evaluation
+//	scenario      the workload catalogue: list, run, check, sweep
 //	sweep         density × protocol × seed grids on the parallel engine
 //	transient     §IV-B  — transient time of the CA model
 //	rwdecay       §IV-B  — Random Waypoint velocity-decay contrast
@@ -43,6 +44,8 @@ func main() {
 		err = cmdPeriodogram(args)
 	case "protocols":
 		err = cmdProtocols(args)
+	case "scenario":
+		err = cmdScenario(args)
 	case "sweep":
 		err = cmdSweep(args)
 	case "transient":
@@ -75,6 +78,7 @@ experiments:
   velocity      Fig. 6  mean-velocity realizations (CSV)
   periodogram   Fig. 7  spectrum + SRD/LRD indicators (CSV + summary)
   protocols     Figs. 8-11, Table I  protocol evaluation (CSV)
+  scenario      workload catalogue: list | run <name> | check | sweep (invariant-harnessed)
   sweep         Monte-Carlo density x protocol grids, parallel + deterministic (CSV/JSON)
   transient     transient-time measurement
   rwdecay       Random Waypoint velocity decay (CSV)

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"cavenet/internal/scenario"
+	"cavenet/internal/sim"
+)
+
+// cmdScenario dispatches the scenario-registry subcommands.
+func cmdScenario(args []string) error {
+	return scenarioMain(os.Stdout, args)
+}
+
+// scenarioMain is cmdScenario writing to w (golden tests capture it).
+func scenarioMain(w io.Writer, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cavenet scenario <list|run|check|sweep> [flags]")
+	}
+	switch args[0] {
+	case "list":
+		return scenarioList(w)
+	case "run":
+		return scenarioRun(w, args[1:])
+	case "check":
+		return scenarioCheck(w, args[1:])
+	case "sweep":
+		return scenarioSweep(w, args[1:])
+	default:
+		return fmt.Errorf("unknown scenario subcommand %q (want list, run, check or sweep)", args[0])
+	}
+}
+
+// scenarioList prints the catalogue table (specs are stored normalized,
+// so all defaults are visible).
+func scenarioList(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tLANES\tVEHICLES\tCIRCUIT\tSIGNALS\tFLOWS\tDESCRIPTION")
+	for _, s := range scenario.Specs() {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0fm\t%d\t%d\t%s\n",
+			s.Name, s.Lanes, s.TotalVehicles(), s.CircuitMeters, len(s.Signals), len(s.Flows), s.Description)
+	}
+	return tw.Flush()
+}
+
+func scenarioRun(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
+	protocol := fs.String("protocol", "", "override the spec's routing protocol (aodv, olsr, dymo)")
+	seed := fs.Int64("seed", 0, "override the spec's seed")
+	simTime := fs.Float64("time", 0, "override the simulated seconds")
+	checked := fs.Bool("check", true, "run under the invariant harness")
+	format := fs.String("format", "text", "text or json")
+	// Accept the name before or after the flags.
+	var name string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if name == "" && fs.NArg() == 1 {
+		name = fs.Arg(0)
+	} else if name == "" || fs.NArg() > 0 {
+		return fmt.Errorf("usage: cavenet scenario run <name> [flags]; see 'cavenet scenario list'")
+	}
+	spec, ok := scenario.Get(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q; see 'cavenet scenario list'", name)
+	}
+	if *protocol != "" {
+		p, err := scenario.ParseProtocol(*protocol)
+		if err != nil {
+			return err
+		}
+		spec.Protocol = p
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	if *simTime > 0 {
+		spec.SimTime = sim.Seconds(*simTime)
+		for i := range spec.Flows {
+			spec.Flows[i].Start = 0 // re-derive the window from the new horizon
+			spec.Flows[i].Stop = 0
+		}
+	}
+
+	var res *scenario.Result
+	var report fmt.Stringer = nil
+	violations := 0
+	if *checked {
+		r, rep, err := scenario.RunChecked(spec)
+		if err != nil {
+			return err
+		}
+		res = r
+		violations = rep.Total()
+		report = rep
+	} else {
+		r, err := scenario.Run(spec)
+		if err != nil {
+			return err
+		}
+		res = r
+	}
+
+	if strings.EqualFold(*format, "json") {
+		out := struct {
+			*scenario.Result
+			Violations int `json:"violations"`
+		}{res, violations}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(w, "scenario: %s (%s)\n", res.Spec.Name, res.Spec.Description)
+		fmt.Fprintf(w, "protocol: %s  seed: %d  time: %.0fs\n",
+			res.Spec.Protocol, res.Spec.Seed, res.Spec.SimTime.Seconds())
+		fmt.Fprintf(w, "total PDR: %.3f  delivered: %d  in flight at end: %d  control packets: %d\n",
+			res.TotalPDR(), res.TotalDelivered(), res.InFlight, res.ControlPackets)
+		fmt.Fprintln(w, "sender  sent  delivered    PDR   meanDelay")
+		for _, s := range res.Senders {
+			fmt.Fprintf(w, "%4d   %5d   %6d    %.3f   %7.4fs\n",
+				s, res.Sent[s], res.Delivered[s], res.PDR[s], res.MeanDelaySec[s])
+		}
+		if *checked {
+			if violations == 0 {
+				fmt.Fprintln(w, "invariants: all hold")
+			} else {
+				fmt.Fprintf(w, "invariants: %d VIOLATIONS\n%s", violations, report)
+			}
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d invariant violations", violations)
+	}
+	return nil
+}
+
+func scenarioCheck(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("scenario check", flag.ExitOnError)
+	protocols := fs.String("protocols", "all", "comma list of aodv,olsr,dymo, or all")
+	seeds := fs.Int("seeds", 3, "seeds per (scenario, protocol) cell")
+	quick := fs.Bool("quick", true, "run the shrunk (test-sized) spec variants")
+	// Accept scenario names before or after the flags.
+	var names []string
+	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		names, args = append(names, args[0]), args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names = append(names, fs.Args()...)
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = scenario.Names()
+	}
+	protoList, err := parseProtocolList(*protocols)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, name := range names {
+		spec, ok := scenario.Get(name)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q", name)
+		}
+		for _, p := range protoList {
+			for s := int64(1); s <= int64(*seeds); s++ {
+				run := spec
+				if *quick {
+					run = run.Shrunk()
+				}
+				run.Protocol = p
+				run.Seed = s
+				_, rep, err := scenario.RunChecked(run)
+				if err != nil {
+					return err
+				}
+				if rep.Ok() {
+					fmt.Fprintf(w, "PASS %-14s %-5s seed=%d\n", name, p, s)
+				} else {
+					failed++
+					fmt.Fprintf(w, "FAIL %-14s %-5s seed=%d\n%s", name, p, s, rep)
+				}
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d cells violated invariants", failed)
+	}
+	fmt.Fprintln(w, "all scenarios hold all invariants")
+	return nil
+}
+
+func scenarioSweep(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("scenario sweep", flag.ExitOnError)
+	scenarios := fs.String("scenarios", "all", "comma list of scenario names, or all")
+	protocols := fs.String("protocols", "all", "comma list of aodv,olsr,dymo, or all")
+	trials := fs.Int("trials", 5, "seeded replications per cell")
+	seed := fs.Int64("seed", 1, "root seed; trial t of scenario s forks root->s->t")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = one per core); any value gives bit-identical output")
+	quick := fs.Bool("quick", false, "sweep the shrunk (test-sized) spec variants")
+	checked := fs.Bool("check", true, "count invariant violations per cell")
+	format := fs.String("format", "csv", "csv or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var names []string
+	if !strings.EqualFold(*scenarios, "all") {
+		for _, n := range strings.Split(*scenarios, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	protoList, err := parseProtocolList(*protocols)
+	if err != nil {
+		return err
+	}
+	rows, err := scenario.Sweep(scenario.SweepConfig{
+		Scenarios: names,
+		Protocols: protoList,
+		Trials:    *trials,
+		Seed:      *seed,
+		Workers:   *workers,
+		Shrunk:    *quick,
+		Checked:   *checked,
+	})
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(*format) {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	case "csv":
+		fmt.Fprintln(w, "# scenario x protocol x seed sweep; metrics are mean over trials with a 95% CI half-width")
+		fmt.Fprintln(w, "scenario,protocol,trials,pdr,pdrCI95,delay_s,delayCI95_s,ctrlPackets,ctrlPacketsCI95,delivered,violations")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s,%s,%d,%.4f,%.4f,%.5f,%.5f,%.1f,%.1f,%d,%d\n",
+				r.Scenario, r.Protocol, r.Trials,
+				r.PDR.Mean, r.PDR.CI95,
+				r.DelaySec.Mean, r.DelaySec.CI95,
+				r.ControlPackets.Mean, r.ControlPackets.CI95,
+				r.Delivered, r.Violations)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}

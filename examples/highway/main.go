@@ -2,9 +2,10 @@
 //
 // A sparse single lane leaves radio gaps between vehicle clusters; adding
 // an opposite-direction lane provides relay nodes that bridge those gaps.
-// This example quantifies the effect: it simulates a 7.5 km highway with
-// one and then two lanes and reports how the largest connected component
-// grows.
+// This example quantifies the effect using the scenario registry: it takes
+// the registered "bidirectional" workload, derives a single-lane variant,
+// and reports how the largest connected component grows when the opposing
+// relay lane is present.
 //
 //	go run ./examples/highway
 package main
@@ -14,46 +15,57 @@ import (
 	"log"
 
 	"cavenet"
+	"cavenet/internal/sim"
 )
 
 func main() {
 	log.SetFlags(0)
 	const (
-		lengthM   = 7500.0
 		rangeM    = 250.0
-		sparse    = 12 // vehicles on the sparse lane
-		opposite  = 25 // vehicles on the (denser) relay lane
 		steps     = 60
 		samplePts = 6
 	)
 
-	single, err := cavenet.HighwayTrace(cavenet.HighwayConfig{
-		Lanes: []cavenet.HighwayLane{
-			{LengthMeters: lengthM, Vehicles: sparse, SlowdownP: 0.3},
-		},
-		Warmup: 200, Steps: steps, Seed: 7,
-	})
+	// The catalogue's bidirectional highway: two opposing lanes. Stretch it
+	// and thin the primary lane so the single-lane variant actually has
+	// radio gaps, then derive the one-lane control from the same spec.
+	double, ok := cavenet.ScenarioByName("bidirectional")
+	if !ok {
+		log.Fatal("highway: bidirectional scenario not registered")
+	}
+	double.CircuitMeters = 7500
+	double.LaneVehicles = []int{12, 25}
+	double.SimTime = sim.Seconds(steps)
+	double.Seed = 7
+	double.RandomStart = true // clustered starts: the Fig. 1-a radio gaps
+	sparse := double.LaneVehicles[0]
+
+	single := double
+	single.Lanes = 1
+	single.Bidirectional = false
+	single.LaneVehicles = []int{sparse}
+	// Explicitly empty (not nil, which would default to the Table I
+	// workload): the control variant is mobility-only, and its lane-1 flow
+	// endpoints do not exist anyway.
+	single.Flows = []cavenet.ScenarioFlow{}
+	single.Nodes = 0
+
+	singleTr, err := cavenet.ScenarioTrace(single)
 	if err != nil {
 		log.Fatalf("highway: %v", err)
 	}
-	double, err := cavenet.HighwayTrace(cavenet.HighwayConfig{
-		Lanes: []cavenet.HighwayLane{
-			{LengthMeters: lengthM, Vehicles: sparse, SlowdownP: 0.3},
-			{LengthMeters: lengthM, Vehicles: opposite, SlowdownP: 0.3, OffsetY: 5, Reversed: true},
-		},
-		Warmup: 200, Steps: steps, Seed: 7,
-	})
+	doubleTr, err := cavenet.ScenarioTrace(double)
 	if err != nil {
 		log.Fatalf("highway: %v", err)
 	}
 
-	fmt.Printf("7.5 km highway, %d m radio range, %d vehicles/lane\n\n", int(rangeM), sparse)
+	fmt.Printf("7.5 km circuit, %d m radio range, %d vehicles on the sparse lane\n\n", int(rangeM), sparse)
 	fmt.Println("time   1-lane components   largest%   2-lane components   largest% (lane-0 nodes only)")
 	for i := 0; i <= samplePts; i++ {
 		tsec := float64(i) * float64(steps) / float64(samplePts)
-		c1 := cavenet.ConnectivityComponents(single, tsec, rangeM)
-		f1 := cavenet.LargestComponentFraction(single, tsec, rangeM)
-		c2 := cavenet.ConnectivityComponents(double, tsec, rangeM)
+		c1 := cavenet.ConnectivityComponents(singleTr, tsec, rangeM)
+		f1 := cavenet.LargestComponentFraction(singleTr, tsec, rangeM)
+		c2 := cavenet.ConnectivityComponents(doubleTr, tsec, rangeM)
 		// Fraction of lane-0 vehicles inside one component when relays from
 		// the second lane are available.
 		best := 0

@@ -1,9 +1,11 @@
 // Quickstart: run the paper's Table I scenario end to end.
 //
-// This is the smallest useful CAVENET program: generate cellular-automaton
-// vehicular mobility on a 3000 m circuit, evaluate one routing protocol
-// over it with CBR traffic, and print the paper's metrics. It finishes in a
-// few seconds.
+// This is the smallest useful CAVENET program — and it no longer assembles
+// anything by hand: the Table I workload ("highway") lives in the scenario
+// registry, alongside multi-lane, signalized, rush-hour, bidirectional and
+// sparse workloads (`cavenet scenario list` shows the catalogue). The
+// example fetches it, picks a protocol, runs it under the invariant
+// harness, and prints the paper's metrics. It finishes in a few seconds.
 //
 //	go run ./examples/quickstart
 package main
@@ -19,33 +21,42 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	// The zero value of Scenario is exactly Table I of the paper:
-	// 30 nodes, 3000 m circuit, 100 s, CBR 5 pkt/s × 512 B from nodes 1–8
-	// to node 0 between 10 s and 90 s, 802.11 DCF at 2 Mb/s, 250 m range.
-	scenario := cavenet.Scenario{
-		Protocol: cavenet.DYMO,
-		Seed:     1,
+	// The registered "highway" scenario is exactly Table I of the paper:
+	// 30 vehicles on a 3000 m circuit, 100 s, CBR 5 pkt/s × 512 B from
+	// nodes 1–8 to node 0 between 10 s and 90 s, 802.11 DCF at 2 Mb/s,
+	// 250 m range.
+	spec, ok := cavenet.ScenarioByName("highway")
+	if !ok {
+		log.Fatal("quickstart: highway scenario not registered")
 	}
+	spec.Protocol = cavenet.DYMO
+	spec.Seed = 1
 
-	res, err := cavenet.Run(scenario)
+	res, report, err := cavenet.RunScenarioChecked(spec)
 	if err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}
 
-	fmt.Printf("protocol: %s\n", scenario.Protocol)
+	fmt.Printf("scenario: %s\n", spec.Name)
+	fmt.Printf("protocol: %s\n", spec.Protocol)
 	fmt.Printf("total packet delivery ratio: %.3f\n", res.TotalPDR())
 	fmt.Println("\nper-sender results (Fig. 11's DYMO column):")
 	fmt.Println("sender  sent  delivered   PDR   meanDelay   meanHops")
-	for _, s := range res.Config.Senders {
+	for _, s := range res.Senders {
 		fmt.Printf("%4d   %5d   %6d    %.2f   %7.4fs   %6.1f\n",
 			s, res.Sent[s], res.Delivered[s], res.PDR[s], res.MeanDelaySec[s], res.MeanHops[s])
 	}
 	fmt.Printf("\nrouting overhead: %d control packets, %d bytes\n",
 		res.ControlPackets, res.ControlBytes)
+	if report.Ok() {
+		fmt.Println("invariants: packet conservation, TTL, routing loops, CA sanity all hold")
+	} else {
+		fmt.Printf("invariants VIOLATED:\n%s", report)
+	}
 
 	// The BA→CPS coupling of the paper's Fig. 3: the same mobility can be
 	// exported as an ns-2 scenario file.
-	trace, err := cavenet.CircuitTrace(scenario)
+	trace, err := cavenet.CircuitTrace(cavenet.Scenario{Seed: spec.Seed})
 	if err != nil {
 		log.Fatalf("quickstart: trace: %v", err)
 	}

@@ -1,0 +1,58 @@
+package cavenet_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// TestGoldenQuickstartOutput locks the quickstart example's full output:
+// it is the repo's front door and its numbers are deterministic (seeded
+// scenario, registry-built mobility), so any drift — in the catalogue, the
+// runner, the RNG derivations, or the metrics — shows up here first.
+// Regenerate with
+//
+//	go test . -run GoldenQuickstart -update-quickstart
+var updateQuickstart = flag.Bool("update-quickstart", false, "rewrite the quickstart golden file")
+
+// tmpPathRe normalizes the one nondeterministic line: the temp file the
+// example writes its ns-2 export to.
+var tmpPathRe = regexp.MustCompile(`written to \S+`)
+
+func TestGoldenQuickstartOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the example binary")
+	}
+	bin := filepath.Join(t.TempDir(), "quickstart")
+	build := exec.Command("go", "build", "-o", bin, "./examples/quickstart")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin).CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart: %v\n%s", err, out)
+	}
+	got := tmpPathRe.ReplaceAll(out, []byte("written to <tmpfile>"))
+
+	path := filepath.Join("testdata", "quickstart.golden")
+	if *updateQuickstart {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-quickstart): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("quickstart output diverged.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -8,18 +8,11 @@ import (
 // This file exposes the multi-lane highway analysis behind the paper's
 // Fig. 1 discussion: lanes affect connectivity (relays on other lanes fill
 // gaps) and interference (opposite-lane transmissions collide).
-
-// HighwayLane describes one straight lane of a highway segment.
-type HighwayLane = core.HighwayLane
-
-// HighwayConfig assembles a multi-lane highway mobility experiment.
-type HighwayConfig = core.HighwayConfig
-
-// HighwayTrace simulates a multi-lane highway with one NaS automaton per
-// lane and records the combined mobility trace.
-func HighwayTrace(cfg HighwayConfig) (*mobility.SampledTrace, error) {
-	return core.HighwayTrace(cfg)
-}
+//
+// Multi-lane highway *assembly* moved to the scenario registry (see
+// scenarios.go and `cavenet scenario list`): build traces with
+// ScenarioTrace from a registered or custom ScenarioSpec instead of
+// hand-rolling lane configs.
 
 // ConnectivityComponents groups the trace's nodes, at time tsec, into
 // radio-connectivity components for the given transmission range.

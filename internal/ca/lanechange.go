@@ -1,0 +1,199 @@
+package ca
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LaneChange parameterizes the symmetric lane-change rule that couples the
+// parallel lanes of a Road — the multi-lane extension the paper's §III-D
+// lane construction anticipates. Before each NaS step a vehicle that cannot
+// reach its desired speed on its own lane looks at the adjacent lanes; if
+// one offers a strictly larger gap ahead, the sideways cell is free and a
+// safety gap behind it is clear, the vehicle changes lanes with
+// probability P. Decisions are taken from the time-n state for all
+// vehicles (parallel update, like the NaS rules themselves).
+type LaneChange struct {
+	// P is the probability an advantageous, safe lane change is taken.
+	// Must be in (0, 1].
+	P float64
+	// BackGap is the number of clear sites required behind the target cell
+	// on the target lane; defaults to the lane's VMax (a follower at full
+	// speed cannot hit the merger).
+	BackGap int
+}
+
+// EnableLaneChanges couples the road's lanes with the given rule. It
+// requires ≥ 2 lanes, all with ring boundaries, identical length and VMax,
+// and uniform direction — the configuration where "adjacent lane" is well
+// defined. Vehicle IDs are reassigned to be globally unique (lane 0 first)
+// and persist across lane changes; Positions reports by that ID. rnd drives
+// the stochastic rule and must be non-nil.
+func (r *Road) EnableLaneChanges(cfg LaneChange, rnd *rand.Rand) error {
+	if len(r.lanes) < 2 {
+		return fmt.Errorf("ca: lane changes need >= 2 lanes, have %d", len(r.lanes))
+	}
+	if cfg.P <= 0 || cfg.P > 1 {
+		return fmt.Errorf("ca: lane-change probability %v outside (0,1]", cfg.P)
+	}
+	if rnd == nil {
+		return fmt.Errorf("ca: lane changes require an RNG")
+	}
+	ref := r.lanes[0].cfg
+	for i, l := range r.lanes {
+		if l.cfg.Boundary != RingBoundary {
+			return fmt.Errorf("ca: lane %d: lane changes require ring boundaries", i)
+		}
+		if l.cfg.Length != ref.Length || l.cfg.VMax != ref.VMax {
+			return fmt.Errorf("ca: lane %d: lane changes require identical length and vmax", i)
+		}
+		if r.specs[i].Reversed != r.specs[0].Reversed {
+			return fmt.Errorf("ca: lane %d: lane changes require uniform direction", i)
+		}
+	}
+	if cfg.BackGap == 0 {
+		cfg.BackGap = ref.VMax
+	}
+	if cfg.BackGap < 0 {
+		return fmt.Errorf("ca: negative lane-change back gap %d", cfg.BackGap)
+	}
+	// Persistent global IDs: lane 0's vehicles first, matching the
+	// uncoupled VehicleGlobalID order at construction time.
+	id := 0
+	for _, l := range r.lanes {
+		for vi := range l.vehicles {
+			l.vehicles[vi].ID = id
+			id++
+		}
+	}
+	r.coupled = true
+	r.lc = cfg
+	r.lcRnd = rnd
+	return nil
+}
+
+// LaneChangesEnabled reports whether the road's lanes are coupled.
+func (r *Road) LaneChangesEnabled() bool { return r.coupled }
+
+// lcMove is one decided lane change: the vehicle currently on fromLane at
+// site pos moves sideways to toLane.
+type lcMove struct {
+	fromLane, toLane, pos int
+}
+
+// applyLaneChanges decides all sideways moves from the current state, then
+// applies them. Conflicts (two vehicles targeting the same cell) are
+// resolved in favor of the first claimant in (lane, position-index) scan
+// order; occupancy tests use the pre-change state, so the rule is
+// conservative but deterministic and collision-free.
+func (r *Road) applyLaneChanges() {
+	for _, l := range r.lanes {
+		l.refreshGaps()
+	}
+	vmax := r.lanes[0].cfg.VMax
+	var moves []lcMove
+	var claimed map[[2]int]bool // {target lane, site} already promised
+	for li, l := range r.lanes {
+		for vi := range l.vehicles {
+			v := &l.vehicles[vi]
+			desired := v.Vel + 1
+			if desired > vmax {
+				desired = vmax
+			}
+			if v.Gap >= desired {
+				continue // no incentive: the own lane is not limiting
+			}
+			best, bestGap := -1, v.Gap
+			for _, ti := range [2]int{li - 1, li + 1} {
+				if ti < 0 || ti >= len(r.lanes) {
+					continue
+				}
+				t := r.lanes[ti]
+				if t.cells[v.Pos] >= 0 || claimed[[2]int{ti, v.Pos}] {
+					continue // sideways cell occupied or already claimed
+				}
+				if !t.clearBehind(v.Pos, r.lc.BackGap) {
+					continue
+				}
+				if g := t.aheadGapAt(v.Pos, vmax+1); g > bestGap {
+					best, bestGap = ti, g
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			if r.lcRnd.Float64() >= r.lc.P {
+				continue
+			}
+			if claimed == nil {
+				claimed = make(map[[2]int]bool)
+			}
+			claimed[[2]int{best, v.Pos}] = true
+			moves = append(moves, lcMove{fromLane: li, toLane: best, pos: v.Pos})
+		}
+	}
+	for _, m := range moves {
+		from := r.lanes[m.fromLane]
+		v := from.takeVehicleAt(from.cells[m.pos])
+		r.lanes[m.toLane].placeVehicle(v)
+	}
+}
+
+// aheadGapAt reports the number of consecutive free sites ahead of pos on
+// the (ring) lane, scanning at most limit sites.
+func (l *Lane) aheadGapAt(pos, limit int) int {
+	g := 0
+	for i := 1; i <= limit; i++ {
+		site := pos + i
+		if site >= l.cfg.Length {
+			site -= l.cfg.Length
+		}
+		if l.cells[site] >= 0 {
+			return g
+		}
+		g++
+	}
+	return g
+}
+
+// clearBehind reports whether the need sites behind pos on the (ring) lane
+// are all free.
+func (l *Lane) clearBehind(pos, need int) bool {
+	for i := 1; i <= need; i++ {
+		site := pos - i
+		if site < 0 {
+			site += l.cfg.Length
+		}
+		if l.cells[site] >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// takeVehicleAt removes and returns the vehicle at slice index idx,
+// re-syncing the cell index entries of the vehicles shifted down.
+func (l *Lane) takeVehicleAt(idx int) Vehicle {
+	v := l.vehicles[idx]
+	l.cells[v.Pos] = -1
+	l.vehicles = append(l.vehicles[:idx], l.vehicles[idx+1:]...)
+	for i := idx; i < len(l.vehicles); i++ {
+		l.cells[l.vehicles[i].Pos] = i
+	}
+	return v
+}
+
+// placeVehicle inserts v keeping the position order, re-syncing the cell
+// index entries of the vehicles shifted up. The target cell must be free.
+func (l *Lane) placeVehicle(v Vehicle) {
+	idx := 0
+	for idx < len(l.vehicles) && l.vehicles[idx].Pos < v.Pos {
+		idx++
+	}
+	l.vehicles = append(l.vehicles, Vehicle{})
+	copy(l.vehicles[idx+1:], l.vehicles[idx:])
+	l.vehicles[idx] = v
+	for i := idx; i < len(l.vehicles); i++ {
+		l.cells[l.vehicles[i].Pos] = i
+	}
+}

@@ -15,16 +15,23 @@ type LaneSpec struct {
 	// Reversed runs traffic in the decreasing-coordinate direction, used
 	// for opposite-direction lanes (Fig. 1's interference discussion).
 	Reversed bool
+	// Signals are installed on the lane at construction (see Lane.AddSignal).
+	Signals []Signal
 }
 
 // Road is a set of lanes simulated side by side. Lanes are independent NaS
-// automata (the paper models no lane changing); the road exists so that
-// connectivity and interference across lanes can be analyzed and so that
-// multi-lane traces can be exported.
+// automata unless lane-change coupling is enabled (EnableLaneChanges); the
+// road exists so that connectivity and interference across lanes can be
+// analyzed and so that multi-lane traces can be exported.
 type Road struct {
 	lanes     []*Lane
 	specs     []LaneSpec
 	stepCount int
+
+	// Lane-change coupling state (nil/false when disabled).
+	coupled bool
+	lc      LaneChange
+	lcRnd   *rand.Rand
 }
 
 // NewRoad builds a road from lane specs. Each lane receives its own RNG
@@ -44,6 +51,11 @@ func NewRoad(specs []LaneSpec, rnd *rand.Rand) (*Road, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ca: lane %d: %w", i, err)
 		}
+		for _, sig := range spec.Signals {
+			if err := lane.AddSignal(sig); err != nil {
+				return nil, fmt.Errorf("ca: lane %d: %w", i, err)
+			}
+		}
 		r.lanes = append(r.lanes, lane)
 	}
 	return r, nil
@@ -58,8 +70,13 @@ func (r *Road) Lane(i int) *Lane { return r.lanes[i] }
 // Spec returns the i-th lane spec.
 func (r *Road) Spec(i int) LaneSpec { return r.specs[i] }
 
-// Step advances every lane by one time step.
+// Step advances every lane by one time step. With lane-change coupling
+// enabled, sideways moves are applied (from the time-n state, in parallel)
+// before the per-lane NaS rules.
 func (r *Road) Step() {
+	if r.coupled {
+		r.applyLaneChanges()
+	}
 	for _, l := range r.lanes {
 		l.Step()
 	}
@@ -79,7 +96,10 @@ func (r *Road) TotalVehicles() int {
 }
 
 // VehicleGlobalID maps (lane, vehicle) to a road-wide vehicle index:
-// vehicles of lane 0 first, then lane 1, and so on.
+// vehicles of lane 0 first, then lane 1, and so on. For a lane-change
+// coupled road the mapping is only valid at construction time — vehicles
+// migrate between lanes afterwards; use Vehicle.ID, which EnableLaneChanges
+// makes globally unique and persistent.
 func (r *Road) VehicleGlobalID(lane, vehicle int) int {
 	id := 0
 	for i := 0; i < lane; i++ {
@@ -90,16 +110,38 @@ func (r *Road) VehicleGlobalID(lane, vehicle int) int {
 
 // Positions appends the absolute plane position of every vehicle on the
 // road, in global-ID order, to dst.
+//
+// The global ID is the *persistent vehicle identity* — lane 0's vehicles
+// in their initial-position order, then lane 1's, and so on (Vehicle.ID
+// plus the lane's offset; on a coupled road Vehicle.ID is already global).
+// Indexing by the lanes' position-sorted slices instead would silently
+// reassign identities every time a wrap-around rotates a lane's vehicle
+// order — every recorded node would teleport to its neighbor's position
+// mid-trace, which is exactly the violation the scenario invariant
+// harness caught.
 func (r *Road) Positions(dst []geometry.Vec2) []geometry.Vec2 {
+	base := len(dst)
+	for i := 0; i < r.TotalVehicles(); i++ {
+		dst = append(dst, geometry.Vec2{})
+	}
+	laneBase := 0
 	for li, l := range r.lanes {
 		spec := r.specs[li]
 		circuit := float64(l.Len()) * CellLength
 		for vi := 0; vi < l.NumVehicles(); vi++ {
-			x := float64(l.Vehicle(vi).Pos) * CellLength
+			v := l.Vehicle(vi)
+			x := float64(v.Pos) * CellLength
 			if spec.Reversed {
 				x = circuit - x
 			}
-			dst = append(dst, spec.Placement.Place(x))
+			id := v.ID
+			if !r.coupled {
+				id += laneBase
+			}
+			dst[base+id] = spec.Placement.Place(x)
+		}
+		if !r.coupled {
+			laneBase += l.NumVehicles()
 		}
 	}
 	return dst

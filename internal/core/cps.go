@@ -8,26 +8,22 @@ import (
 	"cavenet/internal/exp"
 	"cavenet/internal/geometry"
 	"cavenet/internal/mac"
-	"cavenet/internal/metrics"
 	"cavenet/internal/mobility"
-	"cavenet/internal/netsim"
-	"cavenet/internal/phy"
 	"cavenet/internal/rng"
-	"cavenet/internal/routing/aodv"
-	"cavenet/internal/routing/dymo"
-	"cavenet/internal/routing/olsr"
+	"cavenet/internal/scenario"
 	"cavenet/internal/sim"
-	"cavenet/internal/traffic"
 )
 
-// Protocol selects the routing protocol under test.
-type Protocol string
+// Protocol selects the routing protocol under test. It is the scenario
+// registry's protocol type: the Table I entry points below are adapters
+// over the scenario substrate, which owns world assembly.
+type Protocol = scenario.Protocol
 
 // The protocols evaluated by the paper.
 const (
-	AODV Protocol = "aodv"
-	OLSR Protocol = "olsr"
-	DYMO Protocol = "dymo"
+	AODV = scenario.AODV
+	OLSR = scenario.OLSR
+	DYMO = scenario.DYMO
 )
 
 // ScenarioConfig mirrors Table I of the paper. Zero values give exactly the
@@ -231,99 +227,69 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	return RunScenarioOnTrace(cfg, trace)
 }
 
+// spec maps the Table I configuration onto the scenario substrate. The
+// road fields only matter for spec-driven mobility generation; the Table I
+// entry points always supply their own circuit trace.
+func (c *ScenarioConfig) spec() scenario.Spec {
+	flows := make([]scenario.Flow, len(c.Senders))
+	for i, s := range c.Senders {
+		flows[i] = scenario.Flow{
+			Src:         s,
+			Dst:         c.Receiver,
+			Rate:        c.Rate,
+			PacketBytes: c.PacketBytes,
+			Start:       c.TrafficStart,
+			Stop:        c.TrafficStop,
+		}
+	}
+	return scenario.Spec{
+		Name:          "table1",
+		LaneVehicles:  []int{c.Nodes},
+		CircuitMeters: c.CircuitMeters,
+		SlowdownP:     c.SlowdownP,
+		CAWarmup:      c.CAWarmup,
+		Nodes:         c.Nodes,
+		Protocol:      c.Protocol,
+		SimTime:       c.SimTime,
+		RangeMeters:   c.RangeMeters,
+		DataRateBPS:   c.DataRateBPS,
+		Seed:          c.Seed,
+		Flows:         flows,
+
+		OLSRETX:                c.OLSRETX,
+		AODVNoExpandingRing:    c.AODVNoExpandingRing,
+		DYMONoPathAccumulation: c.DYMONoPathAccumulation,
+		NoCapture:              c.NoCapture,
+		RTSThreshold:           c.RTSThreshold,
+	}
+}
+
 // RunScenarioOnTrace runs the protocol evaluation on a caller-provided
 // mobility trace (e.g. one parsed from an ns-2 scenario file, preserving
-// the paper's BA/CPS separation).
+// the paper's BA/CPS separation). World assembly is delegated to the
+// scenario substrate — this adapter only translates the Table I
+// configuration shape.
 func RunScenarioOnTrace(cfg ScenarioConfig, trace *mobility.SampledTrace) (*ScenarioResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	capture := 10.0
-	if cfg.NoCapture {
-		capture = 0
-	}
-	factory := func(n *netsim.Node) netsim.Router {
-		switch cfg.Protocol {
-		case OLSR:
-			return olsr.New(n, olsr.Config{ETX: cfg.OLSRETX})
-		case DYMO:
-			pa := !cfg.DYMONoPathAccumulation
-			return dymo.New(n, dymo.Config{PathAccumulation: &pa})
-		default:
-			er := !cfg.AODVNoExpandingRing
-			return aodv.New(n, aodv.Config{ExpandingRing: &er})
-		}
-	}
-	world, err := netsim.NewWorld(netsim.WorldConfig{
-		Nodes:       cfg.Nodes,
-		Seed:        cfg.Seed,
-		Propagation: phy.TwoRayGround{},
-		Channel: phy.Config{
-			RxRangeM:     cfg.RangeMeters,
-			CSRangeM:     cfg.RangeMeters * 2.2,
-			CaptureRatio: capture,
-		},
-		MAC:      mac.Config{DataRateBPS: cfg.DataRateBPS, RTSThreshold: cfg.RTSThreshold},
-		Mobility: trace,
-	}, factory)
+	sres, err := scenario.RunOnTrace(cfg.spec(), trace)
 	if err != nil {
 		return nil, err
 	}
-
-	collector := metrics.NewCollector(sim.Second, cfg.SimTime)
-	collector.Bind(world)
-
-	sink := &traffic.Sink{}
-	world.Node(cfg.Receiver).AttachPort(netsim.PortCBR, sink)
-	for _, s := range cfg.Senders {
-		cbr := traffic.NewCBR(world.Node(s), traffic.CBRConfig{
-			Dst:         netsim.NodeID(cfg.Receiver),
-			PacketBytes: cfg.PacketBytes,
-			Rate:        cfg.Rate,
-			Start:       cfg.TrafficStart,
-			Stop:        cfg.TrafficStop,
-		})
-		cbr.Start()
-	}
-
-	world.Run(cfg.SimTime)
-
-	res := &ScenarioResult{
-		Config:       cfg,
-		Goodput:      make(map[int][]float64, len(cfg.Senders)),
-		PDR:          make(map[int]float64, len(cfg.Senders)),
-		Sent:         make(map[int]uint64, len(cfg.Senders)),
-		Delivered:    make(map[int]uint64, len(cfg.Senders)),
-		MeanDelaySec: make(map[int]float64, len(cfg.Senders)),
-		MeanHops:     make(map[int]float64, len(cfg.Senders)),
-		Drops:        collector.Drops(),
-	}
-	for _, s := range cfg.Senders {
-		id := netsim.NodeID(s)
-		res.Goodput[s] = collector.GoodputBPS(id)
-		res.PDR[s] = collector.PDR(id)
-		res.Sent[s] = collector.Sent(id)
-		res.Delivered[s] = collector.Delivered(id)
-		res.MeanDelaySec[s] = collector.MeanDelay(id).Seconds()
-		res.MeanHops[s] = collector.MeanHops(id)
-	}
-	res.ControlPackets, res.ControlBytes = metrics.RoutingOverhead(world)
-	for _, n := range world.Nodes() {
-		st := n.MAC().Stats()
-		res.MACStats.DataTx += st.DataTx
-		res.MACStats.DataRx += st.DataRx
-		res.MACStats.AckTx += st.AckTx
-		res.MACStats.AckRx += st.AckRx
-		res.MACStats.RTSTx += st.RTSTx
-		res.MACStats.CTSTx += st.CTSTx
-		res.MACStats.Retries += st.Retries
-		res.MACStats.Failures += st.Failures
-		res.MACStats.QueueDrops += st.QueueDrops
-		res.MACStats.Duplicates += st.Duplicates
-		res.MACStats.BytesTx += st.BytesTx
-		res.MACStats.NAVSettings += st.NAVSettings
-	}
-	return res, nil
+	return &ScenarioResult{
+		Config:         cfg,
+		Goodput:        sres.Goodput,
+		PDR:            sres.PDR,
+		Sent:           sres.Sent,
+		Delivered:      sres.Delivered,
+		MeanDelaySec:   sres.MeanDelaySec,
+		MeanHops:       sres.MeanHops,
+		ControlPackets: sres.ControlPackets,
+		ControlBytes:   sres.ControlBytes,
+		MACStats:       sres.MACStats,
+		Drops:          sres.Drops,
+	}, nil
 }
 
 // CompareProtocols runs the Table I scenario once per protocol on the SAME

@@ -1,0 +1,15 @@
+package core
+
+import "testing"
+
+// Regression for the pre-refactor behavior: an explicitly empty sender
+// list is a traffic-free run (control overhead only), not an error.
+func TestRunScenarioNoTraffic(t *testing.T) {
+	res, err := RunScenario(ScenarioConfig{Senders: []int{}, SimTime: 5e9, Nodes: 5, CircuitMeters: 500})
+	if err != nil {
+		t.Fatalf("traffic-free scenario errored: %v", err)
+	}
+	if len(res.Sent) != 0 || res.ControlPackets == 0 {
+		t.Fatalf("sent=%v ctrl=%d", res.Sent, res.ControlPackets)
+	}
+}

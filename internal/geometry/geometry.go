@@ -151,12 +151,18 @@ func (l Line) Heading(float64) float64 {
 type Ring struct {
 	Center        Vec2
 	Circumference float64
+	// RadialOffset displaces the circle radius without changing the
+	// along-lane coordinate scale, so parallel lanes of one multi-lane
+	// circuit share a circumference (and hence a CA length) while staying a
+	// few meters apart in the plane.
+	RadialOffset float64
 }
 
 var _ LanePlacement = Ring{}
 
-// Radius reports the circle radius implied by the circumference.
-func (r Ring) Radius() float64 { return r.Circumference / (2 * math.Pi) }
+// Radius reports the circle radius implied by the circumference, including
+// the radial offset.
+func (r Ring) Radius() float64 { return r.Circumference/(2*math.Pi) + r.RadialOffset }
 
 // Place implements LanePlacement.
 func (r Ring) Place(x float64) Vec2 {

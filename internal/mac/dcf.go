@@ -104,6 +104,15 @@ type Upper interface {
 	MACSendFailed(to Address, payload any)
 }
 
+// QueueDropObserver is an optional Upper extension: when implemented, the
+// MAC reports every drop-tail interface-queue drop instead of discarding
+// the frame silently. Without it a queued packet can vanish from the
+// network layer's ledger with no drop event — the accounting hole the
+// packet-conservation invariant harness exists to catch.
+type QueueDropObserver interface {
+	MACQueueDrop(to Address, payload any)
+}
+
 // Kind distinguishes MAC frame types.
 type Kind int
 
@@ -222,6 +231,19 @@ func (d *DCF) QueueLen() int {
 	return n
 }
 
+// EachQueued visits the payload of every frame in the station's custody:
+// the in-flight job first, then the backlog in queue order. The invariant
+// harness uses it to prove that every unterminated data packet is still
+// physically held somewhere.
+func (d *DCF) EachQueued(f func(payload any)) {
+	if d.current != nil {
+		f(d.current.payload)
+	}
+	for i := range d.queue {
+		f(d.queue[i].payload)
+	}
+}
+
 // Config reports the normalized configuration.
 func (d *DCF) Config() Config { return d.cfg }
 
@@ -259,6 +281,9 @@ func (d *DCF) retryLimit(job *txJob) int {
 func (d *DCF) Send(to Address, payload any, bytes int) {
 	if len(d.queue) >= d.cfg.QueueCap {
 		d.stats.QueueDrops++
+		if o, ok := d.upper.(QueueDropObserver); ok {
+			o.MACQueueDrop(to, payload)
+		}
 		return
 	}
 	d.queue = append(d.queue, txJob{to: to, payload: payload, bytes: bytes})

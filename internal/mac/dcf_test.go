@@ -312,3 +312,48 @@ func TestQueueLenIncludesInFlight(t *testing.T) {
 		t.Fatalf("failures = %d, want 2", f)
 	}
 }
+
+// dropRec is upperRec plus the optional queue-drop observer.
+type dropRec struct {
+	upperRec
+	queueDrops []any
+}
+
+func (u *dropRec) MACQueueDrop(to Address, payload any) {
+	u.queueDrops = append(u.queueDrops, payload)
+}
+
+func TestQueueDropObserverNotified(t *testing.T) {
+	k := sim.NewKernel()
+	c := phy.NewChannel(k, phy.TwoRayGround{}, phy.Config{CaptureRatio: 10})
+	up := &dropRec{}
+	m := New(k, c.Attach(geometry.Vec2{}), 0, Config{QueueCap: 2}, rand.New(rand.NewSource(1)), up)
+	for i := 0; i < 5; i++ {
+		m.Send(Broadcast, i, 100)
+	}
+	// One in service, two queued, two dropped and observed.
+	if got := m.Stats().QueueDrops; got != 2 {
+		t.Fatalf("QueueDrops = %d, want 2", got)
+	}
+	if len(up.queueDrops) != 2 || up.queueDrops[0] != 3 || up.queueDrops[1] != 4 {
+		t.Fatalf("observed drops = %v, want [3 4]", up.queueDrops)
+	}
+}
+
+func TestEachQueuedVisitsCustody(t *testing.T) {
+	k := sim.NewKernel()
+	c := phy.NewChannel(k, phy.TwoRayGround{}, phy.Config{CaptureRatio: 10})
+	m := New(k, c.Attach(geometry.Vec2{}), 0, Config{}, rand.New(rand.NewSource(1)), &upperRec{})
+	for i := 0; i < 3; i++ {
+		m.Send(Broadcast, i, 100)
+	}
+	var seen []any
+	m.EachQueued(func(p any) { seen = append(seen, p) })
+	// The in-flight job first, then the backlog in order.
+	if len(seen) != 3 || seen[0] != 0 || seen[1] != 1 || seen[2] != 2 {
+		t.Fatalf("EachQueued = %v, want [0 1 2]", seen)
+	}
+	if m.QueueLen() != 3 {
+		t.Fatalf("QueueLen = %d", m.QueueLen())
+	}
+}

@@ -131,17 +131,37 @@ func (c *Collector) Drops() map[string]uint64 {
 
 // TotalPDR reports the delivery ratio across all senders.
 func (c *Collector) TotalPDR() float64 {
-	var sent, delivered uint64
+	sent, delivered, _ := c.Totals()
+	if sent == 0 {
+		return 0
+	}
+	return float64(delivered) / float64(sent)
+}
+
+// Totals reports the data-plane ledger across all senders: packets
+// originated, delivered, and dropped with a recorded reason.
+func (c *Collector) Totals() (sent, delivered, dropped uint64) {
 	for _, s := range c.sent {
 		sent += s
 	}
 	for _, d := range c.delivered {
 		delivered += d
 	}
-	if sent == 0 {
-		return 0
+	for _, d := range c.drops {
+		dropped += d
 	}
-	return float64(delivered) / float64(sent)
+	return sent, delivered, dropped
+}
+
+// InFlight reports sent − delivered − dropped: the packets still in MAC
+// queues or router buffers when the run ended. It can dip slightly
+// negative on 802.11 ACK-loss forks, where one packet legitimately earns
+// both a delivery and a link-failure drop. The scenario invariant harness
+// (internal/scenario/check) audits the per-packet version of this ledger
+// against actual end-of-run custody.
+func (c *Collector) InFlight() int64 {
+	sent, delivered, dropped := c.Totals()
+	return int64(sent) - int64(delivered) - int64(dropped)
 }
 
 // RoutingOverhead sums control traffic across all routers of a world — the

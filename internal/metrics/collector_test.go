@@ -138,6 +138,38 @@ func TestRoutingOverheadSums(t *testing.T) {
 	}
 }
 
+func TestCollectorTotalsAndInFlight(t *testing.T) {
+	world, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes:  2,
+		Static: []geometry.Vec2{{X: 0}, {X: 10}},
+	}, func(n *netsim.Node) netsim.Router { return &directRouter{n: n} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(sim.Second, sim.Second)
+	c.Bind(world)
+	h := world.Node(0)
+	// One packet delivered (dst == self short-circuits to DeliverLocal).
+	h.SendData(h.NewPacket(0, netsim.PortCBR, 100))
+	// One sent and then dropped (the send is recorded directly: the stub
+	// router would otherwise null-deref on an unwired destination).
+	p2 := h.NewPacket(1, netsim.PortCBR, 100)
+	c.sent[p2.Src]++
+	h.DropData(p2, "x:drop")
+	sent, delivered, dropped := c.Totals()
+	if sent != 2 || delivered != 1 || dropped != 1 {
+		t.Fatalf("Totals = %d/%d/%d, want 2/1/1", sent, delivered, dropped)
+	}
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+	// A third packet still unresolved at "end of run".
+	c.sent[0]++
+	if got := c.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d, want 1", got)
+	}
+}
+
 func TestCollectorDrops(t *testing.T) {
 	world, err := netsim.NewWorld(netsim.WorldConfig{
 		Nodes:  1,

@@ -9,6 +9,14 @@ import (
 // plane position of every vehicle after each step (plus the initial state),
 // producing a SampledTrace at the CA step interval.
 func RecordRoad(road *ca.Road, steps int) *SampledTrace {
+	return RecordRoadFunc(road, steps, nil)
+}
+
+// RecordRoadFunc is RecordRoad with a per-step observer: after every
+// Road.Step (and never before recording its positions) the observer runs —
+// the hook the invariant harness uses to validate the CA dynamics while
+// the trace is produced. A nil observer degrades to RecordRoad.
+func RecordRoadFunc(road *ca.Road, steps int, after func()) *SampledTrace {
 	n := road.TotalVehicles()
 	trace := &SampledTrace{
 		Interval:  ca.StepSeconds,
@@ -26,6 +34,9 @@ func RecordRoad(road *ca.Road, steps int) *SampledTrace {
 	record()
 	for s := 0; s < steps; s++ {
 		road.Step()
+		if after != nil {
+			after()
+		}
 		record()
 	}
 	return trace
@@ -35,7 +46,16 @@ func RecordRoad(road *ca.Road, steps int) *SampledTrace {
 // its stationary regime before the communication experiment starts — the
 // precaution §IV-B of the paper argues for.
 func WarmupRoad(road *ca.Road, steps int) {
+	WarmupRoadFunc(road, steps, nil)
+}
+
+// WarmupRoadFunc is WarmupRoad with the same per-step observer hook as
+// RecordRoadFunc.
+func WarmupRoadFunc(road *ca.Road, steps int, after func()) {
 	for s := 0; s < steps; s++ {
 		road.Step()
+		if after != nil {
+			after()
+		}
 	}
 }

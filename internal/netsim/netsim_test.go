@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"reflect"
 	"testing"
 
 	"cavenet/internal/geometry"
@@ -236,5 +237,68 @@ func TestDropHook(t *testing.T) {
 	}
 	if w.Node(0).Counters().DataDropped != 1 {
 		t.Fatal("drop counter not incremented")
+	}
+}
+
+func TestAddHooksChains(t *testing.T) {
+	w, err := NewWorld(WorldConfig{Nodes: 1, Static: staticPositions(1, 0)}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	w.SetHooks(Hooks{
+		DataSent:    func(n *Node, p *Packet) { order = append(order, "a.sent") },
+		DataDropped: func(n *Node, p *Packet, r string) { order = append(order, "a.drop") },
+	})
+	w.AddHooks(Hooks{
+		DataSent:      func(n *Node, p *Packet) { order = append(order, "b.sent") },
+		DataDelivered: func(n *Node, p *Packet) { order = append(order, "b.deliver") },
+	})
+	n := w.Node(0)
+	n.SendData(n.NewPacket(0, PortCBR, 10)) // self: sent then delivered
+	n.DropData(&Packet{}, "x:drop")
+	want := []string{"a.sent", "b.sent", "b.deliver", "a.drop"}
+	if len(order) != len(want) {
+		t.Fatalf("hook calls = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hook calls = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestMACQueueDropReachesHooks pins the conservation fix: a data packet
+// lost to the MAC's drop-tail queue must surface as a data-plane drop, not
+// vanish. The MAC queue is overflowed by sending while the kernel is not
+// running (nothing drains).
+func TestMACQueueDropReachesHooks(t *testing.T) {
+	w, err := NewWorld(WorldConfig{Nodes: 2, Static: staticPositions(2, 10)}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := map[string]int{}
+	w.SetHooks(Hooks{DataDropped: func(n *Node, p *Packet, reason string) { drops[reason]++ }})
+	n := w.Node(0)
+	cap := n.MAC().Config().QueueCap
+	for i := 0; i < cap+5; i++ {
+		n.SendFrame(1, n.NewPacket(1, PortCBR, 10))
+	}
+	// One job is in service, QueueCap are queued, 4 dropped.
+	if got := drops["mac:queue-full"]; got != 4 {
+		t.Fatalf("mac:queue-full drops = %d, want 4", got)
+	}
+	if got := w.Node(0).Counters().DataDropped; got != 4 {
+		t.Fatalf("node drop counter = %d, want 4", got)
+	}
+}
+
+// TestAddHooksCoversEveryField fails loudly when a field is added to
+// Hooks: AddHooks merges each field explicitly, so a new field must be
+// wired there too or previously installed observers would silently be
+// displaced.
+func TestAddHooksCoversEveryField(t *testing.T) {
+	if n := reflect.TypeOf(Hooks{}).NumField(); n != 3 {
+		t.Fatalf("Hooks has %d fields; update World.AddHooks to chain every field, then this count", n)
 	}
 }

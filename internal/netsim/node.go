@@ -175,3 +175,16 @@ func (u macUpper) MACSendFailed(to mac.Address, payload any) {
 	}
 	u.n.router.LinkFailure(NodeID(to), p)
 }
+
+// MACQueueDrop implements mac.QueueDropObserver: a drop-tail loss of a data
+// packet is a data-plane drop like any other and must reach the metrics
+// hooks — without this, queue-overflow losses silently violated packet
+// conservation. Control packets are the routing protocol's own traffic and
+// are only counted in the MAC stats.
+func (u macUpper) MACQueueDrop(to mac.Address, payload any) {
+	p, ok := payload.(*Packet)
+	if !ok || p.Kind != KindData {
+		return
+	}
+	u.n.DropData(p, "mac:queue-full")
+}

@@ -133,8 +133,36 @@ func NewWorld(cfg WorldConfig, factory RouterFactory) (*World, error) {
 	return w, nil
 }
 
-// SetHooks installs metric observers; call before Run.
+// SetHooks installs metric observers, replacing any previously installed
+// set; call before Run.
 func (w *World) SetHooks(h Hooks) { w.hooks = h }
+
+// AddHooks installs additional observers without displacing the ones
+// already installed: for each event the existing hook (if any) runs first,
+// then the new one. This is what lets the metrics collector and the
+// invariant harness watch the same run independently.
+func (w *World) AddHooks(h Hooks) {
+	prev := w.hooks
+	if prev.DataSent != nil && h.DataSent != nil {
+		a, b := prev.DataSent, h.DataSent
+		h.DataSent = func(n *Node, p *Packet) { a(n, p); b(n, p) }
+	} else if h.DataSent == nil {
+		h.DataSent = prev.DataSent
+	}
+	if prev.DataDelivered != nil && h.DataDelivered != nil {
+		a, b := prev.DataDelivered, h.DataDelivered
+		h.DataDelivered = func(n *Node, p *Packet) { a(n, p); b(n, p) }
+	} else if h.DataDelivered == nil {
+		h.DataDelivered = prev.DataDelivered
+	}
+	if prev.DataDropped != nil && h.DataDropped != nil {
+		a, b := prev.DataDropped, h.DataDropped
+		h.DataDropped = func(n *Node, p *Packet, reason string) { a(n, p, reason); b(n, p, reason) }
+	} else if h.DataDropped == nil {
+		h.DataDropped = prev.DataDropped
+	}
+	w.hooks = h
+}
 
 // Node returns node i.
 func (w *World) Node(i int) *Node { return w.nodes[i] }

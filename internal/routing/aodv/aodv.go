@@ -171,6 +171,17 @@ func (r *Router) Stop() {
 // ControlTraffic implements netsim.Router.
 func (r *Router) ControlTraffic() (uint64, uint64) { return r.ctrlPackets, r.ctrlBytes }
 
+// EachBuffered visits every data packet parked in route-discovery buffers —
+// the router's share of the custody set the packet-conservation invariant
+// audits.
+func (r *Router) EachBuffered(f func(p *netsim.Packet)) {
+	for _, d := range r.discoveries {
+		for _, p := range d.buffer {
+			f(p)
+		}
+	}
+}
+
 // Table exposes route lookups for tests: it reports the next hop and
 // whether a valid route to dst exists.
 func (r *Router) Table(dst netsim.NodeID) (next netsim.NodeID, hops int, ok bool) {

@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"cavenet/internal/ca"
+	"cavenet/internal/geometry"
+	"cavenet/internal/mobility"
+	"cavenet/internal/rng"
+	"cavenet/internal/scenario/check"
+)
+
+// BuildRoad assembles the spec's cellular-automaton road: one ring lane
+// per Lanes entry, placed on concentric circles LaneSpacingM apart, with
+// signals installed and lane-change coupling enabled when requested.
+func BuildRoad(s Spec) (*ca.Road, error) {
+	s = s.clone()
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return buildRoad(&s)
+}
+
+func buildRoad(s *Spec) (*ca.Road, error) {
+	cells := int(math.Round(s.CircuitMeters / ca.CellLength))
+	src := rng.NewSource(s.Seed)
+	specs := make([]ca.LaneSpec, 0, s.Lanes)
+	for li := 0; li < s.Lanes; li++ {
+		var signals []ca.Signal
+		for _, sig := range s.Signals {
+			if sig.Lane != li {
+				continue
+			}
+			signals = append(signals, ca.Signal{
+				Site:       int(math.Round(sig.PositionMeters / ca.CellLength)),
+				GreenSteps: sig.GreenSteps,
+				RedSteps:   sig.RedSteps,
+				Offset:     sig.OffsetSteps,
+			})
+		}
+		placement := ca.EvenPlacement
+		if s.RandomStart {
+			placement = ca.RandomPlacement
+		}
+		specs = append(specs, ca.LaneSpec{
+			Config: ca.Config{
+				Length:    cells,
+				Vehicles:  s.LaneVehicles[li],
+				SlowdownP: s.SlowdownP,
+				Boundary:  ca.RingBoundary,
+				Placement: placement,
+			},
+			Placement: geometry.Ring{
+				Center:        geometry.Vec2{X: s.CircuitMeters / 2, Y: s.CircuitMeters / 2},
+				Circumference: s.CircuitMeters,
+				RadialOffset:  float64(li) * s.LaneSpacingM,
+			},
+			Reversed: s.Bidirectional && li >= (s.Lanes+1)/2,
+			Signals:  signals,
+		})
+	}
+	road, err := ca.NewRoad(specs, src.Stream("ca"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if s.LaneChangeP > 0 {
+		if err := road.EnableLaneChanges(ca.LaneChange{P: s.LaneChangeP}, src.Stream("lanechange")); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	return road, nil
+}
+
+// BuildTrace generates the scenario's mobility input: the CA road warmed
+// up and recorded for the scenario duration, with the activation-ramp
+// staging applied for rush-hour specs.
+func BuildTrace(s Spec) (*mobility.SampledTrace, error) {
+	s = s.clone()
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return buildTrace(&s, nil)
+}
+
+// BuildTraceChecked is BuildTrace under the CA-sanity and trace-sanity
+// invariants: the road dynamics are validated at every step (collisions,
+// teleports, flow capacity) and the finished trace is scanned for
+// physically impossible jumps.
+func BuildTraceChecked(s Spec, report *check.Report) (*mobility.SampledTrace, error) {
+	s = s.clone()
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return buildTrace(&s, report)
+}
+
+func buildTrace(s *Spec, report *check.Report) (*mobility.SampledTrace, error) {
+	road, err := buildRoad(s)
+	if err != nil {
+		return nil, err
+	}
+	var after func()
+	if report != nil {
+		watcher := check.WatchRoad(road, report)
+		after = watcher.AfterStep
+	}
+	mobility.WarmupRoadFunc(road, s.CAWarmup, after)
+	steps := int(s.SimTime.Seconds()) + 1
+	trace := mobility.RecordRoadFunc(road, steps, after)
+	applyRamp(s, trace)
+	if report != nil {
+		check.Trace(trace, s.MaxSampleStepMeters(), s.activationSteps(), report)
+	}
+	return trace, nil
+}
+
+// applyRamp parks every node in an isolated staging spot until its
+// activation step — the rush-hour density ramp. Staging spots are spaced
+// beyond the carrier-sense range (2.2× the decode range, plus margin) of
+// the road and of each other, so a staged vehicle is radio-dark until it
+// merges, whatever radio range the spec configures.
+func applyRamp(s *Spec, trace *mobility.SampledTrace) {
+	act := s.activationSteps()
+	if act == nil {
+		return
+	}
+	spacing := 600.0
+	if cs := s.RangeMeters * 2.2 * 1.05; cs > spacing {
+		spacing = cs
+	}
+	for n, at := range act {
+		if at <= 0 || n >= trace.NumNodes() {
+			continue
+		}
+		staging := geometry.Vec2{X: -spacing * float64(n+1), Y: -spacing}
+		samples := trace.Positions[n]
+		for i := 0; i < at && i < len(samples); i++ {
+			samples[i] = staging
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package scenario
+
+import "cavenet/internal/sim"
+
+// The built-in scenario catalogue. Each entry is a first-class workload:
+// listable and runnable from `cavenet scenario`, swept by Sweep, and
+// property-tested under the invariant harness across every protocol and a
+// bank of seeds by the scenario test suite.
+//
+// Expectations are floors that must hold for *all three* protocols (and
+// for the shrunk test-sized variants), so they are deliberately
+// conservative; tighter per-protocol claims belong in experiments, not in
+// the catalogue contract.
+func init() {
+	// 1. The paper's Table I baseline: a single-lane 3 km circuit, 30
+	// vehicles, CBR from nodes 1–8 to node 0.
+	MustRegister(Spec{
+		Name:        "highway",
+		Description: "paper baseline: single-lane 3 km circuit, 30 vehicles, CBR 1-8 to 0 (Table I)",
+		Expect:      Expect{MinTotalPDR: 0.10, MinDelivered: 20},
+	})
+
+	// 2. Multi-lane highway with lane-change coupling: three parallel
+	// lanes on concentric rings, vehicles overtaking through the symmetric
+	// lane-change rule, cross-lane flows toward a lane-0 receiver.
+	MustRegister(Spec{
+		Name:         "multilane",
+		Description:  "3-lane 3 km circuit with lane changes; cross-lane flows to a lane-0 receiver",
+		Lanes:        3,
+		LaneVehicles: []int{12, 12, 12},
+		LaneChangeP:  0.3,
+		Flows: []Flow{
+			{Src: 6, Dst: 0}, {Src: 12, Dst: 0}, {Src: 18, Dst: 0},
+			{Src: 24, Dst: 0}, {Src: 30, Dst: 0}, {Src: 35, Dst: 0},
+		},
+		Expect: Expect{MinDelivered: 10},
+	})
+
+	// 3. Signalized corridor: two traffic signals with offset phases chop
+	// the ring into platoons — queues form at red, dissolve at green, and
+	// connectivity oscillates with the cycle.
+	MustRegister(Spec{
+		Name:          "signalized",
+		Description:   "2.25 km corridor with two offset traffic signals; platoon traffic, 24 vehicles",
+		CircuitMeters: 2250,
+		LaneVehicles:  []int{24},
+		Signals: []SignalSpec{
+			{Lane: 0, PositionMeters: 0, GreenSteps: 40, RedSteps: 20},
+			{Lane: 0, PositionMeters: 1125, GreenSteps: 40, RedSteps: 20, OffsetSteps: 30},
+		},
+		Flows: []Flow{
+			{Src: 1, Dst: 0}, {Src: 2, Dst: 0}, {Src: 3, Dst: 0},
+			{Src: 4, Dst: 0}, {Src: 5, Dst: 0}, {Src: 6, Dst: 0},
+		},
+		Expect: Expect{MinDelivered: 10},
+	})
+
+	// 4. Rush hour: a density ramp. 36 vehicles drive the circuit but join
+	// the network staggered over the first 40 s, so the relay density the
+	// flows see grows as the run progresses.
+	MustRegister(Spec{
+		Name:         "rushhour",
+		Description:  "density ramp: 36 vehicles join the 3 km circuit over the first 40 s",
+		LaneVehicles: []int{36},
+		RampSeconds:  40,
+		Expect:       Expect{MinDelivered: 5},
+	})
+
+	// 5. Bidirectional highway: two opposing-direction lanes; opposite-lane
+	// vehicles both relay (Fig. 1-a) and interfere (Fig. 1-b), and flows
+	// cross the median.
+	MustRegister(Spec{
+		Name:          "bidirectional",
+		Description:   "two opposing lanes, 15+15 vehicles; flows cross the median",
+		Lanes:         2,
+		LaneVehicles:  []int{15, 15},
+		Bidirectional: true,
+		Flows: []Flow{
+			{Src: 15, Dst: 0}, {Src: 16, Dst: 1}, {Src: 17, Dst: 2},
+			{Src: 20, Dst: 5}, {Src: 3, Dst: 22}, {Src: 7, Dst: 25},
+		},
+		Expect: Expect{MinDelivered: 10},
+	})
+
+	// 6. Sparse network: 10 vehicles on a 6 km circuit at 250 m radio
+	// range — the network spends most of its time partitioned into
+	// clusters that split and heal as vehicles bunch up. No delivery floor:
+	// the point of the workload is exercising partitions, route errors and
+	// discovery storms without violating conservation or looping.
+	MustRegister(Spec{
+		Name:          "sparse",
+		Description:   "partition/healing: 10 vehicles on a 6 km circuit, mostly disconnected",
+		CircuitMeters: 6000,
+		LaneVehicles:  []int{10},
+		Flows: []Flow{
+			{Src: 1, Dst: 0, Rate: 2}, {Src: 4, Dst: 0, Rate: 2}, {Src: 7, Dst: 0, Rate: 2},
+		},
+		SimTime: 100 * sim.Second,
+		Expect:  Expect{},
+	})
+}

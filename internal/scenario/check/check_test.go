@@ -1,0 +1,260 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/mobility"
+	"cavenet/internal/netsim"
+)
+
+func TestReportCapsPerCheck(t *testing.T) {
+	r := NewReport()
+	for i := 0; i < maxPerCheck+10; i++ {
+		r.Add("ttl", "violation %d", i)
+	}
+	if got := len(r.Violations()); got != maxPerCheck {
+		t.Fatalf("recorded %d violations, want cap %d", got, maxPerCheck)
+	}
+	if !strings.Contains(r.String(), "and 10 more") {
+		t.Fatalf("truncation summary missing:\n%s", r.String())
+	}
+	if r.Ok() {
+		t.Fatal("report with violations claims Ok")
+	}
+}
+
+// mkPacket builds a data packet as the hooks would see it.
+func mkPacket(uid uint64, ttl, hops int) *netsim.Packet {
+	return &netsim.Packet{UID: uid, Kind: netsim.KindData, TTL: ttl, Hops: hops}
+}
+
+func TestLedgerCleanLifecycles(t *testing.T) {
+	rep := NewReport()
+	l := NewLedger(rep)
+	h := l.Hooks()
+
+	// Delivered after 3 hops: TTL decremented twice at forwarders.
+	h.DataSent(nil, mkPacket(1, netsim.DefaultTTL, 0))
+	h.DataDelivered(nil, mkPacket(1, netsim.DefaultTTL-2, 3))
+
+	// Dropped for TTL expiry exactly at zero.
+	h.DataSent(nil, mkPacket(2, netsim.DefaultTTL, 0))
+	h.DataDropped(nil, mkPacket(2, 0, netsim.DefaultTTL), "aodv:ttl")
+
+	// ACK-loss fork: link-failure drop then delivery of the live copy.
+	h.DataSent(nil, mkPacket(3, netsim.DefaultTTL, 0))
+	h.DataDropped(nil, mkPacket(3, netsim.DefaultTTL-1, 1), "aodv:link-failure")
+	h.DataDelivered(nil, mkPacket(3, netsim.DefaultTTL-1, 2))
+
+	// Still in flight, held in custody.
+	h.DataSent(nil, mkPacket(4, netsim.DefaultTTL, 0))
+	l.finish(map[uint64]bool{4: true})
+
+	if !rep.Ok() {
+		t.Fatalf("clean lifecycles flagged:\n%s", rep)
+	}
+	if s, d, dr := l.Counts(); s != 4 || d != 2 || dr != 2 {
+		t.Fatalf("counts = %d/%d/%d", s, d, dr)
+	}
+}
+
+func TestLedgerCatchesVanishedPacket(t *testing.T) {
+	rep := NewReport()
+	l := NewLedger(rep)
+	h := l.Hooks()
+	h.DataSent(nil, mkPacket(9, netsim.DefaultTTL, 0))
+	l.finish(nil) // no terminal event, no custody
+	if rep.Ok() || !strings.Contains(rep.String(), "vanished") {
+		t.Fatalf("vanished packet not caught:\n%s", rep)
+	}
+}
+
+func TestLedgerCatchesDuplicateDelivery(t *testing.T) {
+	rep := NewReport()
+	l := NewLedger(rep)
+	h := l.Hooks()
+	h.DataSent(nil, mkPacket(1, netsim.DefaultTTL, 0))
+	h.DataDelivered(nil, mkPacket(1, netsim.DefaultTTL, 1))
+	h.DataDelivered(nil, mkPacket(1, netsim.DefaultTTL, 1))
+	if rep.Ok() || !strings.Contains(rep.String(), "delivered 2 times") {
+		t.Fatalf("duplicate delivery not caught:\n%s", rep)
+	}
+}
+
+func TestLedgerCatchesUnexplainedDropAfterDelivery(t *testing.T) {
+	rep := NewReport()
+	l := NewLedger(rep)
+	h := l.Hooks()
+	h.DataSent(nil, mkPacket(1, netsim.DefaultTTL, 0))
+	h.DataDelivered(nil, mkPacket(1, netsim.DefaultTTL, 1))
+	// A no-route drop after delivery has no ACK-loss fork to explain it.
+	h.DataDropped(nil, mkPacket(1, netsim.DefaultTTL-1, 1), "aodv:no-forward-route")
+	if rep.Ok() {
+		t.Fatal("unexplained second terminal not caught")
+	}
+}
+
+func TestLedgerCatchesTTLAnomalies(t *testing.T) {
+	rep := NewReport()
+	l := NewLedger(rep)
+	h := l.Hooks()
+	// Originated with a pre-decremented TTL.
+	h.DataSent(nil, mkPacket(1, netsim.DefaultTTL-1, 0))
+	// Delivered with an impossible TTL/hop combination (skipped decrement).
+	h.DataSent(nil, mkPacket(2, netsim.DefaultTTL, 0))
+	h.DataDelivered(nil, mkPacket(2, netsim.DefaultTTL, 3))
+	// TTL-expiry drop with TTL still positive.
+	h.DataSent(nil, mkPacket(3, netsim.DefaultTTL, 0))
+	h.DataDropped(nil, mkPacket(3, 4, netsim.DefaultTTL-4), "olsr:ttl")
+	if got := len(rep.Violations()); got < 3 {
+		t.Fatalf("expected >= 3 TTL violations, got %d:\n%s", got, rep)
+	}
+}
+
+// loopRouter is a stub sequence-numbered-style router whose table is wired
+// into a cycle.
+type loopRouter struct {
+	id   netsim.NodeID
+	next map[netsim.NodeID]netsim.NodeID
+}
+
+func (r *loopRouter) Name() string                                 { return "loop" }
+func (r *loopRouter) Start()                                       {}
+func (r *loopRouter) Stop()                                        {}
+func (r *loopRouter) Origin(p *netsim.Packet)                      {}
+func (r *loopRouter) Receive(p *netsim.Packet, from netsim.NodeID) {}
+func (r *loopRouter) LinkFailure(next netsim.NodeID, p *netsim.Packet) {
+}
+func (r *loopRouter) ControlTraffic() (uint64, uint64) { return 0, 0 }
+func (r *loopRouter) Table(dst netsim.NodeID) (netsim.NodeID, int, bool) {
+	n, ok := r.next[dst]
+	return n, 1, ok
+}
+
+// treeRouter is a stub link-state-style router (Route method).
+type treeRouter struct {
+	routes map[netsim.NodeID][2]int // dst -> (next, hops)
+}
+
+func (r *treeRouter) Name() string                                     { return "tree" }
+func (r *treeRouter) Start()                                           {}
+func (r *treeRouter) Stop()                                            {}
+func (r *treeRouter) Origin(p *netsim.Packet)                          {}
+func (r *treeRouter) Receive(p *netsim.Packet, from netsim.NodeID)     {}
+func (r *treeRouter) LinkFailure(next netsim.NodeID, p *netsim.Packet) {}
+func (r *treeRouter) ControlTraffic() (uint64, uint64)                 { return 0, 0 }
+func (r *treeRouter) Route(dst netsim.NodeID) (netsim.NodeID, int, bool) {
+	e, ok := r.routes[dst]
+	return netsim.NodeID(e[0]), e[1], ok
+}
+
+func staticWorld(t *testing.T, n int, factory netsim.RouterFactory) *netsim.World {
+	t.Helper()
+	pos := make([]geometry.Vec2, n)
+	for i := range pos {
+		pos[i] = geometry.Vec2{X: float64(100 * i)}
+	}
+	w, err := netsim.NewWorld(netsim.WorldConfig{Nodes: n, Static: pos}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestLoopsCatchesCrossNodeCycle(t *testing.T) {
+	// 0 -> 1 -> 0 toward destination 2.
+	w := staticWorld(t, 3, func(n *netsim.Node) netsim.Router {
+		r := &loopRouter{id: n.ID(), next: map[netsim.NodeID]netsim.NodeID{}}
+		if n.ID() == 0 {
+			r.next[2] = 1
+		}
+		if n.ID() == 1 {
+			r.next[2] = 0
+		}
+		return r
+	})
+	rep := NewReport()
+	Loops(w, rep)
+	if rep.Ok() || !strings.Contains(rep.String(), "routing loop") {
+		t.Fatalf("cross-node cycle not caught:\n%s", rep)
+	}
+}
+
+func TestLoopsAcceptsCleanChain(t *testing.T) {
+	// 0 -> 1 -> 2 (and each node routes 1 hop to its neighbor).
+	w := staticWorld(t, 3, func(n *netsim.Node) netsim.Router {
+		r := &loopRouter{id: n.ID(), next: map[netsim.NodeID]netsim.NodeID{}}
+		switch n.ID() {
+		case 0:
+			r.next[1], r.next[2] = 1, 1
+		case 1:
+			r.next[0], r.next[2] = 0, 2
+		case 2:
+			r.next[0], r.next[1] = 1, 1
+		}
+		return r
+	})
+	rep := NewReport()
+	Loops(w, rep)
+	if !rep.Ok() {
+		t.Fatalf("clean chain flagged:\n%s", rep)
+	}
+}
+
+func TestLoopsCatchesInconsistentTree(t *testing.T) {
+	// A link-state table whose 2-hop route goes via a node it has no
+	// 1-hop route to.
+	w := staticWorld(t, 3, func(n *netsim.Node) netsim.Router {
+		r := &treeRouter{routes: map[netsim.NodeID][2]int{}}
+		if n.ID() == 0 {
+			r.routes[2] = [2]int{1, 2} // via 1, but no route to 1 at all
+		}
+		return r
+	})
+	rep := NewReport()
+	Loops(w, rep)
+	if rep.Ok() || !strings.Contains(rep.String(), "not a 1-hop neighbor") {
+		t.Fatalf("inconsistent tree not caught:\n%s", rep)
+	}
+}
+
+func TestTraceCatchesTeleport(t *testing.T) {
+	tr := &mobility.SampledTrace{
+		Interval: 1,
+		Positions: [][]geometry.Vec2{
+			{{X: 0}, {X: 10}, {X: 500}}, // 490 m in one second
+		},
+	}
+	rep := NewReport()
+	Trace(tr, 42.5, nil, rep)
+	if rep.Ok() || !strings.Contains(rep.String(), "teleported") {
+		t.Fatalf("teleport not caught:\n%s", rep)
+	}
+}
+
+func TestTraceExemptsDeclaredActivation(t *testing.T) {
+	tr := &mobility.SampledTrace{
+		Interval: 1,
+		Positions: [][]geometry.Vec2{
+			{{X: -600}, {X: -600}, {X: 1000}, {X: 1010}},
+		},
+	}
+	rep := NewReport()
+	Trace(tr, 42.5, []int{2}, rep)
+	if !rep.Ok() {
+		t.Fatalf("declared activation jump flagged:\n%s", rep)
+	}
+}
+
+func TestReportTotalCountsBeyondCap(t *testing.T) {
+	r := NewReport()
+	for i := 0; i < maxPerCheck+10; i++ {
+		r.Add("conservation", "violation %d", i)
+	}
+	r.Add("ttl", "one more")
+	if got := r.Total(); got != maxPerCheck+11 {
+		t.Fatalf("Total = %d, want %d", got, maxPerCheck+11)
+	}
+}

@@ -1,0 +1,179 @@
+package check
+
+import (
+	"sort"
+	"strings"
+
+	"cavenet/internal/netsim"
+)
+
+// fate tracks what has happened to one originated data packet.
+//
+// A packet normally meets exactly one terminal event (delivered or
+// dropped). The one legitimate exception is the 802.11 ACK-loss fork: the
+// receiver decodes a data frame and forwards it onward, but the ACK is
+// lost, so the sender retries to exhaustion and records a link-failure
+// drop for a packet that lives on (and may be delivered, dropped again, or
+// parked). Every such fork is witnessed by exactly one link-failure drop,
+// so the sound conservation invariant is
+//
+//	deliveries ≤ 1   and   deliveries + drops ≤ link-failure drops + 1.
+type fate struct {
+	delivered int
+	dropped   int
+	lfDropped int
+}
+
+func (f *fate) terminals() int { return f.delivered + f.dropped }
+
+// Ledger audits the data plane of one world run through the netsim hooks:
+// it keeps per-UID packet fates and verifies the TTL discipline at every
+// event. After the run, Finish settles the conservation equation
+//
+//	sent = delivered + dropped + in-flight
+//
+// where in-flight is not inferred by subtraction but proven: every packet
+// with no terminal event must still be physically held by a MAC queue or a
+// route-discovery buffer somewhere in the world.
+type Ledger struct {
+	report *Report
+	fates  map[uint64]*fate
+
+	sent, delivered, dropped uint64
+}
+
+// NewLedger creates a ledger reporting into report.
+func NewLedger(report *Report) *Ledger {
+	return &Ledger{report: report, fates: make(map[uint64]*fate)}
+}
+
+// Hooks returns the observers to install with World.AddHooks.
+func (l *Ledger) Hooks() netsim.Hooks {
+	return netsim.Hooks{
+		DataSent:      l.onSent,
+		DataDelivered: l.onDelivered,
+		DataDropped:   l.onDropped,
+	}
+}
+
+func (l *Ledger) onSent(n *netsim.Node, p *netsim.Packet) {
+	l.sent++
+	if _, dup := l.fates[p.UID]; dup {
+		l.report.Add("conservation", "packet uid=%d originated twice", p.UID)
+		return
+	}
+	l.fates[p.UID] = &fate{}
+	if p.TTL != netsim.DefaultTTL {
+		l.report.Add("ttl", "packet uid=%d originated with TTL %d, want %d", p.UID, p.TTL, netsim.DefaultTTL)
+	}
+	if p.Hops != 0 {
+		l.report.Add("ttl", "packet uid=%d originated with hop count %d", p.UID, p.Hops)
+	}
+}
+
+func (l *Ledger) onDelivered(n *netsim.Node, p *netsim.Packet) {
+	l.delivered++
+	f := l.fates[p.UID]
+	if f == nil {
+		l.report.Add("conservation", "delivered packet uid=%d was never originated", p.UID)
+		return
+	}
+	f.delivered++
+	if f.delivered > 1 {
+		l.report.Add("conservation", "packet uid=%d delivered %d times", p.UID, f.delivered)
+	} else if f.terminals() > f.lfDropped+1 {
+		l.report.Add("conservation",
+			"packet uid=%d delivered after a drop no ACK-loss fork explains (%d drops, %d link failures)",
+			p.UID, f.dropped, f.lfDropped)
+	}
+	// TTL discipline at delivery: Hops counts MAC receptions, and every
+	// reception except the final one passed through a router that
+	// decremented TTL exactly once, so TTL + Hops == DefaultTTL + 1.
+	if p.Hops < 1 {
+		l.report.Add("ttl", "packet uid=%d delivered with hop count %d", p.UID, p.Hops)
+	}
+	if p.TTL < 1 {
+		l.report.Add("ttl", "packet uid=%d delivered with TTL %d", p.UID, p.TTL)
+	}
+	if p.TTL+p.Hops != netsim.DefaultTTL+1 {
+		l.report.Add("ttl", "packet uid=%d delivered with TTL %d after %d hops (want TTL+hops=%d)",
+			p.UID, p.TTL, p.Hops, netsim.DefaultTTL+1)
+	}
+}
+
+func (l *Ledger) onDropped(n *netsim.Node, p *netsim.Packet, reason string) {
+	l.dropped++
+	f := l.fates[p.UID]
+	if f == nil {
+		l.report.Add("conservation", "dropped packet uid=%d (%s) was never originated", p.UID, reason)
+		return
+	}
+	f.dropped++
+	if strings.HasSuffix(reason, ":link-failure") {
+		f.lfDropped++
+	}
+	if f.terminals() > f.lfDropped+1 {
+		l.report.Add("conservation",
+			"packet uid=%d dropped (%s) beyond what ACK-loss forks explain (%d deliveries, %d drops, %d link failures)",
+			p.UID, reason, f.delivered, f.dropped, f.lfDropped)
+	}
+	// A drop either happens at a router after its decrement (TTL+hops ==
+	// DefaultTTL) or before any forwarding work on this hop (== +1, e.g. a
+	// queue drop at the originator). TTL expiry must fire exactly at zero.
+	if sum := p.TTL + p.Hops; sum != netsim.DefaultTTL && sum != netsim.DefaultTTL+1 {
+		l.report.Add("ttl", "packet uid=%d dropped (%s) with TTL %d after %d hops", p.UID, reason, p.TTL, p.Hops)
+	}
+	if strings.HasSuffix(reason, ":ttl") {
+		if p.TTL != 0 {
+			l.report.Add("ttl", "packet uid=%d dropped for TTL expiry with TTL %d", p.UID, p.TTL)
+		}
+	} else if p.TTL < 1 {
+		l.report.Add("ttl", "packet uid=%d dropped (%s) with non-positive TTL %d", p.UID, reason, p.TTL)
+	}
+}
+
+// dataBufferer is the optional router extension exposing parked data
+// packets (AODV and DYMO route-discovery buffers implement it).
+type dataBufferer interface {
+	EachBuffered(f func(p *netsim.Packet))
+}
+
+// Finish settles the ledger against the world's end-of-run custody state.
+func (l *Ledger) Finish(w *netsim.World) {
+	custody := make(map[uint64]bool)
+	for _, n := range w.Nodes() {
+		n.MAC().EachQueued(func(payload any) {
+			if p, ok := payload.(*netsim.Packet); ok && p.Kind == netsim.KindData {
+				custody[p.UID] = true
+			}
+		})
+		if b, ok := n.Router().(dataBufferer); ok {
+			b.EachBuffered(func(p *netsim.Packet) { custody[p.UID] = true })
+		}
+	}
+	l.finish(custody)
+}
+
+// finish is the custody settlement, split out so tests can feed a
+// synthetic custody set.
+func (l *Ledger) finish(custody map[uint64]bool) {
+	vanished := make([]uint64, 0)
+	for uid, f := range l.fates {
+		if f.delivered+f.dropped > 0 {
+			continue
+		}
+		if !custody[uid] {
+			vanished = append(vanished, uid)
+		}
+	}
+	sort.Slice(vanished, func(i, j int) bool { return vanished[i] < vanished[j] })
+	for _, uid := range vanished {
+		l.report.Add("conservation",
+			"packet uid=%d vanished: not delivered, not dropped, and not held by any MAC queue or router buffer", uid)
+	}
+}
+
+// Counts reports the ledger totals (hook events, not unique packets).
+func (l *Ledger) Counts() (sent, delivered, dropped uint64) {
+	return l.sent, l.delivered, l.dropped
+}

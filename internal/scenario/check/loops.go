@@ -1,0 +1,141 @@
+package check
+
+import "cavenet/internal/netsim"
+
+// The two next-hop query shapes the repo's routing protocols expose
+// encode two different loop-freedom guarantees:
+//
+//   - Table (AODV, DYMO): sequence-numbered distance vector. The protocol
+//     invariant is loop freedom across nodes at every instant — along any
+//     next-hop chain the (destination sequence number, −hops) pair
+//     strictly improves — so the harness walks the cross-node next-hop
+//     graph and any cycle is a bug.
+//
+//   - Route (OLSR): link state. Each node's table is a shortest-path tree
+//     over that node's *own* topology view; during convergence two nodes'
+//     views may legitimately disagree, so transient cross-node micro-loops
+//     are textbook behavior (a looping packet burns TTL, which the TTL
+//     invariant audits). The per-node invariant that must always hold is
+//     self-consistency: every route's next hop is itself a valid one-hop
+//     route of the same table.
+type routeQuerier interface {
+	Route(dst netsim.NodeID) (netsim.NodeID, int, bool)
+}
+
+type tableQuerier interface {
+	Table(dst netsim.NodeID) (netsim.NodeID, int, bool)
+}
+
+// Loops verifies the "no routing loops" invariant appropriate to each
+// node's protocol: the cross-node walk for sequence-numbered tables, the
+// per-table tree consistency for link-state tables (see above).
+func Loops(w *netsim.World, report *Report) {
+	n := w.NumNodes()
+	query := make([]func(dst netsim.NodeID) (netsim.NodeID, int, bool), n)
+	crossNode := true
+	for i := 0; i < n; i++ {
+		switch q := w.Node(i).Router().(type) {
+		case routeQuerier:
+			query[i] = q.Route
+			crossNode = false
+		case tableQuerier:
+			query[i] = q.Table
+		}
+	}
+	if crossNode {
+		crossNodeWalk(n, query, report)
+	} else {
+		perTableTree(n, query, report)
+	}
+}
+
+// crossNodeWalk follows next hops node to node from every (src, dst) pair;
+// any revisit is a loop. A walk may legitimately end early at a node
+// without a route (an incomplete table is not a loop); what it must never
+// do is cycle.
+func crossNodeWalk(n int, query []func(netsim.NodeID) (netsim.NodeID, int, bool), report *Report) {
+	// stamp is an epoch-marked scratch: stamp[v] == walkID marks v as on
+	// the current walk without clearing between the N² walks.
+	stamp := make([]int, n)
+	walkID := 0
+	for src := 0; src < n; src++ {
+		if query[src] == nil {
+			continue
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst == src {
+				continue
+			}
+			walkID++
+			cur := src
+			stamp[cur] = walkID
+			for {
+				if query[cur] == nil {
+					break
+				}
+				next, _, ok := query[cur](netsim.NodeID(dst))
+				if !ok {
+					break // no route here: the walk terminates
+				}
+				if int(next) < 0 || int(next) >= n {
+					report.Add("loops", "node %d routes to %d via out-of-world next hop %d", cur, dst, next)
+					break
+				}
+				if int(next) == dst {
+					break // reached the destination
+				}
+				if stamp[next] == walkID {
+					report.Add("loops", "routing loop toward %d: node %d's next hop %d was already visited (walk from %d)",
+						dst, cur, next, src)
+					break
+				}
+				cur = int(next)
+				stamp[cur] = walkID
+			}
+		}
+	}
+}
+
+// perTableTree checks that each node's table is a self-consistent
+// shortest-path tree: a one-hop route's next hop is the destination
+// itself, and a multi-hop route's next hop is a valid one-hop route of
+// the same table.
+func perTableTree(n int, query []func(netsim.NodeID) (netsim.NodeID, int, bool), report *Report) {
+	for src := 0; src < n; src++ {
+		if query[src] == nil {
+			continue
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst == src {
+				continue
+			}
+			next, hops, ok := query[src](netsim.NodeID(dst))
+			if !ok {
+				continue
+			}
+			if int(next) < 0 || int(next) >= n {
+				report.Add("loops", "node %d routes to %d via out-of-world next hop %d", src, dst, next)
+				continue
+			}
+			if int(next) == src {
+				report.Add("loops", "node %d routes to %d via itself", src, dst)
+				continue
+			}
+			if hops < 1 {
+				report.Add("loops", "node %d routes to %d in %d hops", src, dst, hops)
+				continue
+			}
+			if hops == 1 {
+				if int(next) != dst {
+					report.Add("loops", "node %d's 1-hop route to %d goes via %d", src, dst, next)
+				}
+				continue
+			}
+			nn, nhops, nok := query[src](next)
+			if !nok || nhops != 1 || nn != next {
+				report.Add("loops", "node %d routes to %d via %d, which is not a 1-hop neighbor route (hops=%d ok=%v)",
+					src, dst, next, nhops, nok)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"fmt"
+
+	"cavenet/internal/netsim"
+	"cavenet/internal/routing/aodv"
+	"cavenet/internal/routing/dymo"
+	"cavenet/internal/routing/olsr"
+)
+
+// Protocol selects the routing protocol under test. (The core package
+// aliases this type, so the paper-facing API is unchanged.)
+type Protocol string
+
+// The protocols evaluated by the paper.
+const (
+	AODV Protocol = "aodv"
+	OLSR Protocol = "olsr"
+	DYMO Protocol = "dymo"
+)
+
+// AllProtocols lists the paper's three routing protocols in its comparison
+// order.
+func AllProtocols() []Protocol { return []Protocol{AODV, OLSR, DYMO} }
+
+// ParseProtocol maps a protocol name to its constant.
+func ParseProtocol(name string) (Protocol, error) {
+	switch Protocol(name) {
+	case AODV, OLSR, DYMO:
+		return Protocol(name), nil
+	default:
+		return "", fmt.Errorf("scenario: unknown protocol %q", name)
+	}
+}
+
+// routerFactory builds the per-node router for the spec's protocol and
+// ablation knobs.
+func (s *Spec) routerFactory() netsim.RouterFactory {
+	switch s.Protocol {
+	case OLSR:
+		etx := s.OLSRETX
+		return func(n *netsim.Node) netsim.Router {
+			return olsr.New(n, olsr.Config{ETX: etx})
+		}
+	case DYMO:
+		pa := !s.DYMONoPathAccumulation
+		return func(n *netsim.Node) netsim.Router {
+			return dymo.New(n, dymo.Config{PathAccumulation: &pa})
+		}
+	default:
+		er := !s.AODVNoExpandingRing
+		return func(n *netsim.Node) netsim.Router {
+			return aodv.New(n, aodv.Config{ExpandingRing: &er})
+		}
+	}
+}

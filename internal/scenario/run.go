@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"fmt"
+
+	"cavenet/internal/mac"
+	"cavenet/internal/metrics"
+	"cavenet/internal/mobility"
+	"cavenet/internal/netsim"
+	"cavenet/internal/phy"
+	"cavenet/internal/scenario/check"
+	"cavenet/internal/sim"
+	"cavenet/internal/traffic"
+)
+
+// Result carries a scenario run's outcome: the paper's metrics keyed by
+// sender node ID, plus the aggregate overhead and MAC counters.
+type Result struct {
+	// Spec is the normalized scenario that ran.
+	Spec Spec
+	// Senders lists the distinct flow sources in first-appearance order.
+	Senders []int
+	// Goodput maps sender ID to its goodput time series in bps, 1-s bins.
+	Goodput map[int][]float64
+	// PDR maps sender ID to its packet delivery ratio.
+	PDR map[int]float64
+	// Sent and Delivered count data packets per sender.
+	Sent, Delivered map[int]uint64
+	// MeanDelaySec maps sender ID to the mean end-to-end delay of its
+	// delivered packets.
+	MeanDelaySec map[int]float64
+	// MeanHops maps sender ID to the average route length used.
+	MeanHops map[int]float64
+	// ControlPackets and ControlBytes total the routing overhead.
+	ControlPackets, ControlBytes uint64
+	// InFlight is sent − delivered − dropped at end of run (can dip
+	// negative on ACK-loss forks; see metrics.Collector.InFlight).
+	InFlight int64
+	// MACStats aggregates MAC counters over all nodes.
+	MACStats mac.Stats
+	// Drops counts data-packet drops by reason.
+	Drops map[string]uint64
+}
+
+// TotalPDR reports the delivery ratio across all senders.
+func (r *Result) TotalPDR() float64 {
+	var sent, del uint64
+	for _, s := range r.Sent {
+		sent += s
+	}
+	for _, d := range r.Delivered {
+		del += d
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(del) / float64(sent)
+}
+
+// TotalDelivered reports the delivered packet count across all senders.
+func (r *Result) TotalDelivered() uint64 {
+	var del uint64
+	for _, d := range r.Delivered {
+		del += d
+	}
+	return del
+}
+
+// Run generates the spec's mobility and executes the scenario.
+func Run(s Spec) (*Result, error) {
+	s = s.clone()
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	trace, err := buildTrace(&s, nil)
+	if err != nil {
+		return nil, err
+	}
+	return runOnTrace(&s, trace, nil)
+}
+
+// RunOnTrace executes the scenario's network evaluation over a
+// caller-provided mobility trace.
+func RunOnTrace(s Spec, trace *mobility.SampledTrace) (*Result, error) {
+	s = s.clone()
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return runOnTrace(&s, trace, nil)
+}
+
+// RunChecked runs the scenario under the full invariant harness: CA and
+// trace sanity during mobility generation, the packet-conservation ledger
+// and TTL discipline during the run, the routing-loop walk and custody
+// settlement afterwards, and the spec's metric expectations on the result.
+// The returned report lists every violation; err covers configuration
+// problems only.
+func RunChecked(s Spec) (*Result, *check.Report, error) {
+	s = s.clone()
+	if err := s.normalize(); err != nil {
+		return nil, nil, err
+	}
+	report := check.NewReport()
+	trace, err := buildTrace(&s, report)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := runCheckedOnTrace(&s, trace, report)
+	return res, report, err
+}
+
+// RunCheckedOnTrace is RunChecked over a pre-built (and typically already
+// checked) mobility trace; sweeps use it to share one trace across the
+// protocols of a grid cell.
+func RunCheckedOnTrace(s Spec, trace *mobility.SampledTrace) (*Result, *check.Report, error) {
+	s = s.clone()
+	if err := s.normalize(); err != nil {
+		return nil, nil, err
+	}
+	report := check.NewReport()
+	res, err := runCheckedOnTrace(&s, trace, report)
+	return res, report, err
+}
+
+func runCheckedOnTrace(s *Spec, trace *mobility.SampledTrace, report *check.Report) (*Result, error) {
+	res, err := runOnTrace(s, trace, report)
+	if err != nil {
+		return nil, err
+	}
+	checkExpect(s, res, report)
+	return res, nil
+}
+
+// checkExpect evaluates the spec's metric floors on a finished result.
+func checkExpect(s *Spec, res *Result, report *check.Report) {
+	e := s.Expect
+	if e.MinTotalPDR > 0 {
+		if pdr := res.TotalPDR(); pdr < e.MinTotalPDR {
+			report.Add("expect", "total PDR %.3f below the scenario's floor %.3f", pdr, e.MinTotalPDR)
+		}
+	}
+	if e.MinDelivered > 0 {
+		if del := res.TotalDelivered(); del < e.MinDelivered {
+			report.Add("expect", "%d packets delivered, scenario promises >= %d", del, e.MinDelivered)
+		}
+	}
+	if e.MaxMeanDelaySec > 0 {
+		for _, snd := range res.Senders {
+			if d := res.MeanDelaySec[snd]; d > e.MaxMeanDelaySec {
+				report.Add("expect", "sender %d mean delay %.3fs above the scenario's cap %.3fs", snd, d, e.MaxMeanDelaySec)
+			}
+		}
+	}
+}
+
+// runOnTrace assembles the world — this is the single place in the repo
+// where a protocol-evaluation world is wired together; the core package's
+// Table I entry points delegate here — and executes the run. A non-nil
+// report additionally installs the invariant ledger and runs the post-run
+// loop walk and custody settlement.
+func runOnTrace(s *Spec, trace *mobility.SampledTrace, report *check.Report) (*Result, error) {
+	capture := 10.0
+	if s.NoCapture {
+		capture = 0
+	}
+	world, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes:       s.Nodes,
+		Seed:        s.Seed,
+		Propagation: phy.TwoRayGround{},
+		Channel: phy.Config{
+			RxRangeM:     s.RangeMeters,
+			CSRangeM:     s.RangeMeters * 2.2,
+			CaptureRatio: capture,
+		},
+		MAC:      mac.Config{DataRateBPS: s.DataRateBPS, RTSThreshold: s.RTSThreshold},
+		Mobility: trace,
+	}, s.routerFactory())
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+
+	collector := metrics.NewCollector(sim.Second, s.SimTime)
+	collector.Bind(world)
+
+	var ledger *check.Ledger
+	if report != nil {
+		ledger = check.NewLedger(report)
+		world.AddHooks(ledger.Hooks())
+	}
+
+	// One sink per distinct destination, attached before any source
+	// starts (flows all ride the CBR port).
+	sinks := make(map[int]*traffic.Sink)
+	for _, f := range s.Flows {
+		if sinks[f.Dst] == nil {
+			sk := &traffic.Sink{}
+			world.Node(f.Dst).AttachPort(netsim.PortCBR, sk)
+			sinks[f.Dst] = sk
+		}
+	}
+	for _, f := range s.Flows {
+		cbr := traffic.NewCBR(world.Node(f.Src), traffic.CBRConfig{
+			Dst:         netsim.NodeID(f.Dst),
+			PacketBytes: f.PacketBytes,
+			Rate:        f.Rate,
+			Start:       f.Start,
+			Stop:        f.Stop,
+		})
+		cbr.Start()
+	}
+
+	world.Run(s.SimTime)
+
+	if report != nil {
+		check.Loops(world, report)
+		ledger.Finish(world)
+	}
+
+	senders := make([]int, 0, len(s.Flows))
+	seen := make(map[int]bool, len(s.Flows))
+	for _, f := range s.Flows {
+		if !seen[f.Src] {
+			seen[f.Src] = true
+			senders = append(senders, f.Src)
+		}
+	}
+	res := &Result{
+		Spec:         *s,
+		Senders:      senders,
+		Goodput:      make(map[int][]float64, len(senders)),
+		PDR:          make(map[int]float64, len(senders)),
+		Sent:         make(map[int]uint64, len(senders)),
+		Delivered:    make(map[int]uint64, len(senders)),
+		MeanDelaySec: make(map[int]float64, len(senders)),
+		MeanHops:     make(map[int]float64, len(senders)),
+		InFlight:     collector.InFlight(),
+		Drops:        collector.Drops(),
+	}
+	for _, snd := range senders {
+		id := netsim.NodeID(snd)
+		res.Goodput[snd] = collector.GoodputBPS(id)
+		res.PDR[snd] = collector.PDR(id)
+		res.Sent[snd] = collector.Sent(id)
+		res.Delivered[snd] = collector.Delivered(id)
+		res.MeanDelaySec[snd] = collector.MeanDelay(id).Seconds()
+		res.MeanHops[snd] = collector.MeanHops(id)
+	}
+	res.ControlPackets, res.ControlBytes = metrics.RoutingOverhead(world)
+	for _, n := range world.Nodes() {
+		st := n.MAC().Stats()
+		res.MACStats.DataTx += st.DataTx
+		res.MACStats.DataRx += st.DataRx
+		res.MACStats.AckTx += st.AckTx
+		res.MACStats.AckRx += st.AckRx
+		res.MACStats.RTSTx += st.RTSTx
+		res.MACStats.CTSTx += st.CTSTx
+		res.MACStats.Retries += st.Retries
+		res.MACStats.Failures += st.Failures
+		res.MACStats.QueueDrops += st.QueueDrops
+		res.MACStats.Duplicates += st.Duplicates
+		res.MACStats.BytesTx += st.BytesTx
+		res.MACStats.NAVSettings += st.NAVSettings
+	}
+	return res, nil
+}

@@ -1,0 +1,360 @@
+// Package scenario is the declarative workload registry of the repo: a
+// Scenario spec bundles a road/mobility generator (lanes, density,
+// signals, ramps), a traffic workload (CBR flows), a routing protocol and
+// metric expectations in one plain config struct. Specs are registered
+// into a catalogue (Register/Get/Names), runnable from the CLI
+// (`cavenet scenario list|run`), sweepable over scenarios × protocols ×
+// seeds on the deterministic parallel engine (Sweep), and checkable under
+// the cross-protocol invariant harness (RunChecked).
+//
+// Every future workload registers a Spec here instead of hand-rolling a
+// main(): registration buys CLI access, property tests across protocols
+// and seeds, determinism regression, and the invariant harness for free.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"cavenet/internal/ca"
+	"cavenet/internal/sim"
+)
+
+// Flow is one constant-bit-rate traffic flow of a scenario.
+type Flow struct {
+	// Src and Dst are node IDs (global vehicle IDs of the road).
+	Src, Dst int
+	// Rate is packets per second (default 5, Table I).
+	Rate float64
+	// PacketBytes is the application payload size (default 512, Table I).
+	PacketBytes int
+	// Start and Stop bound the active window; zero values default to
+	// SimTime/10 and SimTime − SimTime/10 (Table I's 10 s and 90 s shape).
+	Start, Stop sim.Time
+}
+
+// SignalSpec places a traffic signal on one lane of the scenario road.
+type SignalSpec struct {
+	// Lane indexes the signalized lane.
+	Lane int
+	// PositionMeters locates the blocked site along the lane.
+	PositionMeters float64
+	// GreenSteps/RedSteps set the cycle in CA steps (1 s each); OffsetSteps
+	// shifts the phase.
+	GreenSteps, RedSteps, OffsetSteps int
+}
+
+// Expect declares the metric floors a scenario promises to meet under
+// every routing protocol; the invariant harness reports a violation when a
+// run falls short. Zero values disable a bound.
+type Expect struct {
+	// MinTotalPDR is the minimum packet delivery ratio across all senders.
+	MinTotalPDR float64
+	// MinDelivered is the minimum total number of delivered data packets.
+	MinDelivered uint64
+	// MaxMeanDelaySec caps the per-sender mean end-to-end delay.
+	MaxMeanDelaySec float64
+}
+
+// Spec is the plain config struct a Scenario is constructed from. The zero
+// value (plus a Name) reproduces the paper's Table I single-lane highway.
+type Spec struct {
+	// Name identifies the scenario in the registry and the CLI.
+	Name string
+	// Description is the one-line catalogue summary.
+	Description string
+
+	// ---- Road / mobility generator ----
+
+	// Lanes is the number of parallel lanes (default 1).
+	Lanes int
+	// LaneVehicles is the vehicle count per lane. A single entry is
+	// replicated across lanes; the default is {30} (Table I).
+	LaneVehicles []int
+	// CircuitMeters is the ring-lane circumference (default 3000, Table I).
+	CircuitMeters float64
+	// SlowdownP is the NaS randomization parameter (default 0.3).
+	SlowdownP float64
+	// CAWarmup is the number of CA steps discarded before recording
+	// (default 300).
+	CAWarmup int
+	// LaneSpacingM separates parallel lanes radially (default 4 m).
+	LaneSpacingM float64
+	// RandomStart places vehicles at random distinct sites instead of the
+	// default even spacing — clustered initial conditions for
+	// connectivity studies.
+	RandomStart bool
+	// LaneChangeP > 0 couples same-direction lanes with the symmetric
+	// lane-change rule at that probability.
+	LaneChangeP float64
+	// Bidirectional reverses the second half of the lanes (opposing
+	// traffic, Fig. 1's interference setting). Incompatible with
+	// LaneChangeP.
+	Bidirectional bool
+	// Signals places traffic signals on lanes (queue-forming crosspoints).
+	Signals []SignalSpec
+	// RampSeconds > 0 staggers network entry over the first RampSeconds of
+	// the run (rush hour): node i is parked in an isolated staging area
+	// until its activation time i·RampSeconds/(N−1), then joins the road.
+	RampSeconds float64
+
+	// ---- Network & traffic workload ----
+
+	// Nodes is the station count (default: all vehicles).
+	Nodes int
+	// Protocol is the routing protocol under test (default AODV).
+	Protocol Protocol
+	// SimTime is the simulated duration (default 100 s, Table I).
+	SimTime sim.Time
+	// RangeMeters is the radio decode range (default 250, Table I).
+	RangeMeters float64
+	// DataRateBPS is the 802.11 data rate (default 2 Mb/s, Table I).
+	DataRateBPS float64
+	// Seed drives every RNG stream of the scenario.
+	Seed int64
+	// Flows is the CBR workload; the default is Table I's nodes 1–8 → 0.
+	Flows []Flow
+
+	// ---- Ablations (shared with the core adapter) ----
+
+	OLSRETX                bool
+	AODVNoExpandingRing    bool
+	DYMONoPathAccumulation bool
+	NoCapture              bool
+	RTSThreshold           int
+
+	// Expect declares the scenario's metric floors.
+	Expect Expect
+}
+
+// TotalVehicles reports the vehicle count across lanes (after normalize).
+func (s *Spec) TotalVehicles() int {
+	n := 0
+	for _, v := range s.LaneVehicles {
+		n += v
+	}
+	return n
+}
+
+func (s *Spec) normalize() error {
+	if s.Lanes == 0 {
+		s.Lanes = 1
+	}
+	if s.Lanes < 0 {
+		return fmt.Errorf("scenario %s: negative lane count %d", s.Name, s.Lanes)
+	}
+	switch len(s.LaneVehicles) {
+	case 0:
+		s.LaneVehicles = []int{30}
+	case 1:
+	default:
+		if len(s.LaneVehicles) != s.Lanes {
+			return fmt.Errorf("scenario %s: %d lane vehicle counts for %d lanes", s.Name, len(s.LaneVehicles), s.Lanes)
+		}
+	}
+	if len(s.LaneVehicles) == 1 && s.Lanes > 1 {
+		v := s.LaneVehicles[0]
+		s.LaneVehicles = make([]int, s.Lanes)
+		for i := range s.LaneVehicles {
+			s.LaneVehicles[i] = v
+		}
+	}
+	for i, v := range s.LaneVehicles {
+		if v <= 0 {
+			return fmt.Errorf("scenario %s: lane %d has %d vehicles", s.Name, i, v)
+		}
+	}
+	if s.CircuitMeters == 0 {
+		s.CircuitMeters = 3000
+	}
+	if s.CircuitMeters < ca.CellLength {
+		return fmt.Errorf("scenario %s: circuit %v m shorter than one cell", s.Name, s.CircuitMeters)
+	}
+	if s.SlowdownP == 0 {
+		s.SlowdownP = 0.3
+	}
+	if s.SlowdownP < 0 || s.SlowdownP > 1 {
+		return fmt.Errorf("scenario %s: slowdown probability %v outside [0,1]", s.Name, s.SlowdownP)
+	}
+	if s.CAWarmup == 0 {
+		s.CAWarmup = 300
+	}
+	if s.LaneSpacingM == 0 {
+		s.LaneSpacingM = 4
+	}
+	if s.LaneChangeP < 0 || s.LaneChangeP > 1 {
+		return fmt.Errorf("scenario %s: lane-change probability %v outside [0,1]", s.Name, s.LaneChangeP)
+	}
+	if s.LaneChangeP > 0 && s.Bidirectional {
+		return fmt.Errorf("scenario %s: lane changes across opposing lanes are not modeled", s.Name)
+	}
+	if s.LaneChangeP > 0 && s.Lanes < 2 {
+		return fmt.Errorf("scenario %s: lane changes need >= 2 lanes", s.Name)
+	}
+	if s.Bidirectional && s.Lanes < 2 {
+		return fmt.Errorf("scenario %s: bidirectional traffic needs >= 2 lanes", s.Name)
+	}
+	cells := int(math.Round(s.CircuitMeters / ca.CellLength))
+	for i, sig := range s.Signals {
+		if sig.Lane < 0 || sig.Lane >= s.Lanes {
+			return fmt.Errorf("scenario %s: signal %d on lane %d of %d", s.Name, i, sig.Lane, s.Lanes)
+		}
+		site := int(math.Round(sig.PositionMeters / ca.CellLength))
+		if site < 0 || site >= cells {
+			return fmt.Errorf("scenario %s: signal %d at %v m outside the lane", s.Name, i, sig.PositionMeters)
+		}
+	}
+	if s.RampSeconds < 0 {
+		return fmt.Errorf("scenario %s: negative ramp %v", s.Name, s.RampSeconds)
+	}
+	if s.Nodes == 0 {
+		s.Nodes = s.TotalVehicles()
+	}
+	if s.Nodes < 0 || s.Nodes > s.TotalVehicles() {
+		return fmt.Errorf("scenario %s: %d stations for %d vehicles", s.Name, s.Nodes, s.TotalVehicles())
+	}
+	switch s.Protocol {
+	case AODV, OLSR, DYMO:
+	case "":
+		s.Protocol = AODV
+	default:
+		return fmt.Errorf("scenario %s: unknown protocol %q", s.Name, s.Protocol)
+	}
+	if s.SimTime == 0 {
+		s.SimTime = 100 * sim.Second
+	}
+	if s.SimTime < 0 {
+		return fmt.Errorf("scenario %s: negative sim time %v", s.Name, s.SimTime)
+	}
+	// A ramp longer than the horizon would strand the tail of the fleet in
+	// the staging area for the whole run — silently turning a density ramp
+	// into a smaller static network (e.g. a rushhour run shortened with
+	// -time). Clamp so activation always completes with the second half of
+	// the run at full density.
+	if half := s.SimTime.Seconds() / 2; s.RampSeconds > half {
+		s.RampSeconds = half
+	}
+	if s.RangeMeters == 0 {
+		s.RangeMeters = 250
+	}
+	if s.DataRateBPS == 0 {
+		s.DataRateBPS = 2e6
+	}
+	// nil means "default workload" (Table I's 1–8 → 0); an explicitly
+	// empty, non-nil slice is a traffic-free scenario — legitimate for
+	// control-overhead-only measurements.
+	if s.Flows == nil {
+		s.Flows = make([]Flow, 0, 8)
+		for i := 1; i <= 8 && i < s.Nodes; i++ {
+			s.Flows = append(s.Flows, Flow{Src: i, Dst: 0})
+		}
+	}
+	for i := range s.Flows {
+		f := &s.Flows[i]
+		if f.Src < 0 || f.Src >= s.Nodes || f.Dst < 0 || f.Dst >= s.Nodes {
+			return fmt.Errorf("scenario %s: flow %d endpoints %d->%d outside [0,%d)", s.Name, i, f.Src, f.Dst, s.Nodes)
+		}
+		if f.Src == f.Dst {
+			return fmt.Errorf("scenario %s: flow %d sends to itself", s.Name, i)
+		}
+		if f.Rate == 0 {
+			f.Rate = 5
+		}
+		if f.Rate < 0 {
+			return fmt.Errorf("scenario %s: flow %d rate %v", s.Name, i, f.Rate)
+		}
+		if f.PacketBytes == 0 {
+			f.PacketBytes = 512
+		}
+		if f.Start == 0 {
+			f.Start = s.SimTime / 10
+		}
+		if f.Stop == 0 {
+			f.Stop = s.SimTime - s.SimTime/10
+		}
+		if f.Stop < f.Start {
+			return fmt.Errorf("scenario %s: flow %d window [%v,%v] inverted", s.Name, i, f.Start, f.Stop)
+		}
+	}
+	return nil
+}
+
+// Validate normalizes a copy of the spec and reports whether it is
+// runnable.
+func (s Spec) Validate() error {
+	s = s.clone()
+	return s.normalize()
+}
+
+// Normalized returns a copy of the spec with every default applied.
+func (s Spec) Normalized() (Spec, error) {
+	s = s.clone()
+	err := s.normalize()
+	return s, err
+}
+
+// clone deep-copies the spec's slices so mutating one copy (normalize
+// defaults, Shrunk rewrites) can never alias another — in particular the
+// registered catalogue entries. Flows preserves nil-ness: nil means
+// "default workload" while an empty non-nil slice means "no traffic", and
+// collapsing the latter to nil would resurrect the default.
+func (s Spec) clone() Spec {
+	s.LaneVehicles = append([]int(nil), s.LaneVehicles...)
+	s.Signals = append([]SignalSpec(nil), s.Signals...)
+	if s.Flows != nil {
+		s.Flows = append(make([]Flow, 0, len(s.Flows)), s.Flows...)
+	}
+	return s
+}
+
+// Shrunk returns a copy scaled down for fast property tests: simulation
+// time is cut to 20 s, flow windows to [2 s, 18 s], the CA warmup to 100
+// steps and any activation ramp to the first half of the run. Densities,
+// lane structure and flow endpoints — the scenario's identity — are
+// untouched.
+func (s Spec) Shrunk() Spec {
+	s = s.clone()
+	if err := s.normalize(); err != nil {
+		return s
+	}
+	if s.SimTime > 20*sim.Second {
+		s.SimTime = 20 * sim.Second
+	}
+	for i := range s.Flows {
+		s.Flows[i].Start = 2 * sim.Second
+		s.Flows[i].Stop = s.SimTime - 2*sim.Second
+	}
+	if s.CAWarmup > 100 {
+		s.CAWarmup = 100
+	}
+	if half := s.SimTime.Seconds() / 2; s.RampSeconds > half {
+		s.RampSeconds = half
+	}
+	return s
+}
+
+// activationSteps reports, for a ramp scenario, the trace sample index at
+// which each node joins the road (0 for always-active nodes); nil without
+// a ramp.
+func (s *Spec) activationSteps() []int {
+	if s.RampSeconds <= 0 || s.Nodes < 2 {
+		return nil
+	}
+	steps := make([]int, s.Nodes)
+	for i := range steps {
+		at := s.RampSeconds * float64(i) / float64(s.Nodes-1)
+		steps[i] = int(math.Ceil(at))
+	}
+	return steps
+}
+
+// vmax reports the speed limit in sites per step (the CA default; specs
+// currently do not override it).
+func (s *Spec) vmax() int { return ca.DefaultVMax }
+
+// MaxSampleStepMeters bounds how far any vehicle can move between two
+// trace samples: the CA speed limit plus one lane-change sideways hop,
+// with a meter of slack for ring-chord rounding.
+func (s *Spec) MaxSampleStepMeters() float64 {
+	return float64(s.vmax())*ca.CellLength + s.LaneSpacingM + 1
+}

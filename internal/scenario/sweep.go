@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"fmt"
+
+	"cavenet/internal/exp"
+	"cavenet/internal/rng"
+	"cavenet/internal/stats"
+)
+
+// SweepConfig spans a scenario × protocol × seed grid — the registry
+// generalization of the core package's density sweep: the axis is the
+// whole catalogue, not just the vehicle count.
+type SweepConfig struct {
+	// Scenarios names the registered scenarios to run; default: the whole
+	// catalogue in sorted order.
+	Scenarios []string
+	// Protocols lists the routing protocols; default all three.
+	Protocols []Protocol
+	// Trials is the number of seeded replications per cell (default 1);
+	// trial t of scenario cell i runs with seed root.Fork(i).Fork(t).
+	Trials int
+	// Seed is the root seed of the grid.
+	Seed int64
+	// Workers bounds the worker pool; <= 0 uses every core. Output is
+	// bit-identical for any worker count.
+	Workers int
+	// Shrunk runs the test-sized spec variants (see Spec.Shrunk).
+	Shrunk bool
+	// Checked wraps every run in the invariant harness and reports the
+	// violation count per cell.
+	Checked bool
+}
+
+// SweepRow aggregates the trials of one (scenario, protocol) cell.
+type SweepRow struct {
+	Scenario string   `json:"scenario"`
+	Protocol Protocol `json:"protocol"`
+	Trials   int      `json:"trials"`
+	// PDR, DelaySec and ControlPackets are mean ± spread across trials.
+	PDR            stats.Estimate `json:"pdr"`
+	DelaySec       stats.Estimate `json:"delaySec"`
+	ControlPackets stats.Estimate `json:"controlPackets"`
+	// Delivered totals delivered packets across trials.
+	Delivered uint64 `json:"delivered"`
+	// Violations totals invariant violations across trials (Checked only).
+	Violations int `json:"violations"`
+}
+
+// sweepTrial is the scalarized outcome of one (scenario, protocol, trial)
+// run.
+type sweepTrial struct {
+	pdr, delay, ctrl float64
+	delivered        uint64
+	violations       int
+}
+
+// Sweep executes the grid on the deterministic parallel engine. The unit
+// of work is one (scenario, trial) pair: the job builds the scenario's
+// mobility trace once and evaluates every protocol on it (the paper's
+// "same mobility pattern" methodology), deriving all randomness from the
+// pair's index — so the output is bit-identical for every worker count.
+func Sweep(cfg SweepConfig) ([]SweepRow, error) {
+	if len(cfg.Scenarios) == 0 {
+		cfg.Scenarios = Names()
+	}
+	if len(cfg.Protocols) == 0 {
+		cfg.Protocols = AllProtocols()
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 1
+	}
+	if cfg.Trials < 0 {
+		return nil, fmt.Errorf("scenario: negative trial count %d", cfg.Trials)
+	}
+	specs := make([]Spec, len(cfg.Scenarios))
+	for i, name := range cfg.Scenarios {
+		s, ok := Get(name)
+		if !ok {
+			return nil, fmt.Errorf("scenario: unknown scenario %q", name)
+		}
+		if cfg.Shrunk {
+			s = s.Shrunk()
+		}
+		specs[i] = s
+	}
+	src := rng.NewSource(cfg.Seed)
+	nt, np := cfg.Trials, len(cfg.Protocols)
+	rows, err := exp.Map(exp.Runner{Workers: cfg.Workers}, len(specs)*nt, func(j int) ([]sweepTrial, error) {
+		si, trial := j/nt, j%nt
+		base := specs[si].clone()
+		base.Seed = src.Fork(si).Fork(trial).Seed()
+		if err := base.normalize(); err != nil {
+			return nil, err
+		}
+		trace, err := buildTrace(&base, nil)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: sweep trace (%s trial %d): %w", base.Name, trial, err)
+		}
+		out := make([]sweepTrial, np)
+		for pi, p := range cfg.Protocols {
+			run := base.clone()
+			run.Protocol = p
+			var res *Result
+			var violations int
+			if cfg.Checked {
+				r, report, err := RunCheckedOnTrace(run, trace)
+				if err != nil {
+					return nil, fmt.Errorf("scenario: sweep %s/%s trial %d: %w", base.Name, p, trial, err)
+				}
+				res, violations = r, report.Total()
+			} else {
+				r, err := RunOnTrace(run, trace)
+				if err != nil {
+					return nil, fmt.Errorf("scenario: sweep %s/%s trial %d: %w", base.Name, p, trial, err)
+				}
+				res = r
+			}
+			var delaySum float64
+			for _, snd := range res.Senders {
+				delaySum += res.MeanDelaySec[snd]
+			}
+			if len(res.Senders) > 0 {
+				delaySum /= float64(len(res.Senders))
+			}
+			out[pi] = sweepTrial{
+				pdr:        res.TotalPDR(),
+				delay:      delaySum,
+				ctrl:       float64(res.ControlPackets),
+				delivered:  res.TotalDelivered(),
+				violations: violations,
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]SweepRow, 0, len(specs)*np)
+	samples := make([]float64, nt)
+	for si, name := range cfg.Scenarios {
+		for pi, p := range cfg.Protocols {
+			row := SweepRow{Scenario: name, Protocol: p, Trials: nt}
+			pick := func(f func(sweepTrial) float64) stats.Estimate {
+				for t := 0; t < nt; t++ {
+					samples[t] = f(rows[si*nt+t][pi])
+				}
+				return stats.EstimateOf(samples)
+			}
+			row.PDR = pick(func(r sweepTrial) float64 { return r.pdr })
+			row.DelaySec = pick(func(r sweepTrial) float64 { return r.delay })
+			row.ControlPackets = pick(func(r sweepTrial) float64 { return r.ctrl })
+			for t := 0; t < nt; t++ {
+				row.Delivered += rows[si*nt+t][pi].delivered
+				row.Violations += rows[si*nt+t][pi].violations
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}

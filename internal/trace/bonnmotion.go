@@ -102,6 +102,14 @@ func ParseBonnMotion(r io.Reader, interval float64) (*mobility.SampledTrace, err
 		return nil, fmt.Errorf("trace: empty BonnMotion file")
 	}
 	samples := mobility.SampleCount(maxT, interval)
+	// The sample count is input-controlled (the last waypoint time): a
+	// single line "1e18 0 0" must not allocate petabytes. Bound the
+	// materialized trace; legitimate traces stay far below this.
+	const maxCells = 1 << 22
+	if samples <= 0 || samples > maxCells/len(nodes) {
+		return nil, fmt.Errorf("trace: %d nodes x %d samples exceeds the re-sampling limit (shorten the trace or widen the interval)",
+			len(nodes), samples)
+	}
 	out := &mobility.SampledTrace{
 		Interval:  interval,
 		Positions: make([][]geometry.Vec2, len(nodes)),

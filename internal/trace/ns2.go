@@ -152,15 +152,25 @@ func Write(w io.Writer, s *Script) error {
 	return bw.Flush()
 }
 
+// MaxNodes bounds how many node slots a parsed scenario may address. Node
+// IDs index into a dense slice, so without the bound a single crafted line
+// ($node_(999999999) ...) would allocate gigabytes — a robustness hole the
+// fuzz targets exercise. Real scenario files use small dense IDs.
+const MaxNodes = 1 << 20
+
 // Parse reads an ns-2 mobility scenario back into a Script. Unknown lines
 // are ignored (real scenario files mix mobility with other OTcl commands);
 // malformed mobility lines are errors.
 func Parse(r io.Reader) (*Script, error) {
 	s := &Script{}
-	ensure := func(id int) {
+	ensure := func(id int) error {
+		if id >= MaxNodes {
+			return fmt.Errorf("node id %d exceeds the %d-node limit", id, MaxNodes)
+		}
 		for len(s.Nodes) <= id {
 			s.Nodes = append(s.Nodes, NodeScript{})
 		}
+		return nil
 	}
 	sc := bufio.NewScanner(r)
 	lineNo := 0
@@ -181,7 +191,9 @@ func Parse(r io.Reader) (*Script, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trace: line %d: bad coordinate: %w", lineNo, err)
 			}
-			ensure(id)
+			if err := ensure(id); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
 			switch fields[1] {
 			case "X_":
 				s.Nodes[id].Initial.X = val
@@ -198,7 +210,9 @@ func Parse(r io.Reader) (*Script, error) {
 				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
 			}
 			if cmd != nil {
-				ensure(cmd.node)
+				if err := ensure(cmd.node); err != nil {
+					return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+				}
 				s.Nodes[cmd.node].Cmds = append(s.Nodes[cmd.node].Cmds, cmd.sd)
 			}
 		default:

@@ -1,0 +1,63 @@
+package cavenet
+
+import (
+	"cavenet/internal/mobility"
+	"cavenet/internal/scenario"
+	"cavenet/internal/scenario/check"
+)
+
+// This file exposes the scenario registry: the catalogue of first-class
+// workloads (multi-lane highways, signalized corridors, rush-hour ramps,
+// sparse partitioned networks, ...) that replaces hand-rolled experiment
+// mains. Every registered scenario is runnable here and from the
+// `cavenet scenario` CLI, sweepable over protocols × seeds, and checkable
+// under the cross-protocol invariant harness.
+
+// ScenarioSpec is the declarative workload description: road generator,
+// traffic flows, protocol and metric expectations in one plain struct.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioFlow is one CBR flow of a scenario workload.
+type ScenarioFlow = scenario.Flow
+
+// ScenarioResult carries a scenario run's metrics.
+type ScenarioResult = scenario.Result
+
+// InvariantReport lists the invariant violations of a checked run.
+type InvariantReport = check.Report
+
+// ScenarioNames lists the registered workload catalogue in sorted order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName returns a copy of the named registered scenario.
+func ScenarioByName(name string) (ScenarioSpec, bool) { return scenario.Get(name) }
+
+// RegisterScenario adds a workload to the registry.
+func RegisterScenario(s ScenarioSpec) error { return scenario.Register(s) }
+
+// RunScenarioSpec generates the scenario's mobility and executes it.
+func RunScenarioSpec(s ScenarioSpec) (*ScenarioResult, error) { return scenario.Run(s) }
+
+// ScenarioTrace generates only the scenario's mobility trace (lanes,
+// signals, lane changes, activation ramps) without running the network.
+func ScenarioTrace(s ScenarioSpec) (*mobility.SampledTrace, error) { return scenario.BuildTrace(s) }
+
+// RunScenarioChecked runs the scenario under the invariant harness:
+// packet conservation, TTL discipline, routing-loop freedom, CA sanity
+// and the spec's metric expectations.
+func RunScenarioChecked(s ScenarioSpec) (*ScenarioResult, *InvariantReport, error) {
+	return scenario.RunChecked(s)
+}
+
+// ScenarioSweep runs a scenario × protocol × seed grid on the
+// deterministic parallel engine; the output is bit-identical for any
+// worker count.
+func ScenarioSweep(cfg scenario.SweepConfig) ([]scenario.SweepRow, error) {
+	return scenario.Sweep(cfg)
+}
+
+// ScenarioSweepConfig spans a scenario × protocol × seed grid.
+type ScenarioSweepConfig = scenario.SweepConfig
+
+// ScenarioSweepRow is one aggregated (scenario, protocol) cell.
+type ScenarioSweepRow = scenario.SweepRow
