@@ -3,13 +3,20 @@
 
 GO ?= go
 
-.PHONY: build vet test race sweep-smoke scenario-smoke fuzz-smoke bench-smoke bench-routing-smoke bench-routing bench ci
+.PHONY: build vet fmt-check test race sweep-smoke scenario-smoke fuzz-smoke bench-smoke bench-routing-smoke bench-mobility-smoke bench-routing bench ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# gofmt cleanliness: fail (and name the files) if anything is not
+# canonically formatted. gofmt -l prints nothing on a clean tree.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -52,6 +59,12 @@ bench-smoke:
 bench-routing-smoke:
 	$(GO) test ./internal/routing/olsr/ -bench OLSRControlPlane -benchtime=1x -benchmem -run XXX
 
+# One iteration of the N=1k mobility benches: catches the streaming path
+# silently re-materializing (its B/op is the whole point — see the
+# "Streaming mobility" section of PERF.md).
+bench-mobility-smoke:
+	$(GO) test ./internal/mobility/ -bench 'MobilityRecordRoadN1k|MobilityStreamRoadN1k' -benchtime=1x -benchmem -run XXX
+
 # Full routing control-plane table (dense vs oracle at N=100/1k plus the
 # steady-state purge); see the "Routing control plane" section of PERF.md.
 bench-routing:
@@ -64,4 +77,4 @@ bench:
 	$(GO) test ./internal/netsim/ -bench 'Connectivity|Components' -benchmem -benchtime=20x -run XXX
 	$(GO) test ./internal/sim/ -bench . -benchmem -run XXX
 
-ci: build vet test bench-smoke bench-routing-smoke sweep-smoke scenario-smoke fuzz-smoke
+ci: build vet fmt-check test bench-smoke bench-routing-smoke bench-mobility-smoke sweep-smoke scenario-smoke fuzz-smoke

@@ -23,6 +23,7 @@
 package cavenet
 
 import (
+	"fmt"
 	"io"
 
 	"cavenet/internal/core"
@@ -52,10 +53,22 @@ type Result = core.ScenarioResult
 // Run executes one protocol scenario.
 func Run(s Scenario) (*Result, error) { return core.RunScenario(s) }
 
+// MobilitySource is the streaming mobility substrate: a forward-only
+// cursor over node positions with O(nodes) retained state. A recorded
+// *mobility.SampledTrace satisfies it, as do the live CA road, ns-2 and
+// BonnMotion playback sources.
+type MobilitySource = mobility.Source
+
 // RunOnTrace executes a scenario over a caller-supplied mobility trace,
 // e.g. one parsed from an ns-2 scenario file.
 func RunOnTrace(s Scenario, t *mobility.SampledTrace) (*Result, error) {
 	return core.RunScenarioOnTrace(s, t)
+}
+
+// RunOnSource executes a scenario over any mobility source — streaming
+// (O(nodes) memory, closed-loop capable) or materialized.
+func RunOnSource(s Scenario, src MobilitySource) (*Result, error) {
+	return core.RunScenarioOnSource(s, src)
 }
 
 // Compare runs the same scenario (and the same mobility trace) once per
@@ -97,9 +110,31 @@ func ExportNS2(w io.Writer, t *mobility.SampledTrace) error {
 // interval and duration (seconds) control the re-sampling of the setdest
 // playback.
 func ImportNS2(r io.Reader, interval, duration float64) (*mobility.SampledTrace, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("cavenet: non-positive sample interval %v", interval)
+	}
 	script, err := trace.Parse(r)
 	if err != nil {
 		return nil, err
 	}
-	return script.Sample(interval, duration), nil
+	if len(script.Nodes) == 0 {
+		return script.Sample(interval, duration), nil
+	}
+	src, err := script.Source(interval, duration)
+	if err != nil {
+		return nil, err
+	}
+	return mobility.Record(src), nil
+}
+
+// ImportNS2Source parses an ns-2 scenario file into a streaming mobility
+// source: the setdest playback advances live as the simulation pulls
+// positions, retaining O(nodes) state instead of the full re-sampled
+// matrix. Bit-identical to running on the ImportNS2 trace.
+func ImportNS2Source(r io.Reader, interval, duration float64) (MobilitySource, error) {
+	script, err := trace.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return script.Source(interval, duration)
 }

@@ -53,7 +53,10 @@ func scenarioRun(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
 	protocol := fs.String("protocol", "", "override the spec's routing protocol (aodv, olsr, dymo)")
 	seed := fs.Int64("seed", 0, "override the spec's seed")
-	simTime := fs.Float64("time", 0, "override the simulated seconds")
+	var simTime float64
+	fs.Float64Var(&simTime, "time", 0, "override the simulated seconds")
+	fs.Float64Var(&simTime, "duration", 0, "alias for -time")
+	nodes := fs.Int("nodes", 0, "rescale the fleet to this many vehicles at the spec's density (circuit and signals scale along) for quick scale experiments")
 	checked := fs.Bool("check", true, "run under the invariant harness")
 	format := fs.String("format", "text", "text or json")
 	// Accept the name before or after the flags.
@@ -83,8 +86,15 @@ func scenarioRun(w io.Writer, args []string) error {
 	if *seed != 0 {
 		spec.Seed = *seed
 	}
-	if *simTime > 0 {
-		spec.SimTime = sim.Seconds(*simTime)
+	if *nodes > 0 {
+		scaled, err := spec.WithVehicles(*nodes)
+		if err != nil {
+			return err
+		}
+		spec = scaled
+	}
+	if simTime > 0 {
+		spec.SimTime = sim.Seconds(simTime)
 		for i := range spec.Flows {
 			spec.Flows[i].Start = 0 // re-derive the window from the new horizon
 			spec.Flows[i].Stop = 0
@@ -160,7 +170,14 @@ func scenarioCheck(w io.Writer, args []string) error {
 	}
 	names = append(names, fs.Args()...)
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
-		names = scenario.Names()
+		// Heavy scale workloads (metro) are checked only when named
+		// explicitly; "all" means the exhaustive-suite catalogue.
+		names = names[:0]
+		for _, n := range scenario.Names() {
+			if s, ok := scenario.Get(n); ok && !s.Heavy {
+				names = append(names, n)
+			}
+		}
 	}
 	protoList, err := parseProtocolList(*protocols)
 	if err != nil {

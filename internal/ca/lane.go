@@ -409,10 +409,17 @@ func (l *Lane) restoreOrder() {
 	if pivot < 0 {
 		return
 	}
-	rotated := make([]Vehicle, 0, n)
-	rotated = append(rotated, l.vehicles[pivot:]...)
-	rotated = append(rotated, l.vehicles[:pivot]...)
-	copy(l.vehicles, rotated)
+	// Rotate left by pivot in place (three reversals): wraps happen nearly
+	// every step on a busy lane, so this must not allocate.
+	reverseVehicles(l.vehicles[:pivot])
+	reverseVehicles(l.vehicles[pivot:])
+	reverseVehicles(l.vehicles)
+}
+
+func reverseVehicles(v []Vehicle) {
+	for i, j := 0, len(v)-1; i < j; i, j = i+1, j-1 {
+		v[i], v[j] = v[j], v[i]
+	}
 }
 
 // MeanVelocity reports v̄(t) = N⁻¹ Σ v_i in sites per step; zero when the

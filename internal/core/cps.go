@@ -266,14 +266,25 @@ func (c *ScenarioConfig) spec() scenario.Spec {
 
 // RunScenarioOnTrace runs the protocol evaluation on a caller-provided
 // mobility trace (e.g. one parsed from an ns-2 scenario file, preserving
-// the paper's BA/CPS separation). World assembly is delegated to the
+// the paper's BA/CPS separation) — RunScenarioOnSource specialized to
+// the materialized oracle. A nil trace means no mobility (a typed nil
+// must not masquerade as a live Source).
+func RunScenarioOnTrace(cfg ScenarioConfig, trace *mobility.SampledTrace) (*ScenarioResult, error) {
+	if trace == nil {
+		return RunScenarioOnSource(cfg, nil)
+	}
+	return RunScenarioOnSource(cfg, trace)
+}
+
+// RunScenarioOnSource runs the protocol evaluation over any mobility
+// source, streaming or materialized. World assembly is delegated to the
 // scenario substrate — this adapter only translates the Table I
 // configuration shape.
-func RunScenarioOnTrace(cfg ScenarioConfig, trace *mobility.SampledTrace) (*ScenarioResult, error) {
+func RunScenarioOnSource(cfg ScenarioConfig, src mobility.Source) (*ScenarioResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	sres, err := scenario.RunOnTrace(cfg.spec(), trace)
+	sres, err := scenario.RunOnSource(cfg.spec(), src)
 	if err != nil {
 		return nil, err
 	}

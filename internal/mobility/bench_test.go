@@ -1,0 +1,77 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+
+	"cavenet/internal/ca"
+	"cavenet/internal/geometry"
+)
+
+// The mobility substrate benchmarks behind PERF.md's "Streaming mobility"
+// table: materializing a road trace (O(nodes × samples) bytes) versus
+// driving the streaming source across the same horizon (O(nodes) bytes).
+// Run with -benchmem; the B/op column is the point.
+
+func benchRoad(b *testing.B, vehicles int) *ca.Road {
+	b.Helper()
+	road, err := ca.NewRoad([]ca.LaneSpec{{
+		Config: ca.Config{Length: vehicles * 4, Vehicles: vehicles, SlowdownP: 0.3, Boundary: ca.RingBoundary},
+		Placement: geometry.Ring{
+			Center:        geometry.Vec2{X: 1000, Y: 1000},
+			Circumference: float64(vehicles*4) * ca.CellLength,
+		},
+	}}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return road
+}
+
+const benchSteps = 300
+
+// Both benchmarks cover the same end-to-end job — supply every node
+// position for a benchSteps-second run at the world's 100 ms tick grid —
+// so ns/op is comparable; the recorded path splits it into materializing
+// the trace and then querying it, the streamed path fuses the two.
+func benchmarkRecordRoad(b *testing.B, vehicles int) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		road := benchRoad(b, vehicles)
+		b.StartTimer()
+		trace := RecordRoad(road, benchSteps)
+		if trace.NumSamples() != benchSteps+1 {
+			b.Fatal("short trace")
+		}
+		for tick := 0; tick <= benchSteps*10; tick++ {
+			tsec := float64(tick) * 0.1
+			for n := 0; n < trace.NumNodes(); n++ {
+				trace.At(n, tsec)
+			}
+		}
+	}
+}
+
+func benchmarkStreamRoad(b *testing.B, vehicles int) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		road := benchRoad(b, vehicles)
+		b.StartTimer()
+		src, err := NewRoadSource(RoadSourceConfig{Road: road, Steps: benchSteps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Drive the full horizon at the world's 100 ms tick granularity.
+		for tick := 0; tick <= benchSteps*10; tick++ {
+			tsec := float64(tick) * 0.1
+			for n := 0; n < src.NumNodes(); n++ {
+				src.At(n, tsec)
+			}
+		}
+	}
+}
+
+func BenchmarkMobilityRecordRoadN1k(b *testing.B)  { benchmarkRecordRoad(b, 1000) }
+func BenchmarkMobilityStreamRoadN1k(b *testing.B)  { benchmarkStreamRoad(b, 1000) }
+func BenchmarkMobilityRecordRoadN10k(b *testing.B) { benchmarkRecordRoad(b, 10000) }
+func BenchmarkMobilityStreamRoadN10k(b *testing.B) { benchmarkStreamRoad(b, 10000) }

@@ -2,12 +2,16 @@ package mobility
 
 import (
 	"cavenet/internal/ca"
-	"cavenet/internal/geometry"
 )
 
 // RecordRoad advances the road by steps CA steps and records the absolute
 // plane position of every vehicle after each step (plus the initial state),
 // producing a SampledTrace at the CA step interval.
+//
+// Recording is the materialized view of the streaming substrate: it is
+// Record over NewRoadSource, which makes it the differential oracle for
+// the streamed path — both share one fill loop, so a streamed run and a
+// recorded-trace run are bit-identical by construction.
 func RecordRoad(road *ca.Road, steps int) *SampledTrace {
 	return RecordRoadFunc(road, steps, nil)
 }
@@ -17,29 +21,20 @@ func RecordRoad(road *ca.Road, steps int) *SampledTrace {
 // the hook the invariant harness uses to validate the CA dynamics while
 // the trace is produced. A nil observer degrades to RecordRoad.
 func RecordRoadFunc(road *ca.Road, steps int, after func()) *SampledTrace {
-	n := road.TotalVehicles()
-	trace := &SampledTrace{
-		Interval:  ca.StepSeconds,
-		Positions: make([][]geometry.Vec2, n),
+	if steps < 0 {
+		steps = 0 // degenerate input: record the initial state only
 	}
-	for i := range trace.Positions {
-		trace.Positions[i] = make([]geometry.Vec2, 0, steps+1)
+	if road.TotalVehicles() == 0 {
+		// A vehicle-free road streams nothing; step it for the observer's
+		// benefit and return the empty trace the recorder always produced.
+		WarmupRoadFunc(road, steps, after)
+		return &SampledTrace{Interval: ca.StepSeconds}
 	}
-	record := func() {
-		positions := road.Positions(nil)
-		for i, p := range positions {
-			trace.Positions[i] = append(trace.Positions[i], p)
-		}
+	src, err := NewRoadSource(RoadSourceConfig{Road: road, Steps: steps, AfterStep: after})
+	if err != nil {
+		panic(err) // unreachable: the road has vehicles and steps >= 0
 	}
-	record()
-	for s := 0; s < steps; s++ {
-		road.Step()
-		if after != nil {
-			after()
-		}
-		record()
-	}
-	return trace
+	return Record(src)
 }
 
 // WarmupRoad advances the road without recording, letting the traffic reach

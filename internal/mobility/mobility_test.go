@@ -194,11 +194,11 @@ func TestSampleCountFloatTruncation(t *testing.T) {
 		duration, interval float64
 		want               int
 	}{
-		{0.3, 0.1, 4},    // 0.3/0.1 = 2.999…96: truncation dropped a sample
-		{10, 0.5, 21},    // 10/0.5 = 20.000…04: must not gain one either
-		{10, 1, 11},      // exact division
-		{10.4, 1, 11},    // genuine remainder still floors
-		{0, 1, 1},        // a zero-length trace is the initial sample
+		{0.3, 0.1, 4},      // 0.3/0.1 = 2.999…96: truncation dropped a sample
+		{10, 0.5, 21},      // 10/0.5 = 20.000…04: must not gain one either
+		{10, 1, 11},        // exact division
+		{10.4, 1, 11},      // genuine remainder still floors
+		{0, 1, 1},          // a zero-length trace is the initial sample
 		{3600, 0.1, 36001}, // long trace at a fine interval
 	}
 	for _, c := range cases {

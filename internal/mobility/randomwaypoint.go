@@ -42,23 +42,51 @@ func RandomWaypoint(cfg RandomWaypointConfig, duration float64, rnd *rand.Rand) 
 	return randomWaypoint(cfg, duration, rnd, false)
 }
 
+// RandomWaypointSource streams the RW model as a mobility Source with
+// O(nodes) walker state — the streaming counterpart of RandomWaypoint
+// (whose materialized trace it is bit-identical to, both being views of
+// the same walker stepping).
+func RandomWaypointSource(cfg RandomWaypointConfig, duration float64, rnd *rand.Rand) (*Stream, error) {
+	return newRandomWaypoint(cfg, duration, rnd, false, nil)
+}
+
+// RandomWaypointStationarySource is RandomWaypointSource with the
+// stationary-regime initialization of RandomWaypointStationary.
+func RandomWaypointStationarySource(cfg RandomWaypointConfig, duration float64, rnd *rand.Rand) (*Stream, error) {
+	return newRandomWaypoint(cfg, duration, rnd, true, nil)
+}
+
 func randomWaypoint(cfg RandomWaypointConfig, duration float64, rnd *rand.Rand, stationary bool) (*SampledTrace, []float64) {
+	var meanVel []float64
+	src, err := newRandomWaypoint(cfg, duration, rnd, stationary, &meanVel)
+	if err != nil {
+		// Node-free configs produced an empty trace historically; keep that.
+		if cfg.Interval <= 0 {
+			cfg.Interval = 1
+		}
+		return &SampledTrace{Interval: cfg.Interval}, make([]float64, SampleCount(duration, cfg.Interval))
+	}
+	trace := Record(src)
+	return trace, meanVel
+}
+
+type rwWalker struct {
+	pos   geometry.Vec2
+	dest  geometry.Vec2
+	speed float64
+	pause float64 // remaining pause time
+}
+
+// newRandomWaypoint builds the streaming RW source. A non-nil meanVel
+// accumulates the instantaneous mean velocity, one entry per produced
+// sample (complete once every sample has been pulled, e.g. by Record);
+// nil keeps the stream's retained state strictly O(nodes) — the analysis
+// series is a materializing-path artifact.
+func newRandomWaypoint(cfg RandomWaypointConfig, duration float64, rnd *rand.Rand, stationary bool, meanVel *[]float64) (*Stream, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 1
 	}
 	samples := SampleCount(duration, cfg.Interval)
-	trace := &SampledTrace{
-		Interval:  cfg.Interval,
-		Positions: make([][]geometry.Vec2, cfg.Nodes),
-	}
-	meanVel := make([]float64, samples)
-
-	type walker struct {
-		pos   geometry.Vec2
-		dest  geometry.Vec2
-		speed float64
-		pause float64 // remaining pause time
-	}
 	randPoint := func() geometry.Vec2 {
 		return geometry.Vec2{X: rnd.Float64() * cfg.AreaX, Y: rnd.Float64() * cfg.AreaY}
 	}
@@ -73,9 +101,9 @@ func randomWaypoint(cfg RandomWaypointConfig, duration float64, rnd *rand.Rand, 
 		u := rnd.Float64()
 		return cfg.VMin * math.Pow(cfg.VMax/cfg.VMin, u)
 	}
-	walkers := make([]walker, cfg.Nodes)
+	walkers := make([]rwWalker, cfg.Nodes)
 	for i := range walkers {
-		w := walker{pos: randPoint(), dest: randPoint(), speed: randSpeed()}
+		w := rwWalker{pos: randPoint(), dest: randPoint(), speed: randSpeed()}
 		if stationary {
 			// Start mid-trip with a stationary speed and a uniform fraction
 			// of the trip already covered.
@@ -85,15 +113,11 @@ func randomWaypoint(cfg RandomWaypointConfig, duration float64, rnd *rand.Rand, 
 		}
 		walkers[i] = w
 	}
-	for i := range trace.Positions {
-		trace.Positions[i] = make([]geometry.Vec2, 0, samples)
-	}
-
-	for s := 0; s < samples; s++ {
+	fill := func(k int, row []geometry.Vec2) {
 		vsum := 0.0
 		for i := range walkers {
 			w := &walkers[i]
-			trace.Positions[i] = append(trace.Positions[i], w.pos)
+			row[i] = w.pos
 			if w.pause <= 0 {
 				vsum += w.speed
 			}
@@ -128,7 +152,14 @@ func randomWaypoint(cfg RandomWaypointConfig, duration float64, rnd *rand.Rand, 
 				}
 			}
 		}
-		meanVel[s] = vsum / float64(cfg.Nodes)
+		if meanVel != nil {
+			*meanVel = append(*meanVel, vsum/float64(cfg.Nodes))
+		}
 	}
-	return trace, meanVel
+	return NewStream(StreamConfig{
+		Nodes:    cfg.Nodes,
+		Interval: cfg.Interval,
+		Samples:  samples,
+		Fill:     fill,
+	})
 }

@@ -1,0 +1,57 @@
+package mobility
+
+import (
+	"cavenet/internal/ca"
+	"cavenet/internal/geometry"
+)
+
+// RoadSourceConfig assembles a streaming cellular-automaton mobility
+// source: the road steps live inside the simulation instead of being
+// pre-recorded into a trace.
+type RoadSourceConfig struct {
+	// Road is the (typically warmed-up) CA road to stream.
+	Road *ca.Road
+	// Steps is how many CA steps the source covers; it serves Steps+1
+	// samples (the initial state plus one per step) at ca.StepSeconds
+	// and clamps beyond them, exactly like RecordRoad's trace.
+	Steps int
+	// AfterStep, when non-nil, runs after every Road.Step and before the
+	// step's positions are read — the hook the invariant harness uses to
+	// validate the CA dynamics while the simulation runs.
+	AfterStep func()
+	// Overlay, when non-nil, rewrites sample row k in place after the
+	// road's positions are read — how activation ramps park staged
+	// vehicles without materializing the trace they would be edited into.
+	Overlay func(k int, row []geometry.Vec2)
+	// OnSample, when non-nil, observes every finished row (post-Overlay);
+	// see StreamConfig.OnSample.
+	OnSample func(k int, row []geometry.Vec2)
+}
+
+// NewRoadSource streams a CA road as a mobility Source with O(nodes)
+// retained state. The produced samples — and therefore any run driven by
+// the source — are bit-identical to RecordRoad over the same road: the
+// fill sequence (read initial positions, then step/observe/read per
+// sample) is the recorder's exact loop, executed lazily.
+func NewRoadSource(cfg RoadSourceConfig) (*Stream, error) {
+	road := cfg.Road
+	fill := func(k int, row []geometry.Vec2) {
+		if k > 0 {
+			road.Step()
+			if cfg.AfterStep != nil {
+				cfg.AfterStep()
+			}
+		}
+		road.Positions(row[:0])
+		if cfg.Overlay != nil {
+			cfg.Overlay(k, row)
+		}
+	}
+	return NewStream(StreamConfig{
+		Nodes:    road.TotalVehicles(),
+		Interval: ca.StepSeconds,
+		Samples:  cfg.Steps + 1,
+		Fill:     fill,
+		OnSample: cfg.OnSample,
+	})
+}

@@ -74,11 +74,31 @@ func (t *SampledTrace) At(node int, tsec float64) geometry.Vec2 {
 		return samples[len(samples)-1]
 	}
 	frac := idx - float64(i)
-	a, b := samples[i], samples[i+1]
-	return geometry.Vec2{
-		X: a.X + (b.X-a.X)*frac,
-		Y: a.Y + (b.Y-a.Y)*frac,
+	return lerpSample(samples[i], samples[i+1], frac)
+}
+
+// SampleInterval implements RowSource.
+func (t *SampledTrace) SampleInterval() float64 { return t.Interval }
+
+// Row implements RowSource: sample k of every node, clamped to the last
+// sample (a materialized trace supports random access, so the
+// forward-only cursor contract is trivially met). A node with no samples
+// contributes the zero position, mirroring At.
+func (t *SampledTrace) Row(k int, dst []geometry.Vec2) []geometry.Vec2 {
+	dst = dst[:0]
+	for n := range t.Positions {
+		samples := t.Positions[n]
+		if len(samples) == 0 {
+			dst = append(dst, geometry.Vec2{})
+			continue
+		}
+		i := k
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		dst = append(dst, samples[i])
 	}
+	return dst
 }
 
 // Speed returns the average speed of node, in m/s, over the sample interval

@@ -1,0 +1,220 @@
+package mobility
+
+import (
+	"fmt"
+
+	"cavenet/internal/geometry"
+)
+
+// Source is the streaming mobility substrate: a forward-only cursor over
+// node positions with O(nodes) retained state. The network simulator
+// drives it directly — one At query per node per mobility tick — so a
+// 10k-vehicle run never materializes the O(nodes × samples) position
+// matrix that a recorded trace needs.
+//
+// Contract: time is a cursor, not random access. Callers must query with
+// non-decreasing tsec across At calls (any node order within one
+// timestep is fine); a Source may advance internal state — e.g. step a
+// cellular automaton — when tsec enters a new sample window, and is not
+// required to answer for times it has advanced past.
+//
+// *SampledTrace satisfies Source trivially (random access is a superset
+// of cursor access), which is what makes the recorded path the
+// differential oracle for every streaming implementation: Record(src)
+// materializes a source, and a run driven by src must be bit-identical
+// to a run driven by the recording.
+type Source interface {
+	// NumNodes reports how many nodes the source drives.
+	NumNodes() int
+	// At returns the position of node at time tsec (seconds), subject to
+	// the forward-only cursor contract above.
+	At(node int, tsec float64) geometry.Vec2
+}
+
+// RowSource is a Source with an explicit sample grid: positions change
+// only at interval boundaries and are linearly interpolated in between
+// (the SampledTrace semantics). Row hands out whole sample rows, which
+// is what Record uses to materialize a source exactly — no float
+// re-derivation of sample times, so the recording is bit-identical to
+// the rows the source itself interpolates from.
+type RowSource interface {
+	Source
+	// SampleInterval reports the sample period in seconds.
+	SampleInterval() float64
+	// NumSamples reports the total number of samples covering the
+	// source's lifetime (the cursor clamps at the last row).
+	NumSamples() int
+	// Row copies sample k (node-indexed positions) into dst and returns
+	// it. Like At, it is forward-only: k must be non-decreasing across
+	// calls, and interleaving with At must also be time-monotone.
+	Row(k int, dst []geometry.Vec2) []geometry.Vec2
+}
+
+// lerpSample interpolates between two samples of one node. Both
+// SampledTrace.At and Stream.At funnel through this helper so the
+// recorded and streamed paths perform the identical float operations —
+// the arithmetic is part of the bit-identity contract between them.
+func lerpSample(a, b geometry.Vec2, frac float64) geometry.Vec2 {
+	return geometry.Vec2{
+		X: a.X + (b.X-a.X)*frac,
+		Y: a.Y + (b.Y-a.Y)*frac,
+	}
+}
+
+// StreamConfig assembles a Stream.
+type StreamConfig struct {
+	// Nodes is the node count of the source.
+	Nodes int
+	// Interval is the sample period in seconds.
+	Interval float64
+	// Samples is the total sample count (>= 1); queries beyond the last
+	// sample clamp to it, exactly like SampledTrace.At.
+	Samples int
+	// Fill produces sample row k into row (len == Nodes). It is called
+	// with strictly increasing k, exactly once per sample, lazily as the
+	// cursor advances — this is where a CA steps or a trace replayer
+	// advances.
+	Fill func(k int, row []geometry.Vec2)
+	// OnSample, when non-nil, observes every produced row after Fill —
+	// the hook the invariant harness uses to validate motion sample by
+	// sample without a recorded array.
+	OnSample func(k int, row []geometry.Vec2)
+}
+
+// Stream adapts a per-sample row generator into a Source. It retains
+// only two adjacent sample rows (O(nodes) state) and interpolates
+// between them with arithmetic identical to SampledTrace.At, so a
+// streamed run is bit-identical to a run on the Record()-ed trace.
+type Stream struct {
+	cfg StreamConfig
+	// cur holds sample win; next holds sample win+1 (when it exists).
+	cur, next []geometry.Vec2
+	win       int // -1 until the first row is produced
+}
+
+// NewStream validates the config and returns the stream.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("mobility: stream needs a positive node count, have %d", cfg.Nodes)
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("mobility: non-positive sample interval %v", cfg.Interval)
+	}
+	if cfg.Samples < 1 {
+		return nil, fmt.Errorf("mobility: stream needs at least one sample, have %d", cfg.Samples)
+	}
+	if cfg.Fill == nil {
+		return nil, fmt.Errorf("mobility: stream needs a Fill function")
+	}
+	return &Stream{
+		cfg:  cfg,
+		cur:  make([]geometry.Vec2, cfg.Nodes),
+		next: make([]geometry.Vec2, cfg.Nodes),
+		win:  -1,
+	}, nil
+}
+
+// NumNodes implements Source.
+func (s *Stream) NumNodes() int { return s.cfg.Nodes }
+
+// SampleInterval implements RowSource.
+func (s *Stream) SampleInterval() float64 { return s.cfg.Interval }
+
+// NumSamples implements RowSource.
+func (s *Stream) NumSamples() int { return s.cfg.Samples }
+
+func (s *Stream) produce(k int, row []geometry.Vec2) {
+	s.cfg.Fill(k, row)
+	if s.cfg.OnSample != nil {
+		s.cfg.OnSample(k, row)
+	}
+}
+
+// ensure advances the window so cur holds sample i (and next holds i+1
+// when one exists). Rewinding violates the cursor contract and panics —
+// a silent wrong answer here would corrupt a simulation undetectably.
+func (s *Stream) ensure(i int) {
+	if s.win < 0 {
+		s.produce(0, s.cur)
+		s.win = 0
+		if s.cfg.Samples > 1 {
+			s.produce(1, s.next)
+		}
+	}
+	if i < s.win {
+		panic(fmt.Sprintf("mobility: stream rewound to sample %d after advancing to %d (Source is a forward-only cursor)", i, s.win))
+	}
+	for s.win < i {
+		s.cur, s.next = s.next, s.cur
+		s.win++
+		if s.win+1 < s.cfg.Samples {
+			s.produce(s.win+1, s.next)
+		}
+	}
+}
+
+// At implements Source with SampledTrace.At's exact semantics: clamp
+// before the first and after the last sample, linear interpolation in
+// between.
+func (s *Stream) At(node int, tsec float64) geometry.Vec2 {
+	if tsec <= 0 || s.cfg.Samples == 1 {
+		s.ensure(0)
+		return s.cur[node]
+	}
+	idx := tsec / s.cfg.Interval
+	i := int(idx)
+	if i >= s.cfg.Samples-1 {
+		s.ensure(s.cfg.Samples - 2)
+		return s.next[node]
+	}
+	s.ensure(i)
+	frac := idx - float64(i)
+	return lerpSample(s.cur[node], s.next[node], frac)
+}
+
+// Row implements RowSource.
+func (s *Stream) Row(k int, dst []geometry.Vec2) []geometry.Vec2 {
+	dst = dst[:0]
+	switch {
+	case k < s.cfg.Samples-1:
+		s.ensure(k)
+		dst = append(dst, s.cur...)
+	case s.cfg.Samples == 1:
+		s.ensure(0)
+		dst = append(dst, s.cur...)
+	default:
+		s.ensure(s.cfg.Samples - 2)
+		dst = append(dst, s.next...)
+	}
+	return dst
+}
+
+// Record materializes a row source into a SampledTrace — the adapter
+// that turns any streaming source back into the retained differential
+// oracle: a run driven by the recording must be bit-identical to a run
+// driven by the source itself, which is what the scenario package's
+// streamed-vs-recorded property test asserts for the whole catalogue.
+func Record(src RowSource) *SampledTrace {
+	nodes, samples := src.NumNodes(), src.NumSamples()
+	t := &SampledTrace{
+		Interval:  src.SampleInterval(),
+		Positions: make([][]geometry.Vec2, nodes),
+	}
+	flat := make([]geometry.Vec2, nodes*samples)
+	for n := range t.Positions {
+		t.Positions[n] = flat[n*samples : (n+1)*samples : (n+1)*samples]
+	}
+	row := make([]geometry.Vec2, nodes)
+	for k := 0; k < samples; k++ {
+		row = src.Row(k, row[:0])
+		for n := 0; n < nodes; n++ {
+			t.Positions[n][k] = row[n]
+		}
+	}
+	return t
+}
+
+var (
+	_ RowSource = (*Stream)(nil)
+	_ RowSource = (*SampledTrace)(nil)
+)

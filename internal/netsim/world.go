@@ -35,8 +35,11 @@ type WorldConfig struct {
 	// MAC holds DCF parameters (rates, CW, queue).
 	MAC mac.Config
 	// Mobility positions the nodes over time; nil keeps nodes wherever
-	// Static places them.
-	Mobility *mobility.SampledTrace
+	// Static places them. Any mobility.Source works: a materialized
+	// *mobility.SampledTrace or a streaming source (CA road, ns-2 /
+	// BonnMotion playback) that the world drives live, one forward-only
+	// position query per node per tick.
+	Mobility mobility.Source
 	// Static is used when Mobility is nil: fixed node positions.
 	Static []geometry.Vec2
 	// MobilityInterval is how often positions refresh (default 100 ms).
@@ -89,8 +92,12 @@ func NewWorld(cfg WorldConfig, factory RouterFactory) (*World, error) {
 		return nil, fmt.Errorf("netsim: need %d static positions, have %d", cfg.Nodes, len(cfg.Static))
 	}
 	if cfg.Mobility != nil {
-		if err := cfg.Mobility.Validate(); err != nil {
-			return nil, err
+		// Materialized traces carry structural invariants worth checking up
+		// front; streaming sources validate at construction instead.
+		if v, ok := cfg.Mobility.(interface{ Validate() error }); ok {
+			if err := v.Validate(); err != nil {
+				return nil, err
+			}
 		}
 		if cfg.Mobility.NumNodes() < cfg.Nodes {
 			return nil, fmt.Errorf("netsim: mobility trace has %d nodes, scenario needs %d",

@@ -72,9 +72,35 @@ func buildRoad(s *Spec) (*ca.Road, error) {
 	return road, nil
 }
 
-// BuildTrace generates the scenario's mobility input: the CA road warmed
-// up and recorded for the scenario duration, with the activation-ramp
-// staging applied for rush-hour specs.
+// BuildSource generates the scenario's mobility as a streaming source:
+// the CA road warmed up, then stepping live (O(nodes) retained state) as
+// the simulation pulls positions, with the activation-ramp staging
+// applied as a per-sample overlay for rush-hour specs.
+func BuildSource(s Spec) (mobility.Source, error) {
+	s = s.clone()
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return buildSource(&s, nil)
+}
+
+// BuildSourceChecked is BuildSource under the CA-sanity and trace-sanity
+// invariants, consumed as the stream advances: the road dynamics are
+// validated at every CA step (collisions, teleports, flow capacity) and
+// every produced sample row is scanned for physically impossible jumps.
+func BuildSourceChecked(s Spec, report *check.Report) (mobility.Source, error) {
+	s = s.clone()
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return buildSource(&s, report)
+}
+
+// BuildTrace generates the scenario's mobility input as a materialized
+// trace: Record over BuildSource. It is the differential oracle for the
+// streaming path — a run on the recording is bit-identical to a run on
+// the source, which the streamed-vs-recorded property test asserts for
+// the whole catalogue.
 func BuildTrace(s Spec) (*mobility.SampledTrace, error) {
 	s = s.clone()
 	if err := s.normalize(); err != nil {
@@ -84,9 +110,7 @@ func BuildTrace(s Spec) (*mobility.SampledTrace, error) {
 }
 
 // BuildTraceChecked is BuildTrace under the CA-sanity and trace-sanity
-// invariants: the road dynamics are validated at every step (collisions,
-// teleports, flow capacity) and the finished trace is scanned for
-// physically impossible jumps.
+// invariants, applied while the trace is produced.
 func BuildTraceChecked(s Spec, report *check.Report) (*mobility.SampledTrace, error) {
 	s = s.clone()
 	if err := s.normalize(); err != nil {
@@ -96,47 +120,64 @@ func BuildTraceChecked(s Spec, report *check.Report) (*mobility.SampledTrace, er
 }
 
 func buildTrace(s *Spec, report *check.Report) (*mobility.SampledTrace, error) {
+	src, err := buildSource(s, report)
+	if err != nil {
+		return nil, err
+	}
+	return mobility.Record(src), nil
+}
+
+func buildSource(s *Spec, report *check.Report) (*mobility.Stream, error) {
 	road, err := buildRoad(s)
 	if err != nil {
 		return nil, err
 	}
 	var after func()
+	var onSample func(int, []geometry.Vec2)
 	if report != nil {
 		watcher := check.WatchRoad(road, report)
 		after = watcher.AfterStep
+		onSample = check.WatchTrace(s.MaxSampleStepMeters(), s.activationSteps(), report).OnSample
 	}
 	mobility.WarmupRoadFunc(road, s.CAWarmup, after)
 	steps := int(s.SimTime.Seconds()) + 1
-	trace := mobility.RecordRoadFunc(road, steps, after)
-	applyRamp(s, trace)
-	if report != nil {
-		check.Trace(trace, s.MaxSampleStepMeters(), s.activationSteps(), report)
+	src, err := mobility.NewRoadSource(mobility.RoadSourceConfig{
+		Road:      road,
+		Steps:     steps,
+		AfterStep: after,
+		Overlay:   rampOverlay(s),
+		OnSample:  onSample,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
-	return trace, nil
+	return src, nil
 }
 
-// applyRamp parks every node in an isolated staging spot until its
-// activation step — the rush-hour density ramp. Staging spots are spaced
-// beyond the carrier-sense range (2.2× the decode range, plus margin) of
-// the road and of each other, so a staged vehicle is radio-dark until it
-// merges, whatever radio range the spec configures.
-func applyRamp(s *Spec, trace *mobility.SampledTrace) {
+// rampOverlay parks every node in an isolated staging spot until its
+// activation step — the rush-hour density ramp, applied per produced
+// sample row instead of edited into a materialized trace. Staging spots
+// are spaced beyond the carrier-sense range (2.2× the decode range, plus
+// margin) of the road and of each other, so a staged vehicle is
+// radio-dark until it merges, whatever radio range the spec configures.
+// Nil without a ramp.
+func rampOverlay(s *Spec) func(k int, row []geometry.Vec2) {
 	act := s.activationSteps()
 	if act == nil {
-		return
+		return nil
 	}
 	spacing := 600.0
 	if cs := s.RangeMeters * 2.2 * 1.05; cs > spacing {
 		spacing = cs
 	}
-	for n, at := range act {
-		if at <= 0 || n >= trace.NumNodes() {
-			continue
-		}
-		staging := geometry.Vec2{X: -spacing * float64(n+1), Y: -spacing}
-		samples := trace.Positions[n]
-		for i := 0; i < at && i < len(samples); i++ {
-			samples[i] = staging
+	return func(k int, row []geometry.Vec2) {
+		for n, at := range act {
+			if n >= len(row) {
+				break
+			}
+			if k < at {
+				row[n] = geometry.Vec2{X: -spacing * float64(n+1), Y: -spacing}
+			}
 		}
 	}
 }

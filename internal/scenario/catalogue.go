@@ -82,7 +82,29 @@ func init() {
 		Expect: Expect{MinDelivered: 10},
 	})
 
-	// 6. Sparse network: 10 vehicles on a 6 km circuit at 250 m radio
+	// 6. Metro: the scale workload. 10,000 vehicles on four coupled lanes
+	// of a 75 km orbital with two signalized crosspoints — a fleet whose
+	// recorded trace would cost O(nodes × samples) memory before a single
+	// packet moved; only the streaming mobility substrate runs it
+	// comfortably. Heavy: property suites and default sweeps cover it
+	// with targeted scaled runs, not the full 20-seed bank.
+	MustRegister(Spec{
+		Name:          "metro",
+		Description:   "scale: 10k vehicles, 4 coupled lanes on a 75 km orbital, 2 signals (streaming mobility)",
+		Lanes:         4,
+		LaneVehicles:  []int{2500, 2500, 2500, 2500},
+		CircuitMeters: 75000,
+		LaneChangeP:   0.1,
+		Signals: []SignalSpec{
+			{Lane: 0, PositionMeters: 0, GreenSteps: 45, RedSteps: 25},
+			{Lane: 1, PositionMeters: 37500, GreenSteps: 45, RedSteps: 25, OffsetSteps: 35},
+		},
+		SimTime: 30 * sim.Second,
+		Heavy:   true,
+		Expect:  Expect{MinDelivered: 5},
+	})
+
+	// 7. Sparse network: 10 vehicles on a 6 km circuit at 250 m radio
 	// range — the network spends most of its time partitioned into
 	// clusters that split and heal as vehicles bunch up. No delivery floor:
 	// the point of the workload is exercising partitions, route errors and

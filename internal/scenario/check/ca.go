@@ -2,6 +2,7 @@ package check
 
 import (
 	"cavenet/internal/ca"
+	"cavenet/internal/geometry"
 	"cavenet/internal/mobility"
 )
 
@@ -120,26 +121,59 @@ func (w *RoadWatcher) AfterStep() {
 	w.snapshot()
 }
 
-// Trace validates a sampled mobility trace: between consecutive samples no
-// node may move farther than maxStepMeters (the physical speed limit plus
-// lane-change slack), except at its declared activation step — the single
-// jump from the staging area onto the road that a density-ramp scenario
-// schedules. activationStep may be nil when no ramp is in play.
-func Trace(tr *mobility.SampledTrace, maxStepMeters float64, activationStep []int, report *Report) {
-	for n := 0; n < tr.NumNodes(); n++ {
-		samples := tr.Positions[n]
-		act := -1
-		if n < len(activationStep) {
-			act = activationStep[n]
-		}
-		for i := 1; i < len(samples); i++ {
-			if i == act {
+// TraceWatcher validates motion sample by sample as a mobility stream
+// produces it: between consecutive samples no node may move farther than
+// maxStepMeters (the physical speed limit plus lane-change slack), except
+// at its declared activation step — the single jump from the staging area
+// onto the road that a density-ramp scenario schedules. Retained state is
+// one sample row (O(nodes)), so the check rides the streaming substrate
+// without a recorded array.
+type TraceWatcher struct {
+	maxStep float64
+	act     []int // activation sample per node; nil without a ramp
+	report  *Report
+	prev    []geometry.Vec2
+	prevK   int
+}
+
+// WatchTrace builds a watcher; install its OnSample as the stream's
+// sample observer (mobility.StreamConfig.OnSample / RoadSourceConfig.OnSample).
+func WatchTrace(maxStepMeters float64, activationStep []int, report *Report) *TraceWatcher {
+	// prevK starts at -2 so the first row (k == 0) never pairs with the
+	// (empty) previous row.
+	return &TraceWatcher{maxStep: maxStepMeters, act: activationStep, report: report, prevK: -2}
+}
+
+// OnSample validates the step from the previously observed sample row to
+// this one (rows must arrive in sample order, which the stream guarantees).
+func (w *TraceWatcher) OnSample(k int, row []geometry.Vec2) {
+	if w.prevK == k-1 {
+		for n := range row {
+			act := -1
+			if n < len(w.act) {
+				act = w.act[n]
+			}
+			if k == act {
 				continue // the declared staging→road activation jump
 			}
-			if d := samples[i-1].Dist(samples[i]); d > maxStepMeters {
-				report.Add("trace", "node %d teleported %.1f m between samples %d and %d (limit %.1f m)",
-					n, d, i-1, i, maxStepMeters)
+			if d := w.prev[n].Dist(row[n]); d > w.maxStep {
+				w.report.Add("trace", "node %d teleported %.1f m between samples %d and %d (limit %.1f m)",
+					n, d, k-1, k, w.maxStep)
 			}
 		}
+	}
+	w.prev = append(w.prev[:0], row...)
+	w.prevK = k
+}
+
+// Trace validates a fully materialized mobility trace by feeding it
+// through a TraceWatcher row by row — one code path for the recorded and
+// streamed checks. activationStep may be nil when no ramp is in play.
+func Trace(tr *mobility.SampledTrace, maxStepMeters float64, activationStep []int, report *Report) {
+	w := WatchTrace(maxStepMeters, activationStep, report)
+	row := make([]geometry.Vec2, tr.NumNodes())
+	for k := 0; k < tr.NumSamples(); k++ {
+		row = tr.Row(k, row[:0])
+		w.OnSample(k, row)
 	}
 }

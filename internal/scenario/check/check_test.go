@@ -7,6 +7,7 @@ import (
 	"cavenet/internal/geometry"
 	"cavenet/internal/mobility"
 	"cavenet/internal/netsim"
+	"cavenet/internal/sim"
 )
 
 func TestReportCapsPerCheck(t *testing.T) {
@@ -57,6 +58,67 @@ func TestLedgerCleanLifecycles(t *testing.T) {
 	}
 	if s, d, dr := l.Counts(); s != 4 || d != 2 || dr != 2 {
 		t.Fatalf("counts = %d/%d/%d", s, d, dr)
+	}
+}
+
+// TestLedgerCompactsSettledEntries pins the compaction contract: fully
+// accounted packets are retired settleGrace after their last event, so
+// the live entry count tracks packets in flight, not packets ever sent —
+// while a late ACK-loss fork inside the grace window still reconciles
+// against its entry.
+func TestLedgerCompactsSettledEntries(t *testing.T) {
+	rep := NewReport()
+	l := NewLedger(rep)
+	var now sim.Time
+	l.SetClock(func() sim.Time { return now })
+	h := l.Hooks()
+
+	const packets = 500
+	for i := 0; i < packets; i++ {
+		uid := uint64(i + 1)
+		now = sim.Time(i) * sim.Second
+		h.DataSent(nil, mkPacket(uid, netsim.DefaultTTL, 0))
+		if i%3 == 0 {
+			// Loss-heavy fate: the packet's only terminal is the ACK-loss
+			// fork's link-failure drop — these must retire too, or the map
+			// grows O(total packets) in exactly the partition workloads.
+			h.DataDropped(nil, mkPacket(uid, netsim.DefaultTTL-1, 1), "aodv:link-failure")
+		} else {
+			h.DataDelivered(nil, mkPacket(uid, netsim.DefaultTTL-1, 2))
+		}
+	}
+	// Every entry beyond the grace window must be retired; the live count
+	// is bounded by the packets settled within the last settleGrace.
+	live := int(settleGrace/sim.Second) + 2
+	if l.Active() > live {
+		t.Fatalf("ledger holds %d live entries after %d settled packets (want <= %d): compaction not reclaiming", l.Active(), packets, live)
+	}
+	if l.Retired() == 0 {
+		t.Fatal("no entries retired")
+	}
+	if !rep.Ok() {
+		t.Fatalf("clean settled lifecycles flagged:\n%s", rep)
+	}
+
+	// A late ACK-loss fork within the grace window must still reconcile:
+	// deliver, then the sender's link-failure drop arrives a little later.
+	forkUID := uint64(packets + 1)
+	h.DataSent(nil, mkPacket(forkUID, netsim.DefaultTTL, 0))
+	h.DataDelivered(nil, mkPacket(forkUID, netsim.DefaultTTL-1, 2))
+	now += 2 * sim.Second
+	h.DataDropped(nil, mkPacket(forkUID, netsim.DefaultTTL-1, 1), "aodv:link-failure")
+	if !rep.Ok() {
+		t.Fatalf("in-grace ACK-loss fork flagged:\n%s", rep)
+	}
+
+	// Retirement never hides a vanished packet: an unterminated entry
+	// survives compaction and still fails custody settlement.
+	h.DataSent(nil, mkPacket(uint64(packets+2), netsim.DefaultTTL, 0))
+	now += settleGrace * 3
+	h.DataSent(nil, mkPacket(uint64(packets+3), netsim.DefaultTTL, 0))
+	l.finish(map[uint64]bool{uint64(packets + 3): true})
+	if rep.Ok() || !strings.Contains(rep.String(), "vanished") {
+		t.Fatalf("compaction hid a vanished packet:\n%s", rep)
 	}
 }
 
@@ -245,6 +307,25 @@ func TestTraceExemptsDeclaredActivation(t *testing.T) {
 	Trace(tr, 42.5, []int{2}, rep)
 	if !rep.Ok() {
 		t.Fatalf("declared activation jump flagged:\n%s", rep)
+	}
+}
+
+// TestTraceHandlesRaggedTrace pins graceful handling of hand-built
+// traces with unequal per-node sample counts: report (or ignore), never
+// panic.
+func TestTraceHandlesRaggedTrace(t *testing.T) {
+	tr := &mobility.SampledTrace{
+		Interval: 1,
+		Positions: [][]geometry.Vec2{
+			{{X: 0}, {X: 10}, {X: 20}},
+			{}, // node with no samples at all
+			{{X: 5}},
+		},
+	}
+	rep := NewReport()
+	Trace(tr, 42.5, nil, rep)
+	if !rep.Ok() {
+		t.Fatalf("ragged but teleport-free trace flagged:\n%s", rep)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cavenet/internal/netsim"
+	"cavenet/internal/sim"
 )
 
 // fate tracks what has happened to one originated data packet.
@@ -22,9 +23,50 @@ type fate struct {
 	delivered int
 	dropped   int
 	lfDropped int
+	// gen invalidates stale settled-queue entries: it bumps on every event,
+	// so a queued retirement only fires if nothing happened since.
+	gen uint32
 }
 
 func (f *fate) terminals() int { return f.delivered + f.dropped }
+
+// settled reports whether the packet is a retirement candidate:
+//
+//   - fully accounted (exactly one terminal beyond what ACK-loss forks
+//     explain): dead, bar a fork's late link-failure drop, which lands
+//     within one MAC retry sequence;
+//   - or terminated only by link-failure forks (the dominant fate in
+//     loss-heavy, partition-prone workloads): the forwarded copy is
+//     nominally still live, but each of its subsequent events bumps the
+//     generation and re-arms the grace timer, so only an entry quiet for
+//     a whole grace period — long past any queue or discovery-buffer
+//     residence — is actually retired. Custody settlement skips entries
+//     with any terminal either way, so retiring them loses no detection.
+//
+// Without the second clause the fates map would grow O(packets ever
+// sent) in exactly the workloads (sparse, partitioned) that drop most
+// traffic via link failures.
+func (f *fate) settled() bool {
+	if f.delivered > 1 || f.terminals() == 0 {
+		return false
+	}
+	return f.terminals() == f.lfDropped+1 || f.terminals() == f.lfDropped
+}
+
+// settleGrace is how long a settled entry lingers before retirement. An
+// ACK-loss fork's late link-failure drop arrives within one MAC retry
+// sequence of the receiver's forward (milliseconds; bounded by retry
+// count × backoff, far under a second even on a congested channel), so a
+// multi-second grace keeps the fork rule exact while the ledger's live
+// size tracks packets-in-flight instead of packets-ever-sent.
+const settleGrace = 10 * sim.Second
+
+// settledEntry queues one retirement candidate.
+type settledEntry struct {
+	uid uint64
+	gen uint32
+	at  sim.Time
+}
 
 // Ledger audits the data plane of one world run through the netsim hooks:
 // it keeps per-UID packet fates and verifies the TTL discipline at every
@@ -35,17 +77,54 @@ func (f *fate) terminals() int { return f.delivered + f.dropped }
 // where in-flight is not inferred by subtraction but proven: every packet
 // with no terminal event must still be physically held by a MAC queue or a
 // route-discovery buffer somewhere in the world.
+//
+// The fates map is compacted as the run proceeds: a fully accounted
+// packet (see fate.settled) is retired settleGrace after its last event,
+// so the ledger's memory is O(packets in flight + recent), not O(total
+// packets originated) — the same streaming discipline as the mobility
+// substrate, applied to the harness itself.
 type Ledger struct {
 	report *Report
 	fates  map[uint64]*fate
+	// queue is the FIFO of retirement candidates; event times are
+	// monotone (hooks fire in kernel order), so it is drained from the
+	// front. head indexes the first live entry.
+	queue []settledEntry
+	head  int
+	// now supplies the simulation clock; overridable for synthetic tests.
+	// The default reads the observed node's kernel (nil nodes — as in
+	// synthetic hook tests — freeze the clock, disabling retirement).
+	now func(n *netsim.Node) sim.Time
 
 	sent, delivered, dropped uint64
+	retired                  uint64
 }
 
 // NewLedger creates a ledger reporting into report.
 func NewLedger(report *Report) *Ledger {
-	return &Ledger{report: report, fates: make(map[uint64]*fate)}
+	return &Ledger{
+		report: report,
+		fates:  make(map[uint64]*fate),
+		now: func(n *netsim.Node) sim.Time {
+			if n == nil {
+				return 0
+			}
+			return n.Kernel().Now()
+		},
+	}
 }
+
+// SetClock overrides the ledger's clock (synthetic tests drive
+// retirement without a kernel).
+func (l *Ledger) SetClock(now func() sim.Time) {
+	l.now = func(*netsim.Node) sim.Time { return now() }
+}
+
+// Active reports the live per-UID entry count (retired entries excluded).
+func (l *Ledger) Active() int { return len(l.fates) }
+
+// Retired reports how many settled entries compaction has retired.
+func (l *Ledger) Retired() uint64 { return l.retired }
 
 // Hooks returns the observers to install with World.AddHooks.
 func (l *Ledger) Hooks() netsim.Hooks {
@@ -56,19 +135,47 @@ func (l *Ledger) Hooks() netsim.Hooks {
 	}
 }
 
+// afterEvent runs the compaction bookkeeping once an event has been
+// applied to f: enqueue a (re-)settled entry and retire candidates whose
+// grace expired with no newer event.
+func (l *Ledger) afterEvent(uid uint64, f *fate, now sim.Time) {
+	f.gen++
+	if f.settled() {
+		l.queue = append(l.queue, settledEntry{uid: uid, gen: f.gen, at: now})
+	}
+	for l.head < len(l.queue) {
+		e := l.queue[l.head]
+		if e.at+settleGrace > now {
+			break
+		}
+		l.head++
+		if cur, ok := l.fates[e.uid]; ok && cur.gen == e.gen {
+			delete(l.fates, e.uid)
+			l.retired++
+		}
+		// Reclaim the drained prefix once it dominates the queue.
+		if l.head > 64 && l.head*2 > len(l.queue) {
+			l.queue = append(l.queue[:0], l.queue[l.head:]...)
+			l.head = 0
+		}
+	}
+}
+
 func (l *Ledger) onSent(n *netsim.Node, p *netsim.Packet) {
 	l.sent++
 	if _, dup := l.fates[p.UID]; dup {
 		l.report.Add("conservation", "packet uid=%d originated twice", p.UID)
 		return
 	}
-	l.fates[p.UID] = &fate{}
+	f := &fate{}
+	l.fates[p.UID] = f
 	if p.TTL != netsim.DefaultTTL {
 		l.report.Add("ttl", "packet uid=%d originated with TTL %d, want %d", p.UID, p.TTL, netsim.DefaultTTL)
 	}
 	if p.Hops != 0 {
 		l.report.Add("ttl", "packet uid=%d originated with hop count %d", p.UID, p.Hops)
 	}
+	l.afterEvent(p.UID, f, l.now(n))
 }
 
 func (l *Ledger) onDelivered(n *netsim.Node, p *netsim.Packet) {
@@ -99,6 +206,7 @@ func (l *Ledger) onDelivered(n *netsim.Node, p *netsim.Packet) {
 		l.report.Add("ttl", "packet uid=%d delivered with TTL %d after %d hops (want TTL+hops=%d)",
 			p.UID, p.TTL, p.Hops, netsim.DefaultTTL+1)
 	}
+	l.afterEvent(p.UID, f, l.now(n))
 }
 
 func (l *Ledger) onDropped(n *netsim.Node, p *netsim.Packet, reason string) {
@@ -130,6 +238,7 @@ func (l *Ledger) onDropped(n *netsim.Node, p *netsim.Packet, reason string) {
 	} else if p.TTL < 1 {
 		l.report.Add("ttl", "packet uid=%d dropped (%s) with non-positive TTL %d", p.UID, reason, p.TTL)
 	}
+	l.afterEvent(p.UID, f, l.now(n))
 }
 
 // dataBufferer is the optional router extension exposing parked data
@@ -155,7 +264,8 @@ func (l *Ledger) Finish(w *netsim.World) {
 }
 
 // finish is the custody settlement, split out so tests can feed a
-// synthetic custody set.
+// synthetic custody set. Retired entries all had a terminal event, so
+// compaction never hides a vanished packet.
 func (l *Ledger) finish(custody map[uint64]bool) {
 	vanished := make([]uint64, 0)
 	for uid, f := range l.fates {

@@ -1,0 +1,19 @@
+package scenario
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMetroProfileRun is a manual profiling hook, enabled by
+// CAVENET_PROFILE_METRO=1; see PERF.md's regeneration notes.
+func TestMetroProfileRun(t *testing.T) {
+	if os.Getenv("CAVENET_PROFILE_METRO") == "" {
+		t.Skip("set CAVENET_PROFILE_METRO=1 to run")
+	}
+	spec, _ := Get("metro")
+	spec.SimTime = spec.SimTime / 6
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -66,64 +66,87 @@ func (r *Result) TotalDelivered() uint64 {
 	return del
 }
 
-// Run generates the spec's mobility and executes the scenario.
+// Run generates the spec's mobility and executes the scenario on the
+// streaming substrate: the CA road steps live inside the kernel, O(nodes)
+// mobility state, no materialized trace. The recorded path (BuildTrace +
+// RunOnTrace) is the retained differential oracle — bit-identical by the
+// streamed-vs-recorded property test.
 func Run(s Spec) (*Result, error) {
 	s = s.clone()
 	if err := s.normalize(); err != nil {
 		return nil, err
 	}
-	trace, err := buildTrace(&s, nil)
+	src, err := buildSource(&s, nil)
 	if err != nil {
 		return nil, err
 	}
-	return runOnTrace(&s, trace, nil)
+	return runOnSource(&s, src, nil)
 }
 
-// RunOnTrace executes the scenario's network evaluation over a
-// caller-provided mobility trace.
-func RunOnTrace(s Spec, trace *mobility.SampledTrace) (*Result, error) {
+// RunOnSource executes the scenario's network evaluation over a
+// caller-provided mobility source (streaming or materialized).
+func RunOnSource(s Spec, src mobility.Source) (*Result, error) {
 	s = s.clone()
 	if err := s.normalize(); err != nil {
 		return nil, err
 	}
-	return runOnTrace(&s, trace, nil)
+	return runOnSource(&s, src, nil)
+}
+
+// RunOnTrace executes the scenario's network evaluation over a
+// caller-provided materialized mobility trace — RunOnSource specialized
+// to the recorded oracle. A nil trace means no mobility (a typed nil
+// must not masquerade as a live Source).
+func RunOnTrace(s Spec, trace *mobility.SampledTrace) (*Result, error) {
+	if trace == nil {
+		return RunOnSource(s, nil)
+	}
+	return RunOnSource(s, trace)
 }
 
 // RunChecked runs the scenario under the full invariant harness: CA and
-// trace sanity during mobility generation, the packet-conservation ledger
-// and TTL discipline during the run, the routing-loop walk and custody
-// settlement afterwards, and the spec's metric expectations on the result.
-// The returned report lists every violation; err covers configuration
-// problems only.
+// trace sanity consumed from the mobility stream as it advances, the
+// packet-conservation ledger and TTL discipline during the run, the
+// routing-loop walk and custody settlement afterwards, and the spec's
+// metric expectations on the result. The returned report lists every
+// violation; err covers configuration problems only.
 func RunChecked(s Spec) (*Result, *check.Report, error) {
 	s = s.clone()
 	if err := s.normalize(); err != nil {
 		return nil, nil, err
 	}
 	report := check.NewReport()
-	trace, err := buildTrace(&s, report)
+	src, err := buildSource(&s, report)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := runCheckedOnTrace(&s, trace, report)
+	res, err := runCheckedOnSource(&s, src, report)
 	return res, report, err
 }
 
-// RunCheckedOnTrace is RunChecked over a pre-built (and typically already
-// checked) mobility trace; sweeps use it to share one trace across the
-// protocols of a grid cell.
-func RunCheckedOnTrace(s Spec, trace *mobility.SampledTrace) (*Result, *check.Report, error) {
+// RunCheckedOnSource is RunChecked over a pre-built mobility source whose
+// generation-time checks (if any) the caller owns.
+func RunCheckedOnSource(s Spec, src mobility.Source) (*Result, *check.Report, error) {
 	s = s.clone()
 	if err := s.normalize(); err != nil {
 		return nil, nil, err
 	}
 	report := check.NewReport()
-	res, err := runCheckedOnTrace(&s, trace, report)
+	res, err := runCheckedOnSource(&s, src, report)
 	return res, report, err
 }
 
-func runCheckedOnTrace(s *Spec, trace *mobility.SampledTrace, report *check.Report) (*Result, error) {
-	res, err := runOnTrace(s, trace, report)
+// RunCheckedOnTrace is RunCheckedOnSource over a materialized trace;
+// callers that share one recorded trace across protocol runs use it.
+func RunCheckedOnTrace(s Spec, trace *mobility.SampledTrace) (*Result, *check.Report, error) {
+	if trace == nil {
+		return RunCheckedOnSource(s, nil)
+	}
+	return RunCheckedOnSource(s, trace)
+}
+
+func runCheckedOnSource(s *Spec, src mobility.Source, report *check.Report) (*Result, error) {
+	res, err := runOnSource(s, src, report)
 	if err != nil {
 		return nil, err
 	}
@@ -153,12 +176,13 @@ func checkExpect(s *Spec, res *Result, report *check.Report) {
 	}
 }
 
-// runOnTrace assembles the world — this is the single place in the repo
+// runOnSource assembles the world — this is the single place in the repo
 // where a protocol-evaluation world is wired together; the core package's
-// Table I entry points delegate here — and executes the run. A non-nil
-// report additionally installs the invariant ledger and runs the post-run
-// loop walk and custody settlement.
-func runOnTrace(s *Spec, trace *mobility.SampledTrace, report *check.Report) (*Result, error) {
+// Table I entry points delegate here — and executes the run, pulling node
+// positions from the mobility source per tick. A non-nil report
+// additionally installs the invariant ledger and runs the post-run loop
+// walk and custody settlement.
+func runOnSource(s *Spec, src mobility.Source, report *check.Report) (*Result, error) {
 	capture := 10.0
 	if s.NoCapture {
 		capture = 0
@@ -173,7 +197,7 @@ func runOnTrace(s *Spec, trace *mobility.SampledTrace, report *check.Report) (*R
 			CaptureRatio: capture,
 		},
 		MAC:      mac.Config{DataRateBPS: s.DataRateBPS, RTSThreshold: s.RTSThreshold},
-		Mobility: trace,
+		Mobility: src,
 	}, s.routerFactory())
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)

@@ -14,10 +14,10 @@ import (
 // every spec validates.
 func TestCatalogue(t *testing.T) {
 	names := Names()
-	if len(names) < 6 {
-		t.Fatalf("catalogue has %d scenarios, want >= 6: %v", len(names), names)
+	if len(names) < 7 {
+		t.Fatalf("catalogue has %d scenarios, want >= 7: %v", len(names), names)
 	}
-	for _, want := range []string{"highway", "multilane", "signalized", "rushhour", "bidirectional", "sparse"} {
+	for _, want := range []string{"highway", "multilane", "signalized", "rushhour", "bidirectional", "sparse", "metro"} {
 		if _, ok := Get(want); !ok {
 			t.Errorf("catalogue is missing %q", want)
 		}
@@ -81,13 +81,32 @@ func invariantSeeds() []int64 {
 	return seeds
 }
 
+// propertyNames lists the catalogue entries the exhaustive property
+// suites cover: everything except Heavy scale workloads, which get
+// targeted scaled coverage (see streaming_test.go) instead of the full
+// scenario × protocol × seed grid.
+func propertyNames(t *testing.T) []string {
+	t.Helper()
+	var names []string
+	for _, name := range Names() {
+		spec, ok := Get(name)
+		if !ok {
+			t.Fatalf("catalogue entry %q vanished", name)
+		}
+		if !spec.Heavy {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
 // TestCatalogueInvariants is the property-based suite of the issue: every
 // registered scenario × every protocol × a bank of random seeds, run under
 // the full invariant harness. Any violation — a vanished packet, a TTL
 // anomaly, a routing loop, a CA collision or teleport, a missed metric
 // floor — fails the test with the full report.
 func TestCatalogueInvariants(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range propertyNames(t) {
 		spec, _ := Get(name)
 		for _, proto := range AllProtocols() {
 			t.Run(fmt.Sprintf("%s/%s", name, proto), func(t *testing.T) {
@@ -116,7 +135,7 @@ func TestCatalogueInvariants(t *testing.T) {
 // replayed twice must produce deeply equal results, extending the PR 2
 // bit-identical contract to the registry.
 func TestScenarioDeterminism(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range propertyNames(t) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

@@ -97,6 +97,12 @@ type Spec struct {
 	// the run (rush hour): node i is parked in an isolated staging area
 	// until its activation time i·RampSeconds/(N−1), then joins the road.
 	RampSeconds float64
+	// Heavy marks a scenario too large for the exhaustive property
+	// suites (every-scenario × every-protocol × 20 seeds) and for the
+	// default sweep catalogue: tests and sweeps cover heavy scenarios
+	// with targeted, scaled or explicitly named runs instead. It has no
+	// effect on running the scenario itself.
+	Heavy bool
 
 	// ---- Network & traffic workload ----
 
@@ -331,6 +337,63 @@ func (s Spec) Shrunk() Spec {
 		s.RampSeconds = half
 	}
 	return s
+}
+
+// WithVehicles returns a copy of the spec rescaled to a total of n
+// vehicles at the original traffic density: vehicles are distributed
+// over the existing lanes proportionally and the circuit (with its
+// signal positions) is stretched or shrunk by the same factor, so the
+// CA dynamics stay in the same regime — the quick scale-experiment knob
+// behind `cavenet scenario run -nodes`. Flows are kept as declared;
+// scaling below a flow endpoint is a validation error.
+func (s Spec) WithVehicles(n int) (Spec, error) {
+	s = s.clone()
+	if err := s.normalize(); err != nil {
+		return s, err
+	}
+	orig := s.TotalVehicles()
+	if n <= 0 {
+		return s, fmt.Errorf("scenario %s: cannot rescale to %d vehicles", s.Name, n)
+	}
+	if n == orig {
+		return s, nil
+	}
+	factor := float64(n) / float64(orig)
+	// Largest-remainder apportionment keeps every lane populated and the
+	// counts summing exactly to n.
+	counts := make([]int, len(s.LaneVehicles))
+	rem := make([]float64, len(s.LaneVehicles))
+	total := 0
+	for i, v := range s.LaneVehicles {
+		exact := float64(v) * factor
+		counts[i] = int(exact)
+		rem[i] = exact - float64(counts[i])
+		total += counts[i]
+	}
+	for total < n {
+		best := 0
+		for i := range rem {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rem[best] = -1
+		total++
+	}
+	for i := range counts {
+		if counts[i] == 0 {
+			return s, fmt.Errorf("scenario %s: rescaling to %d vehicles empties lane %d", s.Name, n, i)
+		}
+	}
+	s.LaneVehicles = counts
+	s.CircuitMeters = math.Round(s.CircuitMeters*factor/ca.CellLength) * ca.CellLength
+	for i := range s.Signals {
+		s.Signals[i].PositionMeters *= factor
+	}
+	s.Nodes = n
+	err := s.normalize()
+	return s, err
 }
 
 // activationSteps reports, for a ramp scenario, the trace sample index at

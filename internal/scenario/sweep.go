@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"cavenet/internal/exp"
+	"cavenet/internal/mobility"
 	"cavenet/internal/rng"
+	"cavenet/internal/scenario/check"
 	"cavenet/internal/stats"
 )
 
@@ -56,16 +58,32 @@ type sweepTrial struct {
 }
 
 // Sweep executes the grid on the deterministic parallel engine. The unit
-// of work is one (scenario, trial) pair: the job builds the scenario's
-// mobility trace once and evaluates every protocol on it (the paper's
-// "same mobility pattern" methodology), deriving all randomness from the
+// of work is one (scenario, trial) pair: every protocol of the cell runs
+// over a fresh streaming replay of the same seeded mobility (the paper's
+// "same mobility pattern" methodology — replaying the CA beats retaining
+// its O(nodes × samples) recording, and the streamed-vs-recorded property
+// test proves the runs bit-identical), deriving all randomness from the
 // pair's index — so the output is bit-identical for every worker count.
 func Sweep(cfg SweepConfig) ([]SweepRow, error) {
 	if len(cfg.Scenarios) == 0 {
-		cfg.Scenarios = Names()
+		// Heavy catalogue entries (10k-vehicle workloads) join a sweep only
+		// when named explicitly.
+		for _, name := range Names() {
+			if s, ok := Get(name); ok && !s.Heavy {
+				cfg.Scenarios = append(cfg.Scenarios, name)
+			}
+		}
 	}
 	if len(cfg.Protocols) == 0 {
 		cfg.Protocols = AllProtocols()
+	}
+	// The per-protocol runs below bypass spec re-normalization, so the
+	// protocol axis must be validated here — an unknown name would
+	// otherwise silently run the default router under the wrong label.
+	for _, p := range cfg.Protocols {
+		if _, err := ParseProtocol(string(p)); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Trials == 0 {
 		cfg.Trials = 1
@@ -93,24 +111,43 @@ func Sweep(cfg SweepConfig) ([]SweepRow, error) {
 		if err := base.normalize(); err != nil {
 			return nil, err
 		}
-		trace, err := buildTrace(&base, nil)
-		if err != nil {
-			return nil, fmt.Errorf("scenario: sweep trace (%s trial %d): %w", base.Name, trial, err)
+		// Every protocol of the cell sees the same seeded mobility pattern.
+		// Normal-sized specs record it once and share the trace (the CA and
+		// its warmup run once per cell); Heavy specs stream a fresh replay
+		// per protocol instead — re-stepping the CA is what keeps their
+		// mobility memory O(nodes). The streamed-vs-recorded differential
+		// test proves the two choices bit-identical.
+		var shared *mobility.SampledTrace
+		if !base.Heavy {
+			src, err := buildSource(&base, nil)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: sweep mobility (%s trial %d): %w", base.Name, trial, err)
+			}
+			shared = mobility.Record(src)
 		}
 		out := make([]sweepTrial, np)
 		for pi, p := range cfg.Protocols {
 			run := base.clone()
 			run.Protocol = p
+			var msrc mobility.Source = shared
+			if shared == nil {
+				s, err := buildSource(&run, nil)
+				if err != nil {
+					return nil, fmt.Errorf("scenario: sweep mobility (%s trial %d): %w", base.Name, trial, err)
+				}
+				msrc = s
+			}
 			var res *Result
 			var violations int
 			if cfg.Checked {
-				r, report, err := RunCheckedOnTrace(run, trace)
+				report := check.NewReport()
+				r, err := runCheckedOnSource(&run, msrc, report)
 				if err != nil {
 					return nil, fmt.Errorf("scenario: sweep %s/%s trial %d: %w", base.Name, p, trial, err)
 				}
 				res, violations = r, report.Total()
 			} else {
-				r, err := RunOnTrace(run, trace)
+				r, err := runOnSource(&run, msrc, nil)
 				if err != nil {
 					return nil, fmt.Errorf("scenario: sweep %s/%s trial %d: %w", base.Name, p, trial, err)
 				}

@@ -52,8 +52,30 @@ type waypoint struct {
 // ParseBonnMotion reads a BonnMotion file back into a sampled trace with
 // the given sampling interval (waypoints between samples are linearly
 // interpolated, which matches BonnMotion's constant-speed-segments
-// semantics).
+// semantics). It is the materialized view of ParseBonnMotionSource.
 func ParseBonnMotion(r io.Reader, interval float64) (*mobility.SampledTrace, error) {
+	src, err := ParseBonnMotionSource(r, interval)
+	if err != nil {
+		return nil, err
+	}
+	// The sample count is input-controlled (the last waypoint time): a
+	// single line "1e18 0 0" must not allocate petabytes when
+	// materialized. Bound the trace; legitimate traces stay far below
+	// this, and the streaming source has no such ceiling to begin with.
+	const maxCells = 1 << 22
+	if samples := src.NumSamples(); samples > maxCells/src.NumNodes() {
+		return nil, fmt.Errorf("trace: %d nodes x %d samples exceeds the re-sampling limit (shorten the trace, widen the interval, or use ParseBonnMotionSource)",
+			src.NumNodes(), samples)
+	}
+	return mobility.Record(src), nil
+}
+
+// ParseBonnMotionSource reads a BonnMotion file into a streaming mobility
+// source: retained state is the waypoint list itself (the input) plus two
+// interpolation rows, instead of the O(nodes × samples) matrix
+// ParseBonnMotion materializes — so re-sampling a long trace at a fine
+// interval no longer blows up memory with the sample count.
+func ParseBonnMotionSource(r io.Reader, interval float64) (*mobility.Stream, error) {
 	if interval <= 0 {
 		return nil, fmt.Errorf("trace: non-positive interval %v", interval)
 	}
@@ -101,26 +123,24 @@ func ParseBonnMotion(r io.Reader, interval float64) (*mobility.SampledTrace, err
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("trace: empty BonnMotion file")
 	}
+	// Even streamed, the sample count must stay a sane integer: a final
+	// waypoint at 1e18 s would overflow the sample arithmetic before any
+	// memory is at risk.
+	if maxT/interval > 1<<40 {
+		return nil, fmt.Errorf("trace: final waypoint at %g s yields an unreasonable sample count at interval %g", maxT, interval)
+	}
 	samples := mobility.SampleCount(maxT, interval)
-	// The sample count is input-controlled (the last waypoint time): a
-	// single line "1e18 0 0" must not allocate petabytes. Bound the
-	// materialized trace; legitimate traces stay far below this.
-	const maxCells = 1 << 22
-	if samples <= 0 || samples > maxCells/len(nodes) {
-		return nil, fmt.Errorf("trace: %d nodes x %d samples exceeds the re-sampling limit (shorten the trace or widen the interval)",
-			len(nodes), samples)
-	}
-	out := &mobility.SampledTrace{
-		Interval:  interval,
-		Positions: make([][]geometry.Vec2, len(nodes)),
-	}
-	for n, wps := range nodes {
-		out.Positions[n] = make([]geometry.Vec2, samples)
-		for i := 0; i < samples; i++ {
-			out.Positions[n][i] = interpolateWaypoints(wps, float64(i)*interval)
-		}
-	}
-	return out, nil
+	return mobility.NewStream(mobility.StreamConfig{
+		Nodes:    len(nodes),
+		Interval: interval,
+		Samples:  samples,
+		Fill: func(k int, row []geometry.Vec2) {
+			at := float64(k) * interval
+			for n, wps := range nodes {
+				row[n] = interpolateWaypoints(wps, at)
+			}
+		},
+	})
 }
 
 func interpolateWaypoints(wps []waypoint, at float64) geometry.Vec2 {

@@ -76,63 +76,104 @@ func FromSampled(t *mobility.SampledTrace) *Script {
 }
 
 // Sample replays the script's setdest semantics and produces a sampled
-// trace with the given interval and duration (seconds).
+// trace with the given interval and duration (seconds). It is the
+// materialized view of Source — both pull the same per-node replayers, so
+// running on the trace and running on the source are bit-identical.
 func (s *Script) Sample(interval, duration float64) *mobility.SampledTrace {
-	samples := mobility.SampleCount(duration, interval)
-	out := &mobility.SampledTrace{
-		Interval:  interval,
-		Positions: make([][]geometry.Vec2, len(s.Nodes)),
+	if interval <= 0 {
+		// The old code silently produced garbage sample counts here, so
+		// failing loudly at the cause is the kinder contract for an API
+		// without an error return; ImportNS2 validates before calling.
+		panic(fmt.Sprintf("trace: Sample: non-positive sample interval %v", interval))
 	}
-	for n, script := range s.Nodes {
-		out.Positions[n] = replay(script, interval, samples)
-	}
-	return out
-}
-
-func replay(script NodeScript, interval float64, samples int) []geometry.Vec2 {
-	pos := script.Initial
-	cmds := append([]SetDest(nil), script.Cmds...)
-	sort.SliceStable(cmds, func(i, j int) bool { return cmds[i].At < cmds[j].At })
-	out := make([]geometry.Vec2, 0, samples)
-	var active *SetDest
-	next := 0
-	now := 0.0
-	advance := func(until float64) {
-		for now < until {
-			// Activate any command due.
-			if next < len(cmds) && cmds[next].At <= now {
-				active = &cmds[next]
-				next++
-				continue
-			}
-			stepEnd := until
-			if next < len(cmds) && cmds[next].At < stepEnd {
-				stepEnd = cmds[next].At
-			}
-			dt := stepEnd - now
-			if active != nil {
-				d := pos.Dist(active.Dest)
-				if d > 0 && active.Speed > 0 {
-					travel := active.Speed * dt
-					if travel >= d {
-						pos = active.Dest
-						active = nil
-					} else {
-						dir := active.Dest.Sub(pos).Scale(1 / d)
-						pos = pos.Add(dir.Scale(travel))
-					}
-				} else {
-					active = nil
-				}
-			}
-			now = stepEnd
+	if len(s.Nodes) == 0 {
+		// Node-free scripts sample to an empty trace.
+		return &mobility.SampledTrace{
+			Interval:  interval,
+			Positions: make([][]geometry.Vec2, 0),
 		}
 	}
-	for i := 0; i < samples; i++ {
-		advance(float64(i) * interval)
-		out = append(out, pos)
+	src, err := s.Source(interval, duration)
+	if err != nil {
+		panic(fmt.Sprintf("trace: Sample: %v", err))
 	}
-	return out
+	return mobility.Record(src)
+}
+
+// Source replays the script as a streaming mobility source: per-node
+// setdest playback state is O(commands) — the script itself — and only
+// two interpolation rows are retained, instead of the O(nodes × samples)
+// matrix Sample materializes.
+func (s *Script) Source(interval, duration float64) (*mobility.Stream, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("trace: non-positive sample interval %v", interval)
+	}
+	replays := make([]*nodeReplay, len(s.Nodes))
+	for n, script := range s.Nodes {
+		replays[n] = newNodeReplay(script)
+	}
+	return mobility.NewStream(mobility.StreamConfig{
+		Nodes:    len(s.Nodes),
+		Interval: interval,
+		Samples:  mobility.SampleCount(duration, interval),
+		Fill: func(k int, row []geometry.Vec2) {
+			at := float64(k) * interval
+			for n, r := range replays {
+				r.advance(at)
+				row[n] = r.pos
+			}
+		},
+	})
+}
+
+// nodeReplay is the incremental setdest interpreter for one node: the
+// current position plus a cursor into the time-sorted command list.
+type nodeReplay struct {
+	pos    geometry.Vec2
+	cmds   []SetDest
+	active *SetDest
+	next   int
+	now    float64
+}
+
+func newNodeReplay(script NodeScript) *nodeReplay {
+	cmds := append([]SetDest(nil), script.Cmds...)
+	sort.SliceStable(cmds, func(i, j int) bool { return cmds[i].At < cmds[j].At })
+	return &nodeReplay{pos: script.Initial, cmds: cmds}
+}
+
+// advance plays the node forward to the given time (non-decreasing across
+// calls).
+func (r *nodeReplay) advance(until float64) {
+	for r.now < until {
+		// Activate any command due.
+		if r.next < len(r.cmds) && r.cmds[r.next].At <= r.now {
+			r.active = &r.cmds[r.next]
+			r.next++
+			continue
+		}
+		stepEnd := until
+		if r.next < len(r.cmds) && r.cmds[r.next].At < stepEnd {
+			stepEnd = r.cmds[r.next].At
+		}
+		dt := stepEnd - r.now
+		if r.active != nil {
+			d := r.pos.Dist(r.active.Dest)
+			if d > 0 && r.active.Speed > 0 {
+				travel := r.active.Speed * dt
+				if travel >= d {
+					r.pos = r.active.Dest
+					r.active = nil
+				} else {
+					dir := r.active.Dest.Sub(r.pos).Scale(1 / d)
+					r.pos = r.pos.Add(dir.Scale(travel))
+				}
+			} else {
+				r.active = nil
+			}
+		}
+		r.now = stepEnd
+	}
 }
 
 // Write emits the script in ns-2 scenario syntax.

@@ -1,9 +1,13 @@
 package cavenet
 
 import (
+	"math/rand"
+	"runtime"
 	"testing"
 
+	"cavenet/internal/ca"
 	"cavenet/internal/geometry"
+	"cavenet/internal/mobility"
 	"cavenet/internal/netsim"
 	"cavenet/internal/routing/dymo"
 	"cavenet/internal/routing/olsr"
@@ -23,6 +27,86 @@ func gridPositions(n int, cols int, spacing float64) []geometry.Vec2 {
 		out[i] = geometry.Vec2{X: float64(i%cols) * spacing, Y: float64(i/cols) * spacing}
 	}
 	return out
+}
+
+// retainedHeap runs f, garbage-collects, and reports how much heap the
+// value f returned keeps retained (net of the pre-existing baseline).
+func retainedHeap(t *testing.T, f func() any) (any, uint64) {
+	t.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	keep := f()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc < before.HeapAlloc {
+		return keep, 0
+	}
+	return keep, after.HeapAlloc - before.HeapAlloc
+}
+
+// metroRoad builds a 10k-vehicle single-ring road (40k cells keeps the
+// same 0.25 density regime as the metro workload) with a fixed seed so
+// the recorded and streamed measurements drive identical CA dynamics.
+func metroRoad(t *testing.T) *ca.Road {
+	t.Helper()
+	road, err := ca.NewRoad([]ca.LaneSpec{{
+		Config: ca.Config{Length: 40000, Vehicles: 10000, SlowdownP: 0.3, Boundary: ca.RingBoundary},
+		Placement: geometry.Ring{
+			Center:        geometry.Vec2{X: 150000, Y: 150000},
+			Circumference: 300000,
+		},
+	}}, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return road
+}
+
+// TestMobilityMemoryScalesWithNodesNotSamples is the streaming-mobility
+// memory claim at N=10k: driving a live road source across a 300 s
+// horizon retains O(nodes) heap (two interpolation rows plus the CA
+// state), while recording the same road grows O(nodes × samples). The
+// recorded trace for this configuration is ~10k × 301 positions ≈ 48 MB;
+// the source must stay at least an order of magnitude below it.
+func TestMobilityMemoryScalesWithNodesNotSamples(t *testing.T) {
+	const steps = 300
+	const horizon = float64(steps) // seconds; CA samples are 1 s apart
+
+	recordedKeep, recordedBytes := retainedHeap(t, func() any {
+		return mobility.RecordRoad(metroRoad(t), steps)
+	})
+
+	streamedKeep, streamedBytes := retainedHeap(t, func() any {
+		src, err := mobility.NewRoadSource(mobility.RoadSourceConfig{Road: metroRoad(t), Steps: steps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drive the source across the whole horizon at the world's tick
+		// granularity, like a live run would.
+		for tick := 0; float64(tick)*0.1 <= horizon; tick++ {
+			tsec := float64(tick) * 0.1
+			for n := 0; n < src.NumNodes(); n++ {
+				src.At(n, tsec)
+			}
+		}
+		return src
+	})
+
+	trace := recordedKeep.(*mobility.SampledTrace)
+	if trace.NumNodes() != 10000 || trace.NumSamples() != steps+1 {
+		t.Fatalf("recorded trace is %d x %d, expected 10000 x %d", trace.NumNodes(), trace.NumSamples(), steps+1)
+	}
+	// Sanity-floor the recorded measurement against its known payload so a
+	// GC accounting glitch cannot make the comparison vacuous.
+	if minRecorded := uint64(trace.NumNodes()*trace.NumSamples()) * 16; recordedBytes < minRecorded {
+		t.Fatalf("recorded path retained %d B, below its own %d B position payload — measurement broken", recordedBytes, minRecorded)
+	}
+	if streamedBytes*10 > recordedBytes {
+		t.Fatalf("streamed mobility retained %d B vs %d B recorded — not O(nodes) anymore", streamedBytes, recordedBytes)
+	}
+	runtime.KeepAlive(streamedKeep)
+	runtime.KeepAlive(recordedKeep)
 }
 
 func TestOLSRTableSizesSteadyOverLongRun(t *testing.T) {

@@ -39,8 +39,14 @@ func RegisterScenario(s ScenarioSpec) error { return scenario.Register(s) }
 func RunScenarioSpec(s ScenarioSpec) (*ScenarioResult, error) { return scenario.Run(s) }
 
 // ScenarioTrace generates only the scenario's mobility trace (lanes,
-// signals, lane changes, activation ramps) without running the network.
+// signals, lane changes, activation ramps) without running the network —
+// the materialized (differential-oracle) view of ScenarioSource.
 func ScenarioTrace(s ScenarioSpec) (*mobility.SampledTrace, error) { return scenario.BuildTrace(s) }
+
+// ScenarioSource generates the scenario's mobility as a streaming source:
+// the CA road steps live as positions are pulled, retaining O(nodes)
+// state — the substrate that runs the 10k-vehicle metro workload.
+func ScenarioSource(s ScenarioSpec) (MobilitySource, error) { return scenario.BuildSource(s) }
 
 // RunScenarioChecked runs the scenario under the invariant harness:
 // packet conservation, TTL discipline, routing-loop freedom, CA sanity
