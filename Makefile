@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test race sweep-smoke scenario-smoke fuzz-smoke bench-smoke bench-routing-smoke bench-mobility-smoke bench-routing bench ci
+.PHONY: build vet fmt-check staticcheck test race sweep-smoke scenario-smoke churn-smoke fuzz-smoke bench-smoke bench-routing-smoke bench-mobility-smoke bench-routing bench ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,15 @@ vet:
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# staticcheck when available: the tool is not vendored, so environments
+# without it (fresh containers) skip the target instead of failing ci.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
 	fi
 
 test:
@@ -40,12 +49,22 @@ scenario-smoke:
 	$(GO) run ./cmd/cavenet scenario list
 	$(GO) run ./cmd/cavenet scenario run signalized -time 15 -seed 3
 
-# A few seconds of each trace-parser fuzz target: keeps the fuzz harness
+# The fault-injection substrate end to end: the churn workload under the
+# invariant harness for every protocol (non-zero exit on any conservation
+# or custody violation), plus an ad-hoc fault plan through the CLI parser.
+churn-smoke:
+	$(GO) run ./cmd/cavenet scenario run churn -protocol aodv -time 20 -seed 2
+	$(GO) run ./cmd/cavenet scenario run churn -protocol olsr -time 20 -seed 2
+	$(GO) run ./cmd/cavenet scenario run churn -protocol dymo -time 20 -seed 2
+	$(GO) run ./cmd/cavenet scenario run highway -time 20 -seed 2 -faults "blackout:6,4,0.5;impair:0-1,2,10,0.3,3"
+
+# A few seconds of each parser fuzz target: keeps the fuzz harnesses
 # compiling and catches shallow parser regressions in CI. Open-ended
 # hunting: go test ./internal/trace -fuzz FuzzParseNS2
 fuzz-smoke:
 	$(GO) test ./internal/trace/ -fuzz FuzzParseNS2 -fuzztime 5s -run XXX
 	$(GO) test ./internal/trace/ -fuzz FuzzParseBonnMotion -fuzztime 5s -run XXX
+	$(GO) test ./internal/fault/ -fuzz FuzzParseSpec -fuzztime 5s -run XXX
 
 # One iteration of the broadcast scaling bench: catches gross perf
 # regressions (e.g. the culling silently disabled) without the minutes-long
@@ -77,4 +96,4 @@ bench:
 	$(GO) test ./internal/netsim/ -bench 'Connectivity|Components' -benchmem -benchtime=20x -run XXX
 	$(GO) test ./internal/sim/ -bench . -benchmem -run XXX
 
-ci: build vet fmt-check test bench-smoke bench-routing-smoke bench-mobility-smoke sweep-smoke scenario-smoke fuzz-smoke
+ci: build vet fmt-check staticcheck test bench-smoke bench-routing-smoke bench-mobility-smoke sweep-smoke scenario-smoke churn-smoke fuzz-smoke

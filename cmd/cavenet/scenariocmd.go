@@ -9,6 +9,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"cavenet/internal/fault"
 	"cavenet/internal/scenario"
 	"cavenet/internal/sim"
 )
@@ -59,6 +60,8 @@ func scenarioRun(w io.Writer, args []string) error {
 	nodes := fs.Int("nodes", 0, "rescale the fleet to this many vehicles at the spec's density (circuit and signals scale along) for quick scale experiments")
 	checked := fs.Bool("check", true, "run under the invariant harness")
 	format := fs.String("format", "text", "text or json")
+	churn := fs.Float64("churn", 0, "inject node churn at this rate per node per minute (4 s crash outages); shorthand for -faults churn:RATE")
+	faults := fs.String("faults", "", "fault plan, ';'-joined clauses: churn:RATE[,DOWNSEC[,graceful]] | blackout:START,DUR[,FRACTION] | partition:START,DUR | impair:A-B,START,DUR[,LOSS[,ATTENDB]]; replaces the scenario's declared faults")
 	// Accept the name before or after the flags.
 	var name string
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
@@ -100,6 +103,16 @@ func scenarioRun(w io.Writer, args []string) error {
 			spec.Flows[i].Stop = 0
 		}
 	}
+	if *faults != "" {
+		fspec, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return err
+		}
+		spec.Faults = fspec
+	}
+	if *churn > 0 {
+		spec.Faults.ChurnRatePerMin = *churn
+	}
 
 	var res *scenario.Result
 	var report fmt.Stringer = nil
@@ -136,6 +149,21 @@ func scenarioRun(w io.Writer, args []string) error {
 			res.Spec.Protocol, res.Spec.Seed, res.Spec.SimTime.Seconds())
 		fmt.Fprintf(w, "total PDR: %.3f  delivered: %d  in flight at end: %d  control packets: %d\n",
 			res.TotalPDR(), res.TotalDelivered(), res.InFlight, res.ControlPackets)
+		if r := res.Resilience; r != nil {
+			fmt.Fprintf(w, "faults: %d windows  downtime: %.1f node-s  PDR during/outside windows: %.3f/%.3f\n",
+				r.Windows, r.DowntimeNodeSec, r.PDRDuring, r.PDROutside)
+			if r.Recoveries > 0 {
+				fmt.Fprintf(w, "recoveries: %d  re-converged (delivery resumed): %d  mean re-convergence: %.2fs\n",
+					r.Recoveries, r.Reconverged, r.MeanReconvergeSec)
+			}
+		}
+		if len(res.Unreachable) > 0 {
+			var total uint64
+			for _, u := range res.Unreachable {
+				total += u
+			}
+			fmt.Fprintf(w, "unreachable drops (no route to destination): %d\n", total)
+		}
 		fmt.Fprintln(w, "sender  sent  delivered    PDR   meanDelay")
 		for _, s := range res.Senders {
 			fmt.Fprintf(w, "%4d   %5d   %6d    %.3f   %7.4fs\n",
@@ -259,14 +287,15 @@ func scenarioSweep(w io.Writer, args []string) error {
 		return enc.Encode(rows)
 	case "csv":
 		fmt.Fprintln(w, "# scenario x protocol x seed sweep; metrics are mean over trials with a 95% CI half-width")
-		fmt.Fprintln(w, "scenario,protocol,trials,pdr,pdrCI95,delay_s,delayCI95_s,ctrlPackets,ctrlPacketsCI95,delivered,violations")
+		fmt.Fprintln(w, "scenario,protocol,trials,pdr,pdrCI95,delay_s,delayCI95_s,ctrlPackets,ctrlPacketsCI95,delivered,violations,downtimeSec,faultPDR")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%s,%s,%d,%.4f,%.4f,%.5f,%.5f,%.1f,%.1f,%d,%d\n",
+			fmt.Fprintf(w, "%s,%s,%d,%.4f,%.4f,%.5f,%.5f,%.1f,%.1f,%d,%d,%.1f,%.4f\n",
 				r.Scenario, r.Protocol, r.Trials,
 				r.PDR.Mean, r.PDR.CI95,
 				r.DelaySec.Mean, r.DelaySec.CI95,
 				r.ControlPackets.Mean, r.ControlPackets.CI95,
-				r.Delivered, r.Violations)
+				r.Delivered, r.Violations,
+				r.DowntimeSec.Mean, r.FaultPDR.Mean)
 		}
 		return nil
 	default:

@@ -1,0 +1,53 @@
+package fault
+
+import (
+	"testing"
+
+	"cavenet/internal/sim"
+)
+
+// FuzzParseSpec hardens the CLI fault-plan grammar: no input may panic the
+// parser, and any spec the parser accepts must expand into a valid,
+// bounded plan (the input caps exist exactly so a hostile -faults string
+// cannot make Build materialize an unbounded schedule).
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"churn:1.5",
+		"churn:2,6,graceful",
+		"blackout:10,8,0.5",
+		"partition:5,20",
+		"impair:0-3,4,12,0.5,3",
+		"churn:1.5,4;impair:0-3,10,20,0.5,3",
+		"churn:;;;",
+		"impair:0-0,1,1",
+		"blackout:1e308,1e308",
+		"churn:NaN",
+		"impair:-1--2,1,1",
+		"churn:600;blackout:0,1e9,1;partition:0,1e9",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		// The parser validated the spec, so expansion must succeed for any
+		// reasonable world (size mismatches are tolerated by design: explicit
+		// impairments beyond the node count are skipped, not rejected) — with
+		// the single exception of duplicate explicit impairment pairs, which
+		// only Build can see.
+		plan, err := spec.Build(1, 20, 20*sim.Second)
+		if err != nil {
+			return
+		}
+		if err := plan.Validate(20); err != nil {
+			t.Fatalf("ParseSpec(%q) accepted a spec whose plan fails validation: %v", text, err)
+		}
+		if len(plan.Events) > 2*20*maxEventsPerNode+2*maxImpairs+2*20*20 {
+			t.Fatalf("ParseSpec(%q) expanded to %d events despite the caps", text, len(plan.Events))
+		}
+	})
+}

@@ -113,6 +113,14 @@ type QueueDropObserver interface {
 	MACQueueDrop(to Address, payload any)
 }
 
+// DownObserver is an optional Upper extension for fault injection: Down
+// flushes the station's custody — the in-flight job and the whole backlog —
+// through it, so the network layer can terminate each packet with an
+// explicit drop instead of letting it vanish with the dead interface.
+type DownObserver interface {
+	MACDownDrop(to Address, payload any)
+}
+
 // Kind distinguishes MAC frame types.
 type Kind int
 
@@ -146,6 +154,7 @@ type Stats struct {
 	Retries     uint64
 	Failures    uint64 // unicasts dropped after retry exhaustion
 	QueueDrops  uint64 // drop-tail interface-queue drops
+	DownDrops   uint64 // frames flushed because the interface went down
 	Duplicates  uint64 // retransmitted frames filtered by dedup
 	BytesTx     uint64 // on-air data bytes including MAC header
 	NAVSettings uint64
@@ -179,6 +188,7 @@ type DCF struct {
 	navTimer  *sim.Timer
 
 	navUntil    sim.Time
+	down        bool
 	awaitingAck bool
 	awaitingCTS bool
 	ackSeq      uint16
@@ -276,9 +286,67 @@ func (d *DCF) retryLimit(job *txJob) int {
 	return d.cfg.RetryLimit
 }
 
+// IsDown reports whether the interface is administratively down.
+func (d *DCF) IsDown() bool { return d.down }
+
+// Down takes the interface out of service: every timer stops, contention
+// state resets, and the station's entire custody — the in-flight job and
+// the backlog — is flushed through the DownObserver (when the upper layer
+// implements it) so each packet terminates with an accountable drop. The
+// radio itself is detached separately by the node lifecycle; an own
+// transmission already on the air completes at the PHY but the down MAC
+// ignores its completion. Calling Down on a down interface is a no-op.
+func (d *DCF) Down() {
+	if d.down {
+		return
+	}
+	d.down = true
+	d.difsTimer.Stop()
+	d.slotTimer.Stop()
+	d.ackTimer.Stop()
+	d.ctsTimer.Stop()
+	d.navTimer.Stop()
+	d.awaitingAck = false
+	d.awaitingCTS = false
+	d.navUntil = 0
+	obs, _ := d.upper.(DownObserver)
+	if d.current != nil {
+		job := *d.current
+		d.current = nil
+		d.stats.DownDrops++
+		if obs != nil {
+			obs.MACDownDrop(job.to, job.payload)
+		}
+	}
+	for i := range d.queue {
+		job := d.queue[i]
+		d.queue[i] = txJob{}
+		d.stats.DownDrops++
+		if obs != nil {
+			obs.MACDownDrop(job.to, job.payload)
+		}
+	}
+	d.queue = d.queue[:0]
+	d.cw = d.cfg.CWMin
+	d.backoff = 0
+}
+
+// Up returns a down interface to service with a clean slate (empty queue,
+// CWMin). Calling Up on a live interface is a no-op.
+func (d *DCF) Up() { d.down = false }
+
 // Send queues a frame for transmission. to may be Broadcast. bytes is the
 // network-layer packet size used for air-time computation.
 func (d *DCF) Send(to Address, payload any, bytes int) {
+	if d.down {
+		// A down interface accepts nothing; flush straight through the
+		// observer so the packet still terminates accountably.
+		d.stats.DownDrops++
+		if o, ok := d.upper.(DownObserver); ok {
+			o.MACDownDrop(to, payload)
+		}
+		return
+	}
 	if len(d.queue) >= d.cfg.QueueCap {
 		d.stats.QueueDrops++
 		if o, ok := d.upper.(QueueDropObserver); ok {
@@ -312,6 +380,9 @@ func (d *DCF) mediumIdle() bool {
 
 // resume makes contention progress whenever conditions may have changed.
 func (d *DCF) resume() {
+	if d.down {
+		return
+	}
 	if d.current == nil || d.awaitingAck || d.awaitingCTS {
 		return
 	}
@@ -461,6 +532,9 @@ var _ phy.Handler = (*DCF)(nil)
 
 // RadioCarrier implements phy.Handler.
 func (d *DCF) RadioCarrier(busy bool) {
+	if d.down {
+		return
+	}
 	if busy {
 		d.freeze()
 		return
@@ -473,6 +547,11 @@ func (d *DCF) RadioTxDone(f *phy.Frame) {
 	frame, ok := f.Payload.(*Frame)
 	if !ok {
 		panic(fmt.Sprintf("mac: foreign payload %T on own radio", f.Payload))
+	}
+	if d.down {
+		// Our last transmission finished airing after the interface went
+		// down; its job was already flushed.
+		return
 	}
 	if frame.Kind == KindData && frame.To == Broadcast && d.current != nil {
 		d.finishJob()
@@ -488,6 +567,11 @@ func (d *DCF) RadioReceive(f *phy.Frame, _ float64) {
 	frame, ok := f.Payload.(*Frame)
 	if !ok {
 		panic(fmt.Sprintf("mac: foreign payload %T", f.Payload))
+	}
+	if d.down {
+		// A reception that was mid-decode when the interface went down
+		// completes at the PHY; a dead station hears nothing.
+		return
 	}
 	switch frame.Kind {
 	case KindAck:
@@ -515,7 +599,9 @@ func (d *DCF) handleRTS(frame *Frame) {
 		NAV:  frame.NAV - d.cfg.SIFS - ctsDur,
 	}
 	d.kernel.After(d.cfg.SIFS, func() {
-		if d.radio.Transmitting() {
+		// The down check matters: the interface may crash during the SIFS
+		// and a detached radio panics on Transmit.
+		if d.down || d.radio.Transmitting() {
 			return
 		}
 		d.stats.CTSTx++
@@ -535,7 +621,7 @@ func (d *DCF) handleCTS(frame *Frame) {
 	d.ctsTimer.Stop()
 	job := d.current
 	d.kernel.After(d.cfg.SIFS, func() {
-		if d.radio.Transmitting() || d.current == nil {
+		if d.down || d.radio.Transmitting() || d.current == nil {
 			return
 		}
 		d.sendDataFrame(job)
@@ -596,9 +682,10 @@ func (d *DCF) handleData(frame *Frame) {
 func (d *DCF) sendAckAfterSIFS(frame *Frame) {
 	ack := &Frame{Kind: KindAck, From: d.addr, To: frame.From, Seq: frame.Seq}
 	d.kernel.After(d.cfg.SIFS, func() {
-		if d.radio.Transmitting() {
-			// Should not happen (SIFS preempts contention), but never
-			// double-transmit.
+		if d.down || d.radio.Transmitting() {
+			// Down: the interface crashed during the SIFS; a detached radio
+			// panics on Transmit. Transmitting should not happen (SIFS
+			// preempts contention), but never double-transmit.
 			return
 		}
 		d.stats.AckTx++

@@ -5,6 +5,8 @@
 package metrics
 
 import (
+	"strings"
+
 	"cavenet/internal/netsim"
 	"cavenet/internal/sim"
 )
@@ -15,13 +17,14 @@ type Collector struct {
 	binWidth sim.Time
 	bins     int
 
-	sent      map[netsim.NodeID]uint64
-	delivered map[netsim.NodeID]uint64
-	bytesRx   map[netsim.NodeID]uint64
-	delaySum  map[netsim.NodeID]sim.Time
-	hopSum    map[netsim.NodeID]uint64
-	goodput   map[netsim.NodeID][]uint64 // received payload bits per bin, by sender
-	drops     map[string]uint64
+	sent        map[netsim.NodeID]uint64
+	delivered   map[netsim.NodeID]uint64
+	bytesRx     map[netsim.NodeID]uint64
+	delaySum    map[netsim.NodeID]sim.Time
+	hopSum      map[netsim.NodeID]uint64
+	goodput     map[netsim.NodeID][]uint64 // received payload bits per bin, by sender
+	drops       map[string]uint64
+	unreachable map[netsim.NodeID]uint64 // per-sender routing-unreachable drops
 }
 
 // NewCollector creates a collector with the given goodput bin width and
@@ -29,15 +32,16 @@ type Collector struct {
 func NewCollector(binWidth sim.Time, horizon sim.Time) *Collector {
 	bins := int(horizon/binWidth) + 1
 	return &Collector{
-		binWidth:  binWidth,
-		bins:      bins,
-		sent:      make(map[netsim.NodeID]uint64),
-		delivered: make(map[netsim.NodeID]uint64),
-		bytesRx:   make(map[netsim.NodeID]uint64),
-		delaySum:  make(map[netsim.NodeID]sim.Time),
-		hopSum:    make(map[netsim.NodeID]uint64),
-		goodput:   make(map[netsim.NodeID][]uint64),
-		drops:     make(map[string]uint64),
+		binWidth:    binWidth,
+		bins:        bins,
+		sent:        make(map[netsim.NodeID]uint64),
+		delivered:   make(map[netsim.NodeID]uint64),
+		bytesRx:     make(map[netsim.NodeID]uint64),
+		delaySum:    make(map[netsim.NodeID]sim.Time),
+		hopSum:      make(map[netsim.NodeID]uint64),
+		goodput:     make(map[netsim.NodeID][]uint64),
+		drops:       make(map[string]uint64),
+		unreachable: make(map[netsim.NodeID]uint64),
 	}
 }
 
@@ -66,6 +70,12 @@ func (c *Collector) Bind(w *netsim.World) {
 		},
 		DataDropped: func(n *netsim.Node, p *netsim.Packet, reason string) {
 			c.drops[reason]++
+			// Routing-unreachable drops get a per-sender attribution so a
+			// flow whose destination crashed (or never came up) is
+			// distinguishable from congestion or mobility loss.
+			if strings.HasSuffix(reason, ":no-route") || strings.HasSuffix(reason, ":no-forward-route") {
+				c.unreachable[p.Src]++
+			}
 		},
 	})
 }
@@ -118,6 +128,20 @@ func (c *Collector) MeanHops(src netsim.NodeID) float64 {
 		return 0
 	}
 	return float64(c.hopSum[src]) / float64(d)
+}
+
+// Unreachable reports packets from src dropped because routing had no
+// route to their destination (":no-route" / ":no-forward-route" reasons) —
+// the signature of a destination that is down or was never reachable.
+func (c *Collector) Unreachable(src netsim.NodeID) uint64 { return c.unreachable[src] }
+
+// TotalUnreachable sums routing-unreachable drops across all senders.
+func (c *Collector) TotalUnreachable() uint64 {
+	var total uint64
+	for _, v := range c.unreachable {
+		total += v
+	}
+	return total
 }
 
 // Drops reports drop counts by reason.

@@ -1,0 +1,184 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/sim"
+)
+
+// TestNodeDownUpLifecycle drives the fault-injection surface end to end on
+// the plain node plumbing: a down node leaves the connectivity graph and
+// the air, lifecycle observers fire in both directions, mobility keeps
+// tracking while down, and recovery restores service.
+func TestNodeDownUpLifecycle(t *testing.T) {
+	w, err := NewWorld(WorldConfig{
+		Nodes:  3,
+		Static: staticPositions(3, 100),
+	}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var transitions []bool
+	w.Node(1).OnLifecycle(func(up bool) { transitions = append(transitions, up) })
+
+	w.Node(1).Down(false)
+	if w.Node(1).IsUp() {
+		t.Fatal("node 1 reports up after Down")
+	}
+	m := w.ConnectivityMatrix()
+	if m[0][1] || m[1][0] || m[1][2] {
+		t.Fatal("down node still present in the connectivity matrix")
+	}
+	if !m[0][2] {
+		t.Fatal("survivors lost connectivity when an unrelated node went down")
+	}
+	// Down nodes appear as singleton components, not as members of a cluster.
+	comps := w.ConnectedComponents()
+	for _, c := range comps {
+		for _, id := range c {
+			if id == 1 && len(c) != 1 {
+				t.Fatalf("down node clustered with survivors: %v", comps)
+			}
+		}
+	}
+
+	// Mobility keeps tracking a down node; the position must land without a
+	// grid update (the radio is detached) and survive to recovery.
+	w.Node(1).SetPosition(geometry.Vec2{X: 500, Y: 40})
+	if got := w.Node(1).Position(); got != (geometry.Vec2{X: 500, Y: 40}) {
+		t.Fatalf("position while down = %v", got)
+	}
+
+	w.Node(1).SetPosition(geometry.Vec2{X: 100})
+	w.Node(1).Up()
+	if !w.Node(1).IsUp() {
+		t.Fatal("node 1 reports down after Up")
+	}
+	if m := w.ConnectivityMatrix(); !m[0][1] || !m[1][2] {
+		t.Fatal("recovered node did not rejoin the connectivity graph at its tracked position")
+	}
+	if len(transitions) != 2 || transitions[0] != false || transitions[1] != true {
+		t.Fatalf("lifecycle transitions = %v, want [false true]", transitions)
+	}
+}
+
+// TestDownNodeSendsFlushAsDownDrops pins the custody story for traffic
+// originated at (or queued on) a dead station: the MAC refuses the frame
+// and the packet terminates as an accounted "node:down" drop instead of
+// vanishing.
+func TestDownNodeSendsFlushAsDownDrops(t *testing.T) {
+	w, err := NewWorld(WorldConfig{
+		Nodes:  2,
+		Static: staticPositions(2, 100),
+	}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := make(map[string]int)
+	w.SetHooks(Hooks{
+		DataDropped: func(n *Node, p *Packet, reason string) { drops[reason]++ },
+	})
+	w.Node(0).Down(false)
+	w.Node(0).SendData(w.Node(0).NewPacket(1, PortCBR, 128))
+	w.Run(100 * sim.Millisecond)
+	if drops["node:down"] != 1 {
+		t.Fatalf("drops = %v, want one node:down", drops)
+	}
+	if got := w.Node(0).MAC().Stats().DownDrops; got != 1 {
+		t.Fatalf("MAC DownDrops = %d, want 1", got)
+	}
+}
+
+// TestDownNodeHearsNothing pins radio semantics across an outage: frames
+// sent while a station is down never reach it, and delivery resumes after
+// recovery.
+func TestDownNodeHearsNothing(t *testing.T) {
+	w, err := NewWorld(WorldConfig{
+		Nodes:  2,
+		Static: staticPositions(2, 100),
+	}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered int
+	w.SetHooks(Hooks{
+		DataDelivered: func(n *Node, p *Packet) { delivered++ },
+	})
+	w.Node(1).AttachPort(PortCBR, PortFunc(func(p *Packet, at sim.Time) {}))
+
+	w.Kernel.Schedule(10*sim.Millisecond, func() { w.Node(1).Down(false) })
+	w.Kernel.Schedule(20*sim.Millisecond, func() {
+		w.Node(0).SendData(w.Node(0).NewPacket(1, PortCBR, 128))
+	})
+	w.Kernel.Schedule(500*sim.Millisecond, func() { w.Node(1).Up() })
+	w.Kernel.Schedule(600*sim.Millisecond, func() {
+		w.Node(0).SendData(w.Node(0).NewPacket(1, PortCBR, 128))
+	})
+	w.Run(sim.Second)
+	if delivered != 1 {
+		t.Fatalf("delivered %d packets, want exactly the post-recovery one", delivered)
+	}
+	if rx := w.Node(1).MAC().Stats().DataRx; rx != 1 {
+		t.Fatalf("down-phase frame reached the dead MAC: DataRx = %d", rx)
+	}
+}
+
+// TestLifecyclePanicsCarryTimestamp pins the diagnostic contract of the
+// fault API: schedule bugs (double down, up while up) panic with the
+// kernel clock in the message so a broken plan is debuggable.
+func TestLifecyclePanicsCarryTimestamp(t *testing.T) {
+	mustPanicWithClock := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, "t=") {
+				t.Fatalf("%s panic lacks a kernel timestamp: %q", name, msg)
+			}
+		}()
+		f()
+	}
+	w, err := NewWorld(WorldConfig{
+		Nodes:  2,
+		Static: staticPositions(2, 100),
+	}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Node(0).Down(false)
+	mustPanicWithClock("double Down", func() { w.Node(0).Down(false) })
+	mustPanicWithClock("Up while up", func() { w.Node(1).Up() })
+	mustPanicWithClock("duplicate AttachPort", func() {
+		w.Node(1).AttachPort(PortCBR, PortFunc(func(p *Packet, at sim.Time) {}))
+		w.Node(1).AttachPort(PortCBR, PortFunc(func(p *Packet, at sim.Time) {}))
+	})
+}
+
+// TestCrashReplacesRouterGracefulKeepsIt distinguishes the two shutdown
+// variants: a crash loses routing state (fresh router instance), a graceful
+// shutdown retains it.
+func TestCrashReplacesRouterGracefulKeepsIt(t *testing.T) {
+	w, err := NewWorld(WorldConfig{
+		Nodes:  2,
+		Static: staticPositions(2, 100),
+	}, newFloodRouter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := w.Node(0).Router()
+	w.Node(0).Down(true)
+	w.Node(0).Up()
+	if w.Node(0).Router() != before {
+		t.Fatal("graceful shutdown replaced the router")
+	}
+	w.Node(0).Down(false)
+	w.Node(0).Up()
+	if w.Node(0).Router() == before {
+		t.Fatal("crash kept the old router instance")
+	}
+}

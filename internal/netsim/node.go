@@ -30,6 +30,9 @@ type Node struct {
 	ports  map[int]PortHandler
 	rnd    *rand.Rand
 
+	down      bool
+	lifecycle []func(up bool) // fault-injection observers (traffic sources)
+
 	counters NodeCounters
 }
 
@@ -55,6 +58,75 @@ func (n *Node) SetPosition(p geometry.Vec2) {
 // MAC exposes the MAC for stats collection.
 func (n *Node) MAC() *mac.DCF { return n.mac }
 
+// IsUp reports whether the node is in service (not taken down by fault
+// injection).
+func (n *Node) IsUp() bool { return !n.down }
+
+// OnLifecycle registers an observer for fault-injection transitions: f is
+// called with up=false when the node goes down and up=true when it
+// recovers. Traffic sources use it to pause and resume their flows.
+func (n *Node) OnLifecycle(f func(up bool)) {
+	n.lifecycle = append(n.lifecycle, f)
+}
+
+// dataBufferer is implemented by routers that park data packets while
+// discovering a route (AODV, DYMO); a crash drains those buffers as
+// explicit drops before the router state is discarded.
+type dataBufferer interface {
+	EachBuffered(f func(p *Packet))
+}
+
+// Down takes the node out of service: its router stops, its MAC flushes
+// every queued frame upward as a "node:down" drop, and its radio leaves the
+// air (and the spatial index) so neighbors stop hearing it mid-flight.
+// A crash (graceful=false) additionally loses all routing state: buffered
+// data packets drain as "node:down" drops and the router is replaced with a
+// fresh instance, so a recovered node rejoins the network cold. Taking a
+// down node down again is a fault-schedule bug and panics.
+func (n *Node) Down(graceful bool) {
+	if n.down {
+		panic(fmt.Sprintf("netsim: t=%v: node %d already down", n.world.Kernel.Now(), n.id))
+	}
+	n.down = true
+	n.router.Stop()
+	// MAC flush first: frames in the interface queue route through
+	// macUpper.MACDownDrop and terminate in the ledger.
+	n.mac.Down()
+	if !graceful {
+		if b, ok := n.router.(dataBufferer); ok {
+			b.EachBuffered(func(p *Packet) {
+				n.DropData(p, "node:down")
+			})
+		}
+		n.router = n.world.factory(n)
+		if n.router == nil {
+			panic(fmt.Sprintf("netsim: t=%v: router factory returned nil for node %d", n.world.Kernel.Now(), n.id))
+		}
+	}
+	n.radio.Detach()
+	for _, f := range n.lifecycle {
+		f(false)
+	}
+}
+
+// Up returns a down node to service: radio back on the air at the node's
+// current position (mobility keeps tracking while down), MAC reset, router
+// restarted — the original instance after a graceful shutdown, the fresh
+// replacement after a crash. Bringing an in-service node up is a
+// fault-schedule bug and panics.
+func (n *Node) Up() {
+	if !n.down {
+		panic(fmt.Sprintf("netsim: t=%v: node %d already up", n.world.Kernel.Now(), n.id))
+	}
+	n.down = false
+	n.radio.Reattach()
+	n.mac.Up()
+	n.router.Start()
+	for _, f := range n.lifecycle {
+		f(true)
+	}
+}
+
 // Router exposes the routing protocol instance.
 func (n *Node) Router() Router { return n.router }
 
@@ -65,7 +137,7 @@ func (n *Node) Counters() NodeCounters { return n.counters }
 // the given port. Registering a port twice is a scenario bug and panics.
 func (n *Node) AttachPort(port int, h PortHandler) {
 	if _, dup := n.ports[port]; dup {
-		panic(fmt.Sprintf("netsim: node %d: port %d already attached", n.id, port))
+		panic(fmt.Sprintf("netsim: t=%v: node %d: port %d already attached", n.world.Kernel.Now(), n.id, port))
 	}
 	n.ports[port] = h
 }
@@ -134,7 +206,8 @@ var _ mac.Upper = macUpper{}
 func (u macUpper) MACReceive(payload any, from mac.Address) {
 	shared, ok := payload.(*Packet)
 	if !ok {
-		panic(fmt.Sprintf("netsim: MAC delivered %T", payload))
+		panic(fmt.Sprintf("netsim: t=%v: node %d: MAC delivered %T",
+			u.n.world.Kernel.Now(), u.n.id, payload))
 	}
 	n := u.n
 	if shared.Kind == KindControl {
@@ -187,4 +260,16 @@ func (u macUpper) MACQueueDrop(to mac.Address, payload any) {
 		return
 	}
 	u.n.DropData(p, "mac:queue-full")
+}
+
+// MACDownDrop implements mac.DownObserver: when fault injection takes the
+// interface down, every data frame in MAC custody terminates as an
+// explicit "node:down" drop so the conservation ledger sees where it died.
+// Control frames, as with queue drops, are only MAC statistics.
+func (u macUpper) MACDownDrop(to mac.Address, payload any) {
+	p, ok := payload.(*Packet)
+	if !ok || p.Kind != KindData {
+		return
+	}
+	u.n.DropData(p, "node:down")
 }

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"cavenet/internal/geometry"
 	"cavenet/internal/mac"
@@ -53,6 +54,7 @@ type World struct {
 	nodes   []*Node
 	cfg     WorldConfig
 	src     *rng.Source
+	factory RouterFactory // kept for crash recovery: a crashed node gets a fresh router
 	uid     uint64
 	hooks   Hooks
 	// pktFree recycles the per-reception clones of control broadcasts
@@ -111,9 +113,10 @@ func NewWorld(cfg WorldConfig, factory RouterFactory) (*World, error) {
 		cfg.MobilityInterval = 100 * sim.Millisecond
 	}
 	w := &World{
-		Kernel: sim.NewKernel(),
-		cfg:    cfg,
-		src:    rng.NewSource(cfg.Seed),
+		Kernel:  sim.NewKernel(),
+		cfg:     cfg,
+		src:     rng.NewSource(cfg.Seed),
+		factory: factory,
 	}
 	w.Channel = phy.NewChannel(w.Kernel, cfg.Propagation, cfg.Channel)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -170,6 +173,11 @@ func (w *World) AddHooks(h Hooks) {
 	}
 	w.hooks = h
 }
+
+// Stream derives a named deterministic RNG stream from the world's seed;
+// the fault layer uses it so impairment loss draws stay decorrelated from
+// every node- and MAC-level stream.
+func (w *World) Stream(name string) *rand.Rand { return w.src.Stream(name) }
 
 // Node returns node i.
 func (w *World) Node(i int) *Node { return w.nodes[i] }
@@ -236,6 +244,11 @@ func (w *World) ConnectivityMatrix() [][]bool {
 	txW := w.Channel.TxPowerW()
 	for i := 0; i < n; i++ {
 		node := w.nodes[i]
+		// A down node has no links; the grid path skips it implicitly
+		// (its radio is detached from the index), the brute path here.
+		if node.down {
+			continue
+		}
 		if w.Channel.EachNearRx(node.pos, func(rx *phy.Radio) {
 			// Evaluate each unordered pair once, from its lower index.
 			// Radios attached to the channel beyond the world's nodes
@@ -252,6 +265,9 @@ func (w *World) ConnectivityMatrix() [][]bool {
 			continue
 		}
 		for j := i + 1; j < n; j++ {
+			if w.nodes[j].down {
+				continue
+			}
 			power := w.cfg.Propagation.RxPower(txW, node.pos, w.nodes[j].pos)
 			ok := power >= thresh
 			m[i][j] = ok
@@ -276,6 +292,11 @@ func (w *World) ConnectedComponents() [][]int {
 		txW := w.Channel.TxPowerW()
 		neighbors = func(v int, visit func(u int)) {
 			src := w.nodes[v]
+			// A down node is a singleton component: its radio is out of
+			// the grid so nobody reaches it, and it reaches nobody.
+			if src.down {
+				return
+			}
 			w.Channel.EachNearRx(src.pos, func(rx *phy.Radio) {
 				// Skip non-node radios (see ConnectivityMatrix) and
 				// already-seen nodes before paying for the model.

@@ -2,6 +2,8 @@ package phy
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 
 	"cavenet/internal/geometry"
 	"cavenet/internal/sim"
@@ -78,16 +80,65 @@ type Channel struct {
 	rxThreshW   float64
 	csThreshW   float64
 	radios      []*Radio
-	grid        *spatial.Grid // nil when running the brute-force oracle
-	csCullM     float64       // grid query radius covering the CS threshold
-	rxCullM     float64       // grid query radius covering the Rx threshold
-	nearBuf     []int32       // Transmit-only grid-query scratch (never re-entered)
-	bufPool     [][]int32     // recycled EachNearRx buffers; survives nesting
-	sigFree     []*signal     // recycled per-receiver signal records
+	grid        *spatial.Grid           // nil when running the brute-force oracle
+	csCullM     float64                 // grid query radius covering the CS threshold
+	rxCullM     float64                 // grid query radius covering the Rx threshold
+	nearBuf     []int32                 // Transmit-only grid-query scratch (never re-entered)
+	bufPool     [][]int32               // recycled EachNearRx buffers; survives nesting
+	sigFree     []*signal               // recycled per-receiver signal records
+	impairs     map[[2]int32]impairment // per-pair fault-injected link impairments; nil when none ever set
+	impairRnd   *rand.Rand              // loss-draw stream; required before any lossy impairment
 	nextFrameID uint64
 	transmitted uint64
 	delivered   uint64
 	collided    uint64
+}
+
+// impairment is a fault-injected per-link degradation: gain multiplies the
+// received power (from an attenuation in dB), loss is a per-reception
+// erasure probability drawn at propagation time.
+type impairment struct {
+	gain float64
+	loss float64
+}
+
+// impairKey normalizes an unordered radio-index pair.
+func impairKey(a, b int) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{int32(a), int32(b)}
+}
+
+// SetImpairRand installs the RNG stream that lossy impairments draw from.
+// Draws are consumed at Transmit time in receiver-visit order (grid cell
+// order, or attach order on the brute path), which is deterministic, so
+// runs with the same impairment schedule replay bit-identically.
+func (c *Channel) SetImpairRand(rnd *rand.Rand) { c.impairRnd = rnd }
+
+// SetImpairment installs a loss/attenuation impairment on the unordered
+// link (a, b). Attenuation applies before the carrier-sense threshold test,
+// so it only ever shrinks the reachable set and grid culling stays
+// conservative; loss erases receptions after the threshold. Installing a
+// lossy impairment without a prior SetImpairRand is a wiring bug and
+// panics.
+func (c *Channel) SetImpairment(a, b int, loss, attenDB float64) {
+	if loss > 0 && c.impairRnd == nil {
+		panic("phy: lossy impairment without SetImpairRand")
+	}
+	if c.impairs == nil {
+		c.impairs = make(map[[2]int32]impairment)
+	}
+	c.impairs[impairKey(a, b)] = impairment{
+		gain: math.Pow(10, -attenDB/10),
+		loss: loss,
+	}
+}
+
+// ClearImpairment removes the impairment on the unordered link (a, b), if
+// any.
+func (c *Channel) ClearImpairment(a, b int) {
+	delete(c.impairs, impairKey(a, b))
 }
 
 // NewChannel builds a channel over the given propagation model.
@@ -180,6 +231,9 @@ func (c *Channel) Transmit(r *Radio, payload any, bytes int, duration sim.Time) 
 	if r.transmitting {
 		panic("phy: radio already transmitting")
 	}
+	if r.detached {
+		panic(fmt.Sprintf("phy: t=%v: detached %v transmitting", c.kernel.Now(), r))
+	}
 	c.nextFrameID++
 	c.transmitted++
 	f := &Frame{ID: c.nextFrameID, Bytes: bytes, Duration: duration, Payload: payload}
@@ -190,17 +244,18 @@ func (c *Channel) Transmit(r *Radio, payload any, bytes int, duration sim.Time) 
 		sig.corrupted = true
 	}
 	if c.grid != nil {
+		// Detached radios are absent from the grid, so the cull skips them.
 		c.nearBuf = c.grid.Near(c.nearBuf[:0], src, c.csCullM)
 		for _, idx := range c.nearBuf {
 			rx := c.radios[idx]
 			if rx != r {
-				c.propagate(src, rx, f)
+				c.propagate(r, rx, f)
 			}
 		}
 	} else {
 		for _, rx := range c.radios {
-			if rx != r {
-				c.propagate(src, rx, f)
+			if rx != r && !rx.detached {
+				c.propagate(r, rx, f)
 			}
 		}
 	}
@@ -211,10 +266,26 @@ func (c *Channel) Transmit(r *Radio, payload any, bytes int, duration sim.Time) 
 
 // propagate schedules the arrival of frame f at rx if the received power
 // clears the carrier-sense threshold.
-func (c *Channel) propagate(src geometry.Vec2, rx *Radio, f *Frame) {
+func (c *Channel) propagate(tx, rx *Radio, f *Frame) {
+	src := tx.position
 	rxPos := rx.position
 	power := c.prop.RxPower(c.cfg.TxPowerW, src, rxPos)
+	var loss float64
+	if len(c.impairs) > 0 {
+		if imp, ok := c.impairs[impairKey(tx.index, rx.index)]; ok {
+			// Attenuation before the threshold test: the impairment only
+			// ever reduces power, so the grid cull (a superset of the
+			// unimpaired reachable set) remains conservative.
+			power *= imp.gain
+			loss = imp.loss
+		}
+	}
 	if power < c.csThreshW {
+		return
+	}
+	if loss > 0 && c.impairRnd.Float64() < loss {
+		// Erasure model: the reception vanishes entirely rather than
+		// arriving corrupted, so it contributes no interference.
 		return
 	}
 	sig := c.newSignal()
@@ -269,6 +340,7 @@ type Radio struct {
 	handler      Handler
 	index        int
 	transmitting bool
+	detached     bool
 	txFrame      *Frame
 	active       []*signal
 	decoding     *signal
@@ -297,11 +369,46 @@ func (r *Radio) CarrierBusy() bool {
 func (r *Radio) Position() geometry.Vec2 { return r.position }
 
 // SetPosition moves the radio, updating the channel's spatial index
-// incrementally (a move within the same grid cell is a field store).
+// incrementally (a move within the same grid cell is a field store). A
+// detached radio still tracks its position — mobility continues while a
+// node is down — but stays out of the index until Reattach.
 func (r *Radio) SetPosition(p geometry.Vec2) {
 	r.position = p
+	if r.detached {
+		return
+	}
 	if g := r.channel.grid; g != nil {
 		g.Move(r.index, p)
+	}
+}
+
+// Detached reports whether the radio is currently off the air.
+func (r *Radio) Detached() bool { return r.detached }
+
+// Detach takes the radio off the air: it leaves the spatial index, new
+// transmissions panic, and in-flight arrivals are discarded on start.
+// Signals already being decoded run to completion — their end events are
+// scheduled — but the (down) MAC ignores the callbacks. Detaching twice is
+// a lifecycle bug and panics.
+func (r *Radio) Detach() {
+	if r.detached {
+		panic(fmt.Sprintf("phy: t=%v: %v already detached", r.channel.kernel.Now(), r))
+	}
+	r.detached = true
+	if g := r.channel.grid; g != nil {
+		g.Remove(r.index)
+	}
+}
+
+// Reattach puts the radio back on the air at its current position.
+// Reattaching an attached radio is a lifecycle bug and panics.
+func (r *Radio) Reattach() {
+	if !r.detached {
+		panic(fmt.Sprintf("phy: t=%v: %v not detached", r.channel.kernel.Now(), r))
+	}
+	r.detached = false
+	if g := r.channel.grid; g != nil {
+		g.Insert(r.index, r.position)
 	}
 }
 
@@ -314,6 +421,13 @@ func (r *Radio) Transmit(payload any, bytes int, duration sim.Time) *Frame {
 }
 
 func (r *Radio) signalStart(sig *signal) {
+	if r.detached {
+		// The radio went down while this signal was in flight; a powered-off
+		// receiver hears nothing. No end event has been scheduled yet, so
+		// the record can return to the pool immediately.
+		r.channel.releaseSignal(sig)
+		return
+	}
 	wasBusy := r.CarrierBusy()
 	r.active = append(r.active, sig)
 

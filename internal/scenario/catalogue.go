@@ -1,6 +1,9 @@
 package scenario
 
-import "cavenet/internal/sim"
+import (
+	"cavenet/internal/fault"
+	"cavenet/internal/sim"
+)
 
 // The built-in scenario catalogue. Each entry is a first-class workload:
 // listable and runnable from `cavenet scenario`, swept by Sweep, and
@@ -119,5 +122,62 @@ func init() {
 		},
 		SimTime: 100 * sim.Second,
 		Expect:  Expect{},
+	})
+
+	// 8. Churn: random node crash/recovery on the baseline circuit. Every
+	// node power-cycles at ~1.5 outages/min with 4 s crashes (state loss),
+	// so routes break mid-flow, MAC queues flush as "node:down" drops, and
+	// recovered nodes rejoin cold. No metric floors: any node — including
+	// every flow endpoint — can be down at any time; the workload's
+	// contract is the conservation/custody invariants, not throughput.
+	MustRegister(Spec{
+		Name:         "churn",
+		Description:  "fault churn: 25 vehicles, every node crash/recovers ~1.5x per min (4 s outages)",
+		LaneVehicles: []int{25},
+		SimTime:      60 * sim.Second,
+		Faults: fault.Spec{
+			ChurnRatePerMin: 1.5,
+			ChurnDownSec:    4,
+		},
+		Expect: Expect{},
+	})
+
+	// 9. Blackout: a correlated mass failure — at t=10 s, 60% of the fleet
+	// crashes simultaneously for 8 s, expiring whole neighborhoods of
+	// routing state in one purge wave, then everyone recovers at once and
+	// the network re-converges.
+	MustRegister(Spec{
+		Name:         "blackout",
+		Description:  "fault blackout: 24 vehicles, 60% of the fleet crashes at t=10 s for 8 s",
+		LaneVehicles: []int{24},
+		SimTime:      50 * sim.Second,
+		Faults: fault.Spec{
+			BlackoutStartSec: 10,
+			BlackoutDurSec:   8,
+			BlackoutFraction: 0.6,
+		},
+		Expect: Expect{},
+	})
+
+	// 10. Flaky corridor: no node ever dies, but every link into the
+	// receiver (node 0) runs at 35% random frame erasure plus 3 dB extra
+	// attenuation for a 12 s window — the degraded-interface regime where
+	// MAC retries, link-failure feedback and route repair do the work.
+	MustRegister(Spec{
+		Name:         "flaky-corridor",
+		Description:  "fault impairment: links into the receiver lose 35% of frames (+3 dB) for 12 s",
+		LaneVehicles: []int{20},
+		SimTime:      50 * sim.Second,
+		Faults: fault.Spec{
+			Impairs: []fault.Impair{
+				{A: 0, B: 1, StartSec: 4, DurSec: 12, Loss: 0.35, AttenDB: 3},
+				{A: 0, B: 2, StartSec: 4, DurSec: 12, Loss: 0.35, AttenDB: 3},
+				{A: 0, B: 3, StartSec: 4, DurSec: 12, Loss: 0.35, AttenDB: 3},
+				{A: 0, B: 4, StartSec: 4, DurSec: 12, Loss: 0.35, AttenDB: 3},
+				{A: 0, B: 5, StartSec: 4, DurSec: 12, Loss: 0.35, AttenDB: 3},
+				{A: 0, B: 6, StartSec: 4, DurSec: 12, Loss: 0.35, AttenDB: 3},
+			},
+		},
+		Expect: Expect{},
 	})
 }

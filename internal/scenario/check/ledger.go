@@ -18,7 +18,14 @@ import (
 // parked). Every such fork is witnessed by exactly one link-failure drop,
 // so the sound conservation invariant is
 //
-//	deliveries ≤ 1   and   deliveries + drops ≤ link-failure drops + 1.
+//	deliveries ≤ 1   and   deliveries + drops ≤ fork witnesses + 1.
+//
+// A "node:down" drop is the fault-injection analogue of the same fork: the
+// crashing node's in-flight frame may already have been decoded downstream
+// (so the packet lives on) while the flush records a drop for the local
+// copy — and two custodians of ACK-loss replicas can even crash
+// independently, each recording its own witness. Both reasons therefore
+// count as fork witnesses (lfDropped).
 type fate struct {
 	delivered int
 	dropped   int
@@ -217,7 +224,10 @@ func (l *Ledger) onDropped(n *netsim.Node, p *netsim.Packet, reason string) {
 		return
 	}
 	f.dropped++
-	if strings.HasSuffix(reason, ":link-failure") {
+	// node:down is the custody rule for crashed custodians: like a
+	// link-failure, it can witness a fork whose other copy lives on
+	// downstream (see the fate invariant above).
+	if strings.HasSuffix(reason, ":link-failure") || reason == "node:down" {
 		f.lfDropped++
 	}
 	if f.terminals() > f.lfDropped+1 {

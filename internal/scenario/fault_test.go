@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// faultScenarios are the catalogue's fault-injection workloads.
+var faultScenarios = []string{"churn", "blackout", "flaky-corridor"}
+
+// TestFaultPlanDeterministic is the fault analogue of the sweep-determinism
+// contract: plans are derived from forked RNG roots, never from worker
+// scheduling, so a sweep over the fault workloads is bit-identical for any
+// worker count — resilience columns included.
+func TestFaultPlanDeterministic(t *testing.T) {
+	cfg := SweepConfig{
+		Scenarios: faultScenarios,
+		Trials:    2,
+		Seed:      7,
+		Shrunk:    true,
+		Checked:   true,
+	}
+	serial := cfg
+	serial.Workers = 1
+	parallel := cfg
+	parallel.Workers = 8
+	a, err := Sweep(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault sweep diverged across worker counts:\n1 worker: %+v\n8 workers: %+v", a, b)
+	}
+	for _, row := range a {
+		if row.Violations != 0 {
+			t.Errorf("%s/%s: %d invariant violations under faults", row.Scenario, row.Protocol, row.Violations)
+		}
+	}
+	// Non-vacuity: the node-fault rows must report downtime.
+	for _, row := range a {
+		if row.Scenario != "flaky-corridor" && row.DowntimeSec.Mean <= 0 {
+			t.Errorf("%s/%s: zero downtime in a node-fault workload", row.Scenario, row.Protocol)
+		}
+	}
+}
+
+// TestFaultWorkloadsBite pins that the catalogue's fault scenarios actually
+// perturb the run (crash drops recorded, resilience populated) while every
+// invariant — conservation with the "node:down" custody rule included —
+// still holds.
+func TestFaultWorkloadsBite(t *testing.T) {
+	churn, _ := Get("churn")
+	churn = churn.Shrunk()
+	churn.Protocol = AODV
+	churn.Seed = 1
+	res, rep, err := RunChecked(churn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("churn violates invariants:\n%s", rep)
+	}
+	if res.Resilience == nil {
+		t.Fatal("churn run returned no resilience summary")
+	}
+	r := res.Resilience
+	if r.Windows == 0 || r.DowntimeNodeSec <= 0 || r.Recoveries == 0 {
+		t.Fatalf("churn resilience is vacuous: %+v", r)
+	}
+	if res.Drops["node:down"] == 0 {
+		t.Fatal("churn run recorded no node:down drops; crashes flushed nothing")
+	}
+	if r.SentDuring == 0 || r.DeliveredDuring == 0 {
+		t.Fatalf("no traffic classified into fault windows: %+v", r)
+	}
+
+	blackout, _ := Get("blackout")
+	blackout = blackout.Shrunk()
+	blackout.Protocol = AODV
+	blackout.Seed = 1
+	res, rep, err = RunChecked(blackout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("blackout violates invariants:\n%s", rep)
+	}
+	r = res.Resilience
+	if r == nil || r.Windows != 1 {
+		t.Fatalf("blackout resilience = %+v, want one merged window", r)
+	}
+	if r.PDRDuring >= r.PDROutside {
+		t.Fatalf("blackout PDR during window %.3f not below outside %.3f — the mass crash did nothing", r.PDRDuring, r.PDROutside)
+	}
+
+	flaky, _ := Get("flaky-corridor")
+	flaky = flaky.Shrunk()
+	flaky.Protocol = AODV
+	flaky.Seed = 1
+	res, rep, err = RunChecked(flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("flaky-corridor violates invariants:\n%s", rep)
+	}
+	r = res.Resilience
+	if r == nil || r.Windows != 1 || r.DowntimeNodeSec != 0 || r.Recoveries != 0 {
+		t.Fatalf("flaky-corridor resilience = %+v, want one pure-impairment window with no downtime", r)
+	}
+}
+
+// TestFaultFreeResultShape pins the structural no-op: a scenario without
+// faults yields a nil Resilience pointer and no node:down drops, so
+// fault-free results marshal identically to pre-fault ones.
+func TestFaultFreeResultShape(t *testing.T) {
+	s, _ := Get("highway")
+	s = s.Shrunk()
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilience != nil {
+		t.Fatalf("fault-free run carries a resilience summary: %+v", res.Resilience)
+	}
+	if n := res.Drops["node:down"]; n != 0 {
+		t.Fatalf("fault-free run recorded %d node:down drops", n)
+	}
+	if res.MACStats.DownDrops != 0 {
+		t.Fatalf("fault-free run recorded %d MAC down-flush drops", res.MACStats.DownDrops)
+	}
+}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"cavenet/internal/fault"
 	"cavenet/internal/mac"
 	"cavenet/internal/metrics"
 	"cavenet/internal/mobility"
@@ -40,6 +41,14 @@ type Result struct {
 	MACStats mac.Stats
 	// Drops counts data-packet drops by reason.
 	Drops map[string]uint64
+	// Unreachable maps sender ID to packets dropped because routing had no
+	// route to their destination — the loss signature of a dead or
+	// never-reachable destination, kept apart from congestion loss.
+	Unreachable map[int]uint64
+	// Resilience summarizes traffic against the fault plan; nil when the
+	// scenario declares no faults, so fault-free results stay structurally
+	// identical to pre-fault ones.
+	Resilience *fault.Resilience
 }
 
 // TotalPDR reports the delivery ratio across all senders.
@@ -212,6 +221,23 @@ func runOnSource(s *Spec, src mobility.Source, report *check.Report) (*Result, e
 		world.AddHooks(ledger.Hooks())
 	}
 
+	// Fault plan: expanded deterministically from the spec and applied as
+	// kernel-scheduled actuators. An empty plan installs nothing — the
+	// fault-free path stays byte-identical to a world that never imported
+	// the fault layer (the empty-plan differential test pins this).
+	var meter *fault.Meter
+	if !s.Faults.Empty() {
+		plan, err := s.Faults.Build(s.Seed, s.Nodes, s.SimTime)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		if err := fault.Apply(world, plan); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		meter = fault.NewMeter(plan, s.SimTime)
+		world.AddHooks(meter.Hooks())
+	}
+
 	// One sink per distinct destination, attached before any source
 	// starts (flows all ride the CBR port).
 	sinks := make(map[int]*traffic.Sink)
@@ -259,6 +285,7 @@ func runOnSource(s *Spec, src mobility.Source, report *check.Report) (*Result, e
 		MeanHops:     make(map[int]float64, len(senders)),
 		InFlight:     collector.InFlight(),
 		Drops:        collector.Drops(),
+		Unreachable:  make(map[int]uint64, len(senders)),
 	}
 	for _, snd := range senders {
 		id := netsim.NodeID(snd)
@@ -268,6 +295,13 @@ func runOnSource(s *Spec, src mobility.Source, report *check.Report) (*Result, e
 		res.Delivered[snd] = collector.Delivered(id)
 		res.MeanDelaySec[snd] = collector.MeanDelay(id).Seconds()
 		res.MeanHops[snd] = collector.MeanHops(id)
+		if u := collector.Unreachable(id); u > 0 {
+			res.Unreachable[snd] = u
+		}
+	}
+	if meter != nil {
+		r := meter.Result()
+		res.Resilience = &r
 	}
 	res.ControlPackets, res.ControlBytes = metrics.RoutingOverhead(world)
 	for _, n := range world.Nodes() {
@@ -281,6 +315,7 @@ func runOnSource(s *Spec, src mobility.Source, report *check.Report) (*Result, e
 		res.MACStats.Retries += st.Retries
 		res.MACStats.Failures += st.Failures
 		res.MACStats.QueueDrops += st.QueueDrops
+		res.MACStats.DownDrops += st.DownDrops
 		res.MACStats.Duplicates += st.Duplicates
 		res.MACStats.BytesTx += st.BytesTx
 		res.MACStats.NAVSettings += st.NAVSettings

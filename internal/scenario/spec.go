@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"cavenet/internal/ca"
+	"cavenet/internal/fault"
 	"cavenet/internal/sim"
 )
 
@@ -128,6 +129,15 @@ type Spec struct {
 	DYMONoPathAccumulation bool
 	NoCapture              bool
 	RTSThreshold           int
+
+	// ---- Fault injection ----
+
+	// Faults declares the scenario's fault workload (node churn, blackout
+	// windows, link impairments); the zero value is fault-free and leaves
+	// the run byte-identical to a world that never saw the fault layer.
+	// The plan is expanded per run from (Faults, Seed, Nodes, SimTime), so
+	// sweeps stay bit-identical for any worker count.
+	Faults fault.Spec
 
 	// Expect declares the scenario's metric floors.
 	Expect Expect
@@ -282,6 +292,9 @@ func (s *Spec) normalize() error {
 			return fmt.Errorf("scenario %s: flow %d window [%v,%v] inverted", s.Name, i, f.Start, f.Stop)
 		}
 	}
+	if err := s.Faults.Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
 	return nil
 }
 
@@ -310,6 +323,7 @@ func (s Spec) clone() Spec {
 	if s.Flows != nil {
 		s.Flows = append(make([]Flow, 0, len(s.Flows)), s.Flows...)
 	}
+	s.Faults = s.Faults.Clone()
 	return s
 }
 

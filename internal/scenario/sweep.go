@@ -47,14 +47,21 @@ type SweepRow struct {
 	Delivered uint64 `json:"delivered"`
 	// Violations totals invariant violations across trials (Checked only).
 	Violations int `json:"violations"`
+	// DowntimeSec is the fault plan's node-seconds of downtime per trial
+	// (zero for fault-free scenarios).
+	DowntimeSec stats.Estimate `json:"downtimeSec"`
+	// FaultPDR is the delivery ratio of packets originated inside fault
+	// windows (zero for fault-free scenarios).
+	FaultPDR stats.Estimate `json:"faultPDR"`
 }
 
 // sweepTrial is the scalarized outcome of one (scenario, protocol, trial)
 // run.
 type sweepTrial struct {
-	pdr, delay, ctrl float64
-	delivered        uint64
-	violations       int
+	pdr, delay, ctrl   float64
+	downtime, faultPDR float64
+	delivered          uint64
+	violations         int
 }
 
 // Sweep executes the grid on the deterministic parallel engine. The unit
@@ -167,6 +174,10 @@ func Sweep(cfg SweepConfig) ([]SweepRow, error) {
 				delivered:  res.TotalDelivered(),
 				violations: violations,
 			}
+			if r := res.Resilience; r != nil {
+				out[pi].downtime = r.DowntimeNodeSec
+				out[pi].faultPDR = r.PDRDuring
+			}
 		}
 		return out, nil
 	})
@@ -188,6 +199,8 @@ func Sweep(cfg SweepConfig) ([]SweepRow, error) {
 			row.PDR = pick(func(r sweepTrial) float64 { return r.pdr })
 			row.DelaySec = pick(func(r sweepTrial) float64 { return r.delay })
 			row.ControlPackets = pick(func(r sweepTrial) float64 { return r.ctrl })
+			row.DowntimeSec = pick(func(r sweepTrial) float64 { return r.downtime })
+			row.FaultPDR = pick(func(r sweepTrial) float64 { return r.faultPDR })
 			for t := 0; t < nt; t++ {
 				row.Delivered += rows[si*nt+t][pi].delivered
 				row.Violations += rows[si*nt+t][pi].violations

@@ -184,7 +184,7 @@ func (k *Kernel) push(ev *event) Handle {
 // panics: it is always a model bug and silently clamping would hide it.
 func (k *Kernel) Schedule(at Time, fn func()) Handle {
 	if at < k.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+		panic(fmt.Sprintf("sim: t=%v: schedule at %v is %v in the past", k.now, at, k.now-at))
 	}
 	if fn == nil {
 		panic("sim: schedule with nil callback")
@@ -200,7 +200,7 @@ func (k *Kernel) Schedule(at Time, fn func()) Handle {
 // per event. The same past-time and nil-callback panics apply.
 func (k *Kernel) ScheduleArg(at Time, fn func(any), arg any) Handle {
 	if at < k.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+		panic(fmt.Sprintf("sim: t=%v: schedule at %v is %v in the past", k.now, at, k.now-at))
 	}
 	if fn == nil {
 		panic("sim: schedule with nil callback")

@@ -36,16 +36,33 @@ func (c *CBRConfig) normalize() {
 
 // CBR is a constant-bit-rate source attached to a node.
 type CBR struct {
-	cfg  CBRConfig
-	node *netsim.Node
-	sent uint64
-	ev   sim.Handle
+	cfg   CBRConfig
+	node  *netsim.Node
+	sent  uint64
+	ev    sim.Handle
+	began bool // Start has been called and StopNow has not
 }
 
-// NewCBR attaches a CBR source to node; call Start to begin.
+// NewCBR attaches a CBR source to node; call Start to begin. The source
+// follows the node's fault lifecycle: while the node is down the flow emits
+// nothing, and on recovery it resumes at the configured rate for whatever
+// remains of its window (a window already past stays finished — recovery
+// does not resurrect dead flows).
 func NewCBR(node *netsim.Node, cfg CBRConfig) *CBR {
 	cfg.normalize()
-	return &CBR{cfg: cfg, node: node}
+	c := &CBR{cfg: cfg, node: node}
+	node.OnLifecycle(func(up bool) {
+		if !c.began {
+			return
+		}
+		if up {
+			c.Start()
+			return
+		}
+		c.node.Kernel().Cancel(c.ev)
+		c.ev = sim.Handle{}
+	})
+	return c
 }
 
 // Sent reports the number of packets originated so far.
@@ -63,6 +80,7 @@ func (c *CBR) Start() {
 	k := c.node.Kernel()
 	k.Cancel(c.ev)
 	c.ev = sim.Handle{}
+	c.began = true
 	start := c.cfg.Start
 	if start < k.Now() {
 		start = k.Now()
@@ -73,10 +91,12 @@ func (c *CBR) Start() {
 	c.ev = k.ScheduleArg(start, cbrEmit, c)
 }
 
-// StopNow cancels any pending emission.
+// StopNow cancels any pending emission and detaches the flow from the
+// node's fault lifecycle (a recovery after StopNow does not restart it).
 func (c *CBR) StopNow() {
 	c.node.Kernel().Cancel(c.ev)
 	c.ev = sim.Handle{}
+	c.began = false
 }
 
 // cbrEmit is the shared emission callback; package-level so rescheduling

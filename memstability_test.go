@@ -6,11 +6,13 @@ import (
 	"testing"
 
 	"cavenet/internal/ca"
+	"cavenet/internal/fault"
 	"cavenet/internal/geometry"
 	"cavenet/internal/mobility"
 	"cavenet/internal/netsim"
 	"cavenet/internal/routing/dymo"
 	"cavenet/internal/routing/olsr"
+	"cavenet/internal/scenario/check"
 	"cavenet/internal/sim"
 	"cavenet/internal/traffic"
 )
@@ -214,5 +216,82 @@ func TestDYMOSeenTableSteadyOverLongRun(t *testing.T) {
 	}
 	if !anyTraffic {
 		t.Fatal("scenario generated no route discoveries; test is vacuous")
+	}
+}
+
+// TestLedgerMemoryBoundedUnderChurn pins the invariant harness's own
+// streaming discipline in the regime fault injection makes hardest: node
+// churn keeps crashing custodians mid-flow, so packets terminate through
+// every path the ledger knows — deliveries, link failures, node:down
+// flushes. The live entry count must track packets in flight (plus the
+// settle-grace tail), not packets ever sent, and compaction must actually
+// retire entries while the run is still churning.
+func TestLedgerMemoryBoundedUnderChurn(t *testing.T) {
+	const (
+		n       = 16
+		horizon = 120 * sim.Second
+	)
+	w, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes: n, Seed: 3, Static: gridPositions(n, 4, 180),
+	}, func(node *netsim.Node) netsim.Router {
+		return dymo.New(node, dymo.Config{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := check.NewReport()
+	ledger := check.NewLedger(report)
+	w.AddHooks(ledger.Hooks())
+
+	plan, err := fault.Spec{ChurnRatePerMin: 4, ChurnDownSec: 2}.Build(3, n, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Empty() {
+		t.Fatal("churn plan is empty; the test is vacuous")
+	}
+	if err := fault.Apply(w, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &traffic.Sink{}
+	w.Node(0).AttachPort(netsim.PortCBR, sink)
+	for _, s := range []int{3, 6, 10, 15} {
+		traffic.NewCBR(w.Node(s), traffic.CBRConfig{
+			Dst: 0, PacketBytes: 128, Rate: 5, Stop: horizon,
+		}).Start()
+	}
+
+	peak := 0
+	var tick func()
+	tick = func() {
+		if a := ledger.Active(); a > peak {
+			peak = a
+		}
+		if w.Kernel.Now() < horizon {
+			w.Kernel.After(sim.Second, tick)
+		}
+	}
+	w.Kernel.Schedule(0, tick)
+	w.Run(horizon)
+	ledger.Finish(w)
+
+	if !report.Ok() {
+		t.Fatalf("churn run violates conservation:\n%s", report)
+	}
+	sent, _, _ := ledger.Counts()
+	if sent < 1000 {
+		t.Fatalf("only %d packets originated; the pin is vacuous", sent)
+	}
+	if ledger.Retired() == 0 {
+		t.Fatal("compaction retired nothing over a two-minute churn run")
+	}
+	// In flight plus the 10 s settle-grace tail at 20 packets/s is a few
+	// hundred entries; O(packets ever sent) would be several thousand.
+	if bound := int(sent / 3); peak > bound {
+		t.Fatalf("ledger peaked at %d live entries for %d sent packets — growing with history, not in-flight", peak, sent)
+	}
+	if peak > 900 {
+		t.Fatalf("ledger peaked at %d live entries; want the in-flight+grace envelope (<= 900)", peak)
 	}
 }
