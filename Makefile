@@ -33,7 +33,8 @@ test:
 # Race-detector pass over the parallel experiment engine and everything
 # that schedules work on it; mirrors the ci.yml race job. The scenario
 # registry sweeps on the same engine, so it rides along (-short trims its
-# 20-seed property suite to keep the race pass quick).
+# 20-seed property suite to keep the race pass quick); its catalogue ×
+# AllProtocols matrix covers GPSR and the urban street-grid workloads.
 race:
 	$(GO) test -race ./internal/exp/ ./internal/stats/ ./internal/rng/ ./internal/core/
 	$(GO) test -race -short ./internal/scenario/...
@@ -43,11 +44,15 @@ race:
 sweep-smoke:
 	$(GO) run ./cmd/cavenet sweep -nodes 10,14 -senders 2 -circuit 1000 -trials 2 -time 20 -protocols aodv,dymo
 
-# The scenario catalogue end to end: list the registry, then run one
-# workload under the invariant harness (non-zero exit on any violation).
+# The scenario catalogue end to end: list the registry, then run one ring
+# and one urban workload under the invariant harness (non-zero exit on any
+# violation). manhattan exercises the street-grid mobility substrate and
+# GPSR geographic forwarding; downtown covers the OLSR HNA V2I uplink.
 scenario-smoke:
 	$(GO) run ./cmd/cavenet scenario list
 	$(GO) run ./cmd/cavenet scenario run signalized -time 15 -seed 3
+	$(GO) run ./cmd/cavenet scenario run manhattan -time 15 -seed 3
+	$(GO) run ./cmd/cavenet scenario run downtown -time 15 -seed 3
 
 # The fault-injection substrate end to end: the churn workload under the
 # invariant harness for every protocol (non-zero exit on any conservation
@@ -56,6 +61,7 @@ churn-smoke:
 	$(GO) run ./cmd/cavenet scenario run churn -protocol aodv -time 20 -seed 2
 	$(GO) run ./cmd/cavenet scenario run churn -protocol olsr -time 20 -seed 2
 	$(GO) run ./cmd/cavenet scenario run churn -protocol dymo -time 20 -seed 2
+	$(GO) run ./cmd/cavenet scenario run churn -protocol gpsr -time 20 -seed 2
 	$(GO) run ./cmd/cavenet scenario run highway -time 20 -seed 2 -faults "blackout:6,4,0.5;impair:0-1,2,10,0.3,3"
 
 # A few seconds of each parser fuzz target: keeps the fuzz harnesses
@@ -65,6 +71,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace/ -fuzz FuzzParseNS2 -fuzztime 5s -run XXX
 	$(GO) test ./internal/trace/ -fuzz FuzzParseBonnMotion -fuzztime 5s -run XXX
 	$(GO) test ./internal/fault/ -fuzz FuzzParseSpec -fuzztime 5s -run XXX
+	$(GO) test ./internal/scenario/ -fuzz FuzzUrbanSpec -fuzztime 5s -run XXX
 
 # One iteration of the broadcast scaling bench: catches gross perf
 # regressions (e.g. the culling silently disabled) without the minutes-long

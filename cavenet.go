@@ -35,11 +35,13 @@ import (
 // Protocol names a routing protocol under test.
 type Protocol = core.Protocol
 
-// The routing protocols evaluated by the paper.
+// The routing protocols evaluated by the paper, plus the GPSR geographic
+// baseline added for the urban road-network workloads.
 const (
 	AODV = core.AODV
 	OLSR = core.OLSR
 	DYMO = core.DYMO
+	GPSR = core.GPSR
 )
 
 // Scenario configures a protocol evaluation; the zero value reproduces the

@@ -15,7 +15,7 @@ func secondsToSim(s float64) sim.Time { return sim.Seconds(s) }
 
 func cmdProtocols(args []string) error {
 	fs := flag.NewFlagSet("protocols", flag.ExitOnError)
-	protocol := fs.String("protocol", "all", "aodv, olsr, dymo or all")
+	protocol := fs.String("protocol", "all", "aodv, olsr, dymo, gpsr or all")
 	nodes := fs.Int("nodes", 30, "vehicles on the circuit (Table I: 30)")
 	circuit := fs.Float64("circuit", 3000, "circuit length in meters (Table I: 3000)")
 	simTime := fs.Float64("time", 100, "simulated seconds (Table I: 100)")

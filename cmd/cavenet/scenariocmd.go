@@ -44,15 +44,26 @@ func scenarioList(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "NAME\tLANES\tVEHICLES\tCIRCUIT\tSIGNALS\tFLOWS\tDESCRIPTION")
 	for _, s := range scenario.Specs() {
+		lanes, circuit, signals := s.Lanes, s.CircuitMeters, len(s.Signals)
+		if s.Urban() {
+			// One-way streets are the grid's lanes; CIRCUIT reports the
+			// total street length they add up to.
+			streets := s.GridRows*(s.GridCols-1) + s.GridCols*(s.GridRows-1)
+			lanes = streets
+			circuit = float64(streets) * s.BlockMeters
+			if s.GridSignalGreen > 0 {
+				signals = streets
+			}
+		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0fm\t%d\t%d\t%s\n",
-			s.Name, s.Lanes, s.TotalVehicles(), s.CircuitMeters, len(s.Signals), len(s.Flows), s.Description)
+			s.Name, lanes, s.TotalVehicles(), circuit, signals, len(s.Flows), s.Description)
 	}
 	return tw.Flush()
 }
 
 func scenarioRun(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
-	protocol := fs.String("protocol", "", "override the spec's routing protocol (aodv, olsr, dymo)")
+	protocol := fs.String("protocol", "", "override the spec's routing protocol (aodv, olsr, dymo, gpsr)")
 	seed := fs.Int64("seed", 0, "override the spec's seed")
 	var simTime float64
 	fs.Float64Var(&simTime, "time", 0, "override the simulated seconds")
@@ -61,6 +72,7 @@ func scenarioRun(w io.Writer, args []string) error {
 	checked := fs.Bool("check", true, "run under the invariant harness")
 	format := fs.String("format", "text", "text or json")
 	churn := fs.Float64("churn", 0, "inject node churn at this rate per node per minute (4 s crash outages); shorthand for -faults churn:RATE")
+	gpsrOracle := fs.Bool("gpsr-oracle", false, "route GPSR greedy decisions through the brute-force differential oracle (bit-identical to the spatial-grid fast path)")
 	faults := fs.String("faults", "", "fault plan, ';'-joined clauses: churn:RATE[,DOWNSEC[,graceful]] | blackout:START,DUR[,FRACTION] | partition:START,DUR | impair:A-B,START,DUR[,LOSS[,ATTENDB]]; replaces the scenario's declared faults")
 	// Accept the name before or after the flags.
 	var name string
@@ -113,6 +125,9 @@ func scenarioRun(w io.Writer, args []string) error {
 	if *churn > 0 {
 		spec.Faults.ChurnRatePerMin = *churn
 	}
+	if *gpsrOracle {
+		spec.GPSROracle = true
+	}
 
 	var res *scenario.Result
 	var report fmt.Stringer = nil
@@ -157,6 +172,10 @@ func scenarioRun(w io.Writer, args []string) error {
 					r.Recoveries, r.Reconverged, r.MeanReconvergeSec)
 			}
 		}
+		if u := res.Uplink; u != nil {
+			fmt.Fprintf(w, "uplink (V2I via RSU gateway): sent %d  delivered %d  PDR %.3f\n",
+				u.Sent, u.Delivered, u.PDR)
+		}
 		if len(res.Unreachable) > 0 {
 			var total uint64
 			for _, u := range res.Unreachable {
@@ -185,7 +204,7 @@ func scenarioRun(w io.Writer, args []string) error {
 
 func scenarioCheck(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("scenario check", flag.ExitOnError)
-	protocols := fs.String("protocols", "all", "comma list of aodv,olsr,dymo, or all")
+	protocols := fs.String("protocols", "all", "comma list of aodv,olsr,dymo,gpsr, or all")
 	seeds := fs.Int("seeds", 3, "seeds per (scenario, protocol) cell")
 	quick := fs.Bool("quick", true, "run the shrunk (test-sized) spec variants")
 	// Accept scenario names before or after the flags.
@@ -248,7 +267,7 @@ func scenarioCheck(w io.Writer, args []string) error {
 func scenarioSweep(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("scenario sweep", flag.ExitOnError)
 	scenarios := fs.String("scenarios", "all", "comma list of scenario names, or all")
-	protocols := fs.String("protocols", "all", "comma list of aodv,olsr,dymo, or all")
+	protocols := fs.String("protocols", "all", "comma list of aodv,olsr,dymo,gpsr, or all")
 	trials := fs.Int("trials", 5, "seeded replications per cell")
 	seed := fs.Int64("seed", 1, "root seed; trial t of scenario s forks root->s->t")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = one per core); any value gives bit-identical output")

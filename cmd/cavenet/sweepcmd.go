@@ -13,7 +13,7 @@ import (
 
 func parseProtocolList(s string) ([]cavenet.Protocol, error) {
 	if strings.EqualFold(s, "all") {
-		return []cavenet.Protocol{cavenet.AODV, cavenet.OLSR, cavenet.DYMO}, nil
+		return []cavenet.Protocol{cavenet.AODV, cavenet.OLSR, cavenet.DYMO, cavenet.GPSR}, nil
 	}
 	var out []cavenet.Protocol
 	for _, name := range strings.Split(s, ",") {
@@ -24,6 +24,8 @@ func parseProtocolList(s string) ([]cavenet.Protocol, error) {
 			out = append(out, cavenet.OLSR)
 		case "dymo":
 			out = append(out, cavenet.DYMO)
+		case "gpsr":
+			out = append(out, cavenet.GPSR)
 		default:
 			return nil, fmt.Errorf("unknown protocol %q", name)
 		}
@@ -45,7 +47,7 @@ func parseIntList(s string) ([]int, error) {
 
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	protocol := fs.String("protocols", "all", "comma list of aodv,olsr,dymo, or all")
+	protocol := fs.String("protocols", "all", "comma list of aodv,olsr,dymo,gpsr, or all")
 	nodesFlag := fs.String("nodes", "30", "comma list of vehicle counts (the density axis)")
 	senders := fs.Int("senders", 8, "CBR senders: nodes 1..N to node 0 (Table I: 8)")
 	circuit := fs.Float64("circuit", 3000, "circuit length in meters (Table I: 3000)")

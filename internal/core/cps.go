@@ -19,11 +19,13 @@ import (
 // over the scenario substrate, which owns world assembly.
 type Protocol = scenario.Protocol
 
-// The protocols evaluated by the paper.
+// The protocols evaluated by the paper, plus the GPSR geographic
+// baseline.
 const (
 	AODV = scenario.AODV
 	OLSR = scenario.OLSR
 	DYMO = scenario.DYMO
+	GPSR = scenario.GPSR
 )
 
 // ScenarioConfig mirrors Table I of the paper. Zero values give exactly the
@@ -74,7 +76,7 @@ type ScenarioConfig struct {
 
 func (c *ScenarioConfig) normalize() error {
 	switch c.Protocol {
-	case AODV, OLSR, DYMO:
+	case AODV, OLSR, DYMO, GPSR:
 	case "":
 		c.Protocol = AODV
 	default:

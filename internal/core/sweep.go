@@ -41,7 +41,7 @@ func (c *SweepConfig) normalize() error {
 	}
 	for _, p := range c.Protocols {
 		switch p {
-		case AODV, OLSR, DYMO:
+		case AODV, OLSR, DYMO, GPSR:
 		default:
 			return fmt.Errorf("core: unknown protocol %q in sweep", p)
 		}

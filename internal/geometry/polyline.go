@@ -1,0 +1,78 @@
+package geometry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Polyline places a lane along a chain of straight segments — the
+// "graph-segment" placement of the urban road network: a street between
+// two intersections is one polyline (usually a single segment), and the
+// along-lane CA coordinate advances through the vertices in order.
+//
+// Build one with NewPolyline so the cumulative arc lengths are computed
+// once; the zero value is not usable.
+type Polyline struct {
+	points []Vec2
+	// cum[i] is the arc length from points[0] to points[i]; cum[len-1] is
+	// the total length.
+	cum []float64
+}
+
+var _ LanePlacement = Polyline{}
+
+// NewPolyline builds a placement through the given vertices. At least two
+// vertices are required and consecutive vertices must not coincide (a
+// zero-length segment has no heading).
+func NewPolyline(points ...Vec2) (Polyline, error) {
+	if len(points) < 2 {
+		return Polyline{}, fmt.Errorf("geometry: polyline needs >= 2 points, have %d", len(points))
+	}
+	cum := make([]float64, len(points))
+	for i := 1; i < len(points); i++ {
+		seg := points[i].Dist(points[i-1])
+		if seg == 0 {
+			return Polyline{}, fmt.Errorf("geometry: polyline has coincident vertices %d and %d at %v", i-1, i, points[i])
+		}
+		cum[i] = cum[i-1] + seg
+	}
+	return Polyline{points: append([]Vec2(nil), points...), cum: cum}, nil
+}
+
+// Length reports the total arc length of the polyline.
+func (p Polyline) Length() float64 { return p.cum[len(p.cum)-1] }
+
+// segmentAt locates the segment containing arc coordinate x (clamped to
+// the polyline) and the offset into it.
+func (p Polyline) segmentAt(x float64) (i int, off float64) {
+	if x <= 0 {
+		return 0, 0
+	}
+	if total := p.Length(); x >= total {
+		return len(p.points) - 2, total - p.cum[len(p.points)-2]
+	}
+	// First vertex strictly beyond x starts the segment after ours.
+	i = sort.SearchFloat64s(p.cum, x)
+	if p.cum[i] > x || i == len(p.cum)-1 {
+		i--
+	}
+	return i, x - p.cum[i]
+}
+
+// Place implements LanePlacement. Coordinates outside [0, Length] clamp to
+// the endpoints, mirroring how an open-boundary lane keeps vehicles on the
+// street.
+func (p Polyline) Place(x float64) Vec2 {
+	i, off := p.segmentAt(x)
+	a, b := p.points[i], p.points[i+1]
+	t := off / b.Dist(a)
+	return a.Add(b.Sub(a).Scale(t))
+}
+
+// Heading implements LanePlacement.
+func (p Polyline) Heading(x float64) float64 {
+	i, _ := p.segmentAt(x)
+	d := p.points[i+1].Sub(p.points[i])
+	return math.Atan2(d.Y, d.X)
+}

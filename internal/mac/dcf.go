@@ -313,6 +313,10 @@ func (d *DCF) Down() {
 	if d.current != nil {
 		job := *d.current
 		d.current = nil
+		// Retire the flushed MSDU's sequence number: the receiver may have
+		// cached it in its dedup filter, and a post-recovery frame reusing
+		// it would be ACKed yet silently discarded as a retransmission.
+		d.seq++
 		d.stats.DownDrops++
 		if obs != nil {
 			obs.MACDownDrop(job.to, job.payload)

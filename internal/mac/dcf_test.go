@@ -340,6 +340,48 @@ func TestQueueDropObserverNotified(t *testing.T) {
 	}
 }
 
+// TestDownRetiresInFlightSeq is the regression test for a post-crash
+// sequence-number reuse hole: a non-graceful Down flushes the in-flight
+// MSDU, but the receiver may already hold its sequence number in the dedup
+// cache. If the first MSDU after recovery reused that number, a
+// retransmission of it would be ACKed by the receiver yet silently
+// filtered as a duplicate of the flushed frame — the packet would vanish
+// with no drop event. Down must therefore retire the flushed job's seq.
+func TestDownRetiresInFlightSeq(t *testing.T) {
+	k, macs, ups := testNet(t, 2, 100)
+	// First MSDU (seq 0) delivers normally.
+	macs[0].Send(1, "pre", 512)
+	k.RunUntil(10 * sim.Millisecond)
+	if len(ups[1].received) != 1 {
+		t.Fatalf("precondition: first frame not delivered: %v", ups[1].received)
+	}
+	// Second MSDU goes in flight; the receiver hears it (caching its seq in
+	// the dedup filter) but the sender crashes before processing the ACK.
+	macs[0].Send(1, "doomed", 512)
+	for i := 0; macs[1].Stats().DataRx < 2; i++ {
+		if i > 1000 {
+			t.Fatal("second frame never reached the receiver")
+		}
+		k.RunUntil(k.Now() + 100*sim.Microsecond)
+	}
+	inflight := macs[0].seq // the sequence number the doomed frame aired with
+	macs[0].Down()
+	if macs[0].Stats().DownDrops != 1 {
+		t.Fatalf("DownDrops = %d, want the in-flight job flushed", macs[0].Stats().DownDrops)
+	}
+	if macs[0].seq == inflight {
+		t.Fatalf("Down left seq %d unretired; the next MSDU would reuse it", inflight)
+	}
+	// After recovery the next MSDU uses a fresh sequence number, so even a
+	// retransmission of it passes the receiver's dedup filter.
+	macs[0].Up()
+	macs[0].Send(1, "fresh", 512)
+	k.RunUntil(k.Now() + 20*sim.Millisecond)
+	if n := len(ups[1].received); n != 3 || ups[1].received[2] != "fresh" {
+		t.Fatalf("post-recovery frame not delivered: %v", ups[1].received)
+	}
+}
+
 func TestEachQueuedVisitsCustody(t *testing.T) {
 	k := sim.NewKernel()
 	c := phy.NewChannel(k, phy.TwoRayGround{}, phy.Config{CaptureRatio: 10})

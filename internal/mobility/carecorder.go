@@ -12,7 +12,7 @@ import (
 // Record over NewRoadSource, which makes it the differential oracle for
 // the streamed path — both share one fill loop, so a streamed run and a
 // recorded-trace run are bit-identical by construction.
-func RecordRoad(road *ca.Road, steps int) *SampledTrace {
+func RecordRoad(road RoadModel, steps int) *SampledTrace {
 	return RecordRoadFunc(road, steps, nil)
 }
 
@@ -20,7 +20,7 @@ func RecordRoad(road *ca.Road, steps int) *SampledTrace {
 // Road.Step (and never before recording its positions) the observer runs —
 // the hook the invariant harness uses to validate the CA dynamics while
 // the trace is produced. A nil observer degrades to RecordRoad.
-func RecordRoadFunc(road *ca.Road, steps int, after func()) *SampledTrace {
+func RecordRoadFunc(road RoadModel, steps int, after func()) *SampledTrace {
 	if steps < 0 {
 		steps = 0 // degenerate input: record the initial state only
 	}
@@ -40,13 +40,13 @@ func RecordRoadFunc(road *ca.Road, steps int, after func()) *SampledTrace {
 // WarmupRoad advances the road without recording, letting the traffic reach
 // its stationary regime before the communication experiment starts — the
 // precaution §IV-B of the paper argues for.
-func WarmupRoad(road *ca.Road, steps int) {
+func WarmupRoad(road RoadModel, steps int) {
 	WarmupRoadFunc(road, steps, nil)
 }
 
 // WarmupRoadFunc is WarmupRoad with the same per-step observer hook as
 // RecordRoadFunc.
-func WarmupRoadFunc(road *ca.Road, steps int, after func()) {
+func WarmupRoadFunc(road RoadModel, steps int, after func()) {
 	for s := 0; s < steps; s++ {
 		road.Step()
 		if after != nil {

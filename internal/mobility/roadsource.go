@@ -5,16 +5,41 @@ import (
 	"cavenet/internal/geometry"
 )
 
+// RoadModel is the steppable traffic-model surface the streaming mobility
+// substrate drives: one synchronous CA step at a time, positions read
+// back in persistent vehicle-identity order. Both the multi-lane
+// *ca.Road and the urban *ca.Network satisfy it, so every road-shaped
+// workload — ring, straight line or city grid — streams through the same
+// forward-only cursor.
+type RoadModel interface {
+	// Step advances the model by one CA step (ca.StepSeconds of time).
+	Step()
+	// TotalVehicles reports the (constant) vehicle count.
+	TotalVehicles() int
+	// Positions appends the plane position of every vehicle, in persistent
+	// global-ID order, to dst.
+	Positions(dst []geometry.Vec2) []geometry.Vec2
+}
+
+var (
+	_ RoadModel = (*ca.Road)(nil)
+	_ RoadModel = (*ca.Network)(nil)
+)
+
 // RoadSourceConfig assembles a streaming cellular-automaton mobility
 // source: the road steps live inside the simulation instead of being
 // pre-recorded into a trace.
 type RoadSourceConfig struct {
-	// Road is the (typically warmed-up) CA road to stream.
-	Road *ca.Road
+	// Road is the (typically warmed-up) CA traffic model to stream.
+	Road RoadModel
 	// Steps is how many CA steps the source covers; it serves Steps+1
 	// samples (the initial state plus one per step) at ca.StepSeconds
 	// and clamps beyond them, exactly like RecordRoad's trace.
 	Steps int
+	// Static appends fixed plane positions after the vehicles — roadside
+	// units and other infrastructure nodes that exist in the network world
+	// but never move. Node IDs: vehicles first, then Static in order.
+	Static []geometry.Vec2
 	// AfterStep, when non-nil, runs after every Road.Step and before the
 	// step's positions are read — the hook the invariant harness uses to
 	// validate the CA dynamics while the simulation runs.
@@ -35,6 +60,7 @@ type RoadSourceConfig struct {
 // sample) is the recorder's exact loop, executed lazily.
 func NewRoadSource(cfg RoadSourceConfig) (*Stream, error) {
 	road := cfg.Road
+	vehicles := road.TotalVehicles()
 	fill := func(k int, row []geometry.Vec2) {
 		if k > 0 {
 			road.Step()
@@ -43,12 +69,13 @@ func NewRoadSource(cfg RoadSourceConfig) (*Stream, error) {
 			}
 		}
 		road.Positions(row[:0])
+		copy(row[vehicles:], cfg.Static)
 		if cfg.Overlay != nil {
 			cfg.Overlay(k, row)
 		}
 	}
 	return NewStream(StreamConfig{
-		Nodes:    road.TotalVehicles(),
+		Nodes:    vehicles + len(cfg.Static),
 		Interval: ca.StepSeconds,
 		Samples:  cfg.Steps + 1,
 		Fill:     fill,

@@ -48,6 +48,17 @@ func (n *Node) Rand() *rand.Rand { return n.rnd }
 // Position reports the node's current location.
 func (n *Node) Position() geometry.Vec2 { return n.pos }
 
+// PeerPosition reports the current plane position of another node in the
+// same world — the idealized location service geographic routing assumes:
+// a sender knows where its destination is, but learns about relay
+// candidates only through beacons. Out-of-range ids report ok=false.
+func (n *Node) PeerPosition(id NodeID) (geometry.Vec2, bool) {
+	if int(id) < 0 || int(id) >= len(n.world.nodes) {
+		return geometry.Vec2{}, false
+	}
+	return n.world.nodes[id].pos, true
+}
+
 // SetPosition moves the node (called by the world's mobility driver),
 // keeping the channel's spatial index in sync.
 func (n *Node) SetPosition(p geometry.Vec2) {

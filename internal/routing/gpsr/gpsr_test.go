@@ -1,0 +1,314 @@
+package gpsr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cavenet/internal/geometry"
+	"cavenet/internal/netsim"
+	"cavenet/internal/sim"
+	"cavenet/internal/spatial"
+	"cavenet/internal/traffic"
+)
+
+// bareRouter builds a Router with just the state greedyNext and the
+// planarization read — no kernel, no node — for unit-level tests.
+func bareRouter(oracle bool) *Router {
+	cfg := Config{Oracle: oracle}
+	cfg.normalize()
+	return &Router{
+		cfg:       cfg,
+		neighbors: make(map[netsim.NodeID]neighbor),
+		grid:      spatial.NewGrid(cfg.CellSize),
+	}
+}
+
+func (r *Router) testSetNeighbor(id netsim.NodeID, pos geometry.Vec2) {
+	if _, ok := r.neighbors[id]; ok {
+		r.grid.Move(int(id), pos)
+	} else {
+		r.grid.Insert(int(id), pos)
+	}
+	r.neighbors[id] = neighbor{pos: pos}
+}
+
+func (r *Router) testDelNeighbor(id netsim.NodeID) {
+	if _, ok := r.neighbors[id]; ok {
+		delete(r.neighbors, id)
+		r.grid.Remove(int(id))
+	}
+}
+
+// TestGreedyDifferential is the oracle bit-identity proof: across
+// randomized neighbor tables (inserts, moves, evictions), random
+// destinations and self-distances, the grid-backed fast path and the
+// brute-force scan pick the same next hop with the same ok flag —
+// including exact-distance ties and detached-radio cases where nothing
+// qualifies.
+func TestGreedyDifferential(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2026))
+	fast, oracle := bareRouter(false), bareRouter(true)
+	const n = 60
+	randPos := func() geometry.Vec2 {
+		return geometry.Vec2{X: rnd.Float64()*2000 - 1000, Y: rnd.Float64()*2000 - 1000}
+	}
+	for step := 0; step < 5000; step++ {
+		id := netsim.NodeID(rnd.Intn(n))
+		switch rnd.Intn(3) {
+		case 0:
+			fast.testDelNeighbor(id)
+			oracle.testDelNeighbor(id)
+		default:
+			p := randPos()
+			fast.testSetNeighbor(id, p)
+			oracle.testSetNeighbor(id, p)
+		}
+		dst := randPos()
+		// Mix tight limits (detached radio: no neighbor qualifies) with
+		// generous ones.
+		dSelf := rnd.Float64() * 800
+		gotID, gotOK := fast.greedyNext(dst, dSelf)
+		wantID, wantOK := oracle.greedyNext(dst, dSelf)
+		if gotID != wantID || gotOK != wantOK {
+			t.Fatalf("step %d: fast = (%d, %v), oracle = (%d, %v) for dst %v dSelf %v",
+				step, gotID, gotOK, wantID, wantOK, dst, dSelf)
+		}
+	}
+}
+
+// TestGreedyDifferentialTies pins the tie-break on exactly equidistant
+// candidates: both paths must pick the smallest id, independent of
+// insertion order.
+func TestGreedyDifferentialTies(t *testing.T) {
+	fast, oracle := bareRouter(false), bareRouter(true)
+	dst := geometry.Vec2{}
+	// Four neighbors on a circle around dst — bitwise-equal distances —
+	// inserted in descending-id order.
+	pts := []geometry.Vec2{{X: 300}, {X: -300}, {Y: 300}, {Y: -300}}
+	for i, p := range pts {
+		fast.testSetNeighbor(netsim.NodeID(9-i), p)
+		oracle.testSetNeighbor(netsim.NodeID(9-i), p)
+	}
+	gotID, gotOK := fast.greedyNext(dst, 500)
+	wantID, wantOK := oracle.greedyNext(dst, 500)
+	if !gotOK || !wantOK || gotID != wantID || gotID != 6 {
+		t.Fatalf("tie-break: fast = (%d, %v), oracle = (%d, %v), want id 6", gotID, gotOK, wantID, wantOK)
+	}
+	// Candidates exactly at dSelf are not strictly closer: detached.
+	if id, ok := fast.greedyNext(dst, 300); ok {
+		t.Fatalf("fast accepted non-improving neighbor %d", id)
+	}
+	if id, ok := oracle.greedyNext(dst, 300); ok {
+		t.Fatalf("oracle accepted non-improving neighbor %d", id)
+	}
+}
+
+// TestGabrielPlanarization checks the witness rule on a known triangle:
+// the long edge whose diameter circle contains the witness is removed,
+// short edges survive, and results come back id-sorted.
+func TestGabrielPlanarization(t *testing.T) {
+	r := bareRouter(false)
+	self := geometry.Vec2{}
+	// Neighbor 5 sits inside the circle with diameter (self, 2), so the
+	// direct edge to 2 is planarized away; 5 and 7 are kept.
+	r.testSetNeighbor(2, geometry.Vec2{X: 400, Y: 0})
+	r.testSetNeighbor(5, geometry.Vec2{X: 200, Y: 60})
+	r.testSetNeighbor(7, geometry.Vec2{X: -100, Y: -100})
+	got := r.planarNeighbors(self)
+	if len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Fatalf("planar neighbors = %v, want [5 7]", got)
+	}
+	// A co-located neighbor (undefined bearing) is excluded.
+	r.testSetNeighbor(9, self)
+	got = r.planarNeighbors(self)
+	for _, id := range got {
+		if id == 9 {
+			t.Fatal("co-located neighbor survived planarization")
+		}
+	}
+}
+
+// TestNextCCWRightHandRule pins the counterclockwise sweep: from a
+// reference bearing, the nearest edge counterclockwise wins, and the
+// reference edge itself is chosen only as the dead-end last resort.
+func TestNextCCWRightHandRule(t *testing.T) {
+	r := bareRouter(false)
+	self := geometry.Vec2{}
+	r.testSetNeighbor(1, geometry.Vec2{X: 100, Y: 0})  // bearing 0
+	r.testSetNeighbor(2, geometry.Vec2{X: 0, Y: 100})  // bearing π/2
+	r.testSetNeighbor(3, geometry.Vec2{X: -100, Y: 0}) // bearing π
+	planar := r.planarNeighbors(self)
+	if len(planar) != 3 {
+		t.Fatalf("planar = %v, want all three", planar)
+	}
+	// Sweep from bearing 0 (toward neighbor 1): first ccw is 2.
+	if id, _, ok := r.nextCCW(planar, self, 0); !ok || id != 2 {
+		t.Fatalf("ccw from 0 = %d, want 2", id)
+	}
+	// Sweep from π/2: first ccw is 3.
+	if id, _, ok := r.nextCCW(planar, self, math.Pi/2); !ok || id != 3 {
+		t.Fatalf("ccw from π/2 = %d, want 3", id)
+	}
+	// Sweep from just past π: wraps to 1.
+	if id, _, ok := r.nextCCW(planar, self, math.Pi+0.01); !ok || id != 1 {
+		t.Fatalf("ccw from π+ε = %d, want 1", id)
+	}
+	// Dead end: only one neighbor — the U-turn back along the reference
+	// edge is the last resort, but still taken.
+	solo := bareRouter(false)
+	solo.testSetNeighbor(4, geometry.Vec2{X: 100, Y: 0})
+	planar = solo.planarNeighbors(self)
+	if id, _, ok := solo.nextCCW(planar, self, 0); !ok || id != 4 {
+		t.Fatalf("dead-end U-turn = %d, want 4", id)
+	}
+}
+
+func TestSegmentCross(t *testing.T) {
+	x, ok := segmentCross(
+		geometry.Vec2{X: 0, Y: -10}, geometry.Vec2{X: 0, Y: 10},
+		geometry.Vec2{X: -10, Y: 0}, geometry.Vec2{X: 10, Y: 0})
+	if !ok || x != (geometry.Vec2{}) {
+		t.Fatalf("crossing = %v, %v", x, ok)
+	}
+	if _, ok := segmentCross(
+		geometry.Vec2{X: 0, Y: 1}, geometry.Vec2{X: 10, Y: 1},
+		geometry.Vec2{X: 0, Y: 0}, geometry.Vec2{X: 10, Y: 0}); ok {
+		t.Fatal("parallel segments reported crossing")
+	}
+	if _, ok := segmentCross(
+		geometry.Vec2{X: 0, Y: 5}, geometry.Vec2{X: 10, Y: 5},
+		geometry.Vec2{X: 0, Y: 0}, geometry.Vec2{X: 3, Y: 3}); ok {
+		t.Fatal("non-touching segments reported crossing")
+	}
+}
+
+func staticWorld(t *testing.T, positions []geometry.Vec2, cfg Config) *netsim.World {
+	t.Helper()
+	w, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes:  len(positions),
+		Seed:   1,
+		Static: positions,
+	}, func(node *netsim.Node) netsim.Router { return New(node, cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func sendAt(w *netsim.World, at sim.Time, src, dst, size int) {
+	w.Kernel.Schedule(at, func() {
+		n := w.Node(src)
+		n.SendData(n.NewPacket(netsim.NodeID(dst), netsim.PortCBR, size))
+	})
+}
+
+// TestGreedyChainDelivery: pure greedy forwarding down a chain inside
+// radio range delivers once beacons have populated neighbor tables.
+func TestGreedyChainDelivery(t *testing.T) {
+	positions := []geometry.Vec2{{X: 0}, {X: 200}, {X: 400}, {X: 600}}
+	w := staticWorld(t, positions, Config{})
+	sink := &traffic.Sink{}
+	w.Node(3).AttachPort(netsim.PortCBR, sink)
+	sendAt(w, 3*sim.Second, 0, 3, 512)
+	w.Run(6 * sim.Second)
+	if sink.Received != 1 {
+		t.Fatalf("delivered %d, want 1", sink.Received)
+	}
+}
+
+// TestPerimeterRecoversAroundVoid: the destination is greedily
+// unreachable from the source (every source neighbor is farther from it),
+// so delivery requires perimeter mode to walk around the radio void and
+// greedy to resume on the far side.
+func TestPerimeterRecoversAroundVoid(t *testing.T) {
+	positions := []geometry.Vec2{
+		{X: 0, Y: 0},     // 0: source, local maximum toward 4
+		{X: 0, Y: 200},   // 1
+		{X: 200, Y: 200}, // 2
+		{X: 400, Y: 200}, // 3
+		{X: 400, Y: 0},   // 4: destination, out of range of 0..2
+	}
+	w := staticWorld(t, positions, Config{})
+	sink := &traffic.Sink{}
+	w.Node(4).AttachPort(netsim.PortCBR, sink)
+	var dropReasons []string
+	w.SetHooks(netsim.Hooks{DataDropped: func(n *netsim.Node, p *netsim.Packet, reason string) {
+		dropReasons = append(dropReasons, reason)
+	}})
+	for i := 0; i < 5; i++ {
+		sendAt(w, 3*sim.Second+sim.Time(i)*sim.Second/5, 0, 4, 512)
+	}
+	w.Run(7 * sim.Second)
+	if sink.Received != 5 {
+		t.Fatalf("delivered %d/5 around the void (drops: %v)", sink.Received, dropReasons)
+	}
+}
+
+// TestPartitionDropsExplicitly: a destination beyond every radio is
+// dropped with a gpsr:* reason (conservation demands explicit drops, not
+// silent loss).
+func TestPartitionDropsExplicitly(t *testing.T) {
+	w := staticWorld(t, []geometry.Vec2{{X: 0}, {X: 5000}}, Config{})
+	drops := map[string]int{}
+	w.SetHooks(netsim.Hooks{DataDropped: func(n *netsim.Node, p *netsim.Packet, reason string) {
+		drops[reason]++
+	}})
+	sendAt(w, 3*sim.Second, 0, 1, 512)
+	w.Run(6 * sim.Second)
+	if drops["gpsr:no-route"] != 1 {
+		t.Fatalf("drops = %v, want one gpsr:no-route", drops)
+	}
+}
+
+// TestBeaconsExpire: a silenced neighbor leaves the table after the hold
+// time — the ExpiryHeap purge actually runs.
+func TestBeaconsExpire(t *testing.T) {
+	positions := []geometry.Vec2{{X: 0}, {X: 200}}
+	w := staticWorld(t, positions, Config{})
+	w.Run(3 * sim.Second)
+	r0 := w.Node(0).Router().(*Router)
+	if r0.NeighborCount() != 1 {
+		t.Fatalf("node 0 has %d neighbors after 3 s, want 1", r0.NeighborCount())
+	}
+	// Silence node 1: its radio leaves the air; node 0 must expire the
+	// entry within the hold time plus one purge period.
+	w.Kernel.Schedule(3*sim.Second+1, func() { w.Node(1).Down(true) })
+	w.Run(8 * sim.Second)
+	if r0.NeighborCount() != 0 {
+		t.Fatalf("node 0 still has %d neighbors after neighbor went down", r0.NeighborCount())
+	}
+}
+
+// TestOracleRunsIdentical replays the void scenario with the brute-force
+// oracle enabled: every observable outcome must match the fast path.
+func TestOracleRunsIdentical(t *testing.T) {
+	run := func(oracle bool) (uint64, []string) {
+		positions := []geometry.Vec2{
+			{X: 0, Y: 0}, {X: 0, Y: 200}, {X: 200, Y: 200}, {X: 400, Y: 200}, {X: 400, Y: 0},
+		}
+		w := staticWorld(t, positions, Config{Oracle: oracle})
+		sink := &traffic.Sink{}
+		w.Node(4).AttachPort(netsim.PortCBR, sink)
+		var drops []string
+		w.SetHooks(netsim.Hooks{DataDropped: func(n *netsim.Node, p *netsim.Packet, reason string) {
+			drops = append(drops, reason)
+		}})
+		for i := 0; i < 8; i++ {
+			sendAt(w, 2*sim.Second+sim.Time(i)*sim.Second/3, 0, 4, 512)
+		}
+		w.Run(9 * sim.Second)
+		return sink.Received, drops
+	}
+	fastRecv, fastDrops := run(false)
+	oracleRecv, oracleDrops := run(true)
+	if fastRecv != oracleRecv || len(fastDrops) != len(oracleDrops) {
+		t.Fatalf("fast path (recv %d, drops %v) diverged from oracle (recv %d, drops %v)",
+			fastRecv, fastDrops, oracleRecv, oracleDrops)
+	}
+	for i := range fastDrops {
+		if fastDrops[i] != oracleDrops[i] {
+			t.Fatalf("drop %d: fast %q vs oracle %q", i, fastDrops[i], oracleDrops[i])
+		}
+	}
+}

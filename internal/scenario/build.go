@@ -19,7 +19,55 @@ func BuildRoad(s Spec) (*ca.Road, error) {
 	if err := s.normalize(); err != nil {
 		return nil, err
 	}
+	if s.Urban() {
+		return nil, fmt.Errorf("scenario %s: street-grid spec has no ring road; use BuildNetwork", s.Name)
+	}
 	return buildRoad(&s)
+}
+
+// BuildNetwork assembles the spec's urban road network: the Manhattan
+// street grid laid down as a CA network of one-way signalized segments.
+func BuildNetwork(s Spec) (*ca.Network, error) {
+	s = s.clone()
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	if !s.Urban() {
+		return nil, fmt.Errorf("scenario %s: ring spec has no street grid; use BuildRoad", s.Name)
+	}
+	net, _, err := buildNetwork(&s)
+	return net, err
+}
+
+func buildNetwork(s *Spec) (*ca.Network, *geometry.RoadGrid, error) {
+	grid, err := geometry.Manhattan(s.GridRows, s.GridCols, s.BlockMeters, geometry.Vec2{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	src := rng.NewSource(s.Seed)
+	net, err := ca.NewGridNetwork(grid, ca.GridNetworkConfig{
+		Vehicles:    s.GridVehicles,
+		SlowdownP:   s.SlowdownP,
+		SignalGreen: s.GridSignalGreen,
+		SignalRed:   s.GridSignalRed,
+	}, src.Stream("ca"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return net, grid, nil
+}
+
+// rsuPositions reports the static node rows appended after the fleet: the
+// uplink RSU parked curbside at its intersection. The (6, 6) m offset
+// keeps the RSU off the exact intersection point a vehicle can occupy —
+// zero radio distance is a propagation-model singularity, and a real
+// roadside unit stands on the corner, not in the junction.
+func (s *Spec) rsuPositions(grid *geometry.RoadGrid) []geometry.Vec2 {
+	if s.Uplink == nil {
+		return nil
+	}
+	p := grid.Intersections[grid.Intersection(s.Uplink.Row, s.Uplink.Col)]
+	return []geometry.Vec2{{X: p.X + 6, Y: p.Y + 6}}
 }
 
 func buildRoad(s *Spec) (*ca.Road, error) {
@@ -128,6 +176,9 @@ func buildTrace(s *Spec, report *check.Report) (*mobility.SampledTrace, error) {
 }
 
 func buildSource(s *Spec, report *check.Report) (*mobility.Stream, error) {
+	if s.Urban() {
+		return buildUrbanSource(s, report)
+	}
 	road, err := buildRoad(s)
 	if err != nil {
 		return nil, err
@@ -146,6 +197,37 @@ func buildSource(s *Spec, report *check.Report) (*mobility.Stream, error) {
 		Steps:     steps,
 		AfterStep: after,
 		Overlay:   rampOverlay(s),
+		OnSample:  onSample,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return src, nil
+}
+
+// buildUrbanSource streams the street-grid CA network as the mobility
+// source, with the uplink RSU (if any) appended as a static row. Same
+// identity contract as the ring path: vehicle i is sample column i for
+// the whole run, then infrastructure rows.
+func buildUrbanSource(s *Spec, report *check.Report) (*mobility.Stream, error) {
+	net, grid, err := buildNetwork(s)
+	if err != nil {
+		return nil, err
+	}
+	var after func()
+	var onSample func(int, []geometry.Vec2)
+	if report != nil {
+		watcher := check.WatchNetwork(net, report)
+		after = watcher.AfterStep
+		onSample = check.WatchTrace(s.MaxSampleStepMeters(), nil, report).OnSample
+	}
+	mobility.WarmupRoadFunc(net, s.CAWarmup, after)
+	steps := int(s.SimTime.Seconds()) + 1
+	src, err := mobility.NewRoadSource(mobility.RoadSourceConfig{
+		Road:      net,
+		Steps:     steps,
+		Static:    s.rsuPositions(grid),
+		AfterStep: after,
 		OnSample:  onSample,
 	})
 	if err != nil {

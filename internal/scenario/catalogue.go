@@ -10,10 +10,10 @@ import (
 // property-tested under the invariant harness across every protocol and a
 // bank of seeds by the scenario test suite.
 //
-// Expectations are floors that must hold for *all three* protocols (and
-// for the shrunk test-sized variants), so they are deliberately
-// conservative; tighter per-protocol claims belong in experiments, not in
-// the catalogue contract.
+// Expectations are floors that must hold for *every* protocol (and for
+// the shrunk test-sized variants), so they are deliberately conservative;
+// tighter per-protocol claims belong in experiments, not in the
+// catalogue contract.
 func init() {
 	// 1. The paper's Table I baseline: a single-lane 3 km circuit, 30
 	// vehicles, CBR from nodes 1–8 to node 0.
@@ -177,6 +177,47 @@ func init() {
 				{A: 0, B: 5, StartSec: 4, DurSec: 12, Loss: 0.35, AttenDB: 3},
 				{A: 0, B: 6, StartSec: 4, DurSec: 12, Loss: 0.35, AttenDB: 3},
 			},
+		},
+		Expect: Expect{},
+	})
+
+	// 11. Manhattan: the urban workload. 48 vehicles on a 4×4 street grid
+	// of one-way signalized blocks — turning at intersections, queueing at
+	// red — with GPSR as the default protocol: position beacons suit a city
+	// where topology churns at every corner. The 600 m extent keeps the
+	// network 1–3 radio hops wide, so the floor holds for every protocol.
+	MustRegister(Spec{
+		Name:            "manhattan",
+		Description:     "urban grid: 48 vehicles on a 4x4 signalized one-way street grid, GPSR default",
+		GridRows:        4,
+		GridCols:        4,
+		GridVehicles:    48,
+		GridSignalGreen: 25,
+		GridSignalRed:   20,
+		Protocol:        GPSR,
+		Expect:          Expect{MinDelivered: 10},
+	})
+
+	// 12. Downtown: V2I infrastructure uplink. 40 vehicles on a 5×5 grid
+	// send to external addresses (1000–1007) advertised by a roadside unit
+	// at the central intersection via OLSR HNA — the paper's §II
+	// car-to-hotspot workload — alongside ordinary V2V flows from disjoint
+	// senders. Only OLSR completes the uplink; under the other protocols
+	// the uplink flows drop explicitly (no route / no location), so the
+	// catalogue promises invariants here, not delivery floors.
+	MustRegister(Spec{
+		Name:            "downtown",
+		Description:     "V2I uplink: 40 vehicles on a 5x5 grid, RSU gateway advertises 1000-1007 via OLSR HNA",
+		GridRows:        5,
+		GridCols:        5,
+		GridVehicles:    40,
+		GridSignalGreen: 25,
+		GridSignalRed:   20,
+		Protocol:        OLSR,
+		Uplink:          &Uplink{Row: 2, Col: 2, ExternalBase: 1000, ExternalCount: 8},
+		Flows: []Flow{
+			{Src: 1, Dst: 1000}, {Src: 5, Dst: 1001}, {Src: 9, Dst: 1002},
+			{Src: 13, Dst: 1003}, {Src: 2, Dst: 0}, {Src: 6, Dst: 3},
 		},
 		Expect: Expect{},
 	})

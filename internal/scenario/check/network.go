@@ -1,0 +1,104 @@
+package check
+
+import "cavenet/internal/ca"
+
+// NetworkWatcher validates road-network CA dynamics while the network is
+// being stepped: call AfterStep after every Network.Step. It is the urban
+// generalization of RoadWatcher — the ring-only Σv ≤ L−N rule becomes a
+// per-segment bound that accounts for the open exit. Checks, per step:
+//
+//   - conservation: every persistent global ID maps to exactly one
+//     vehicle, on exactly one (segment, site) — the closed system never
+//     loses or duplicates a car across intersection hops;
+//   - velocity bounds: 0 ≤ v ≤ vmax, positions inside the segment;
+//   - hop-aware motion consistency: a vehicle either advanced exactly its
+//     velocity within its segment, or crossed into the successor it had
+//     chosen with path displacement (L_from − pos_from) + pos_to equal to
+//     its velocity;
+//   - flow ≤ capacity per segment: intra-segment gaps sum to at most
+//     L − N and the exiting leader adds at most vmax, so Σv ≤ (L−N)+vmax.
+type NetworkWatcher struct {
+	net    *ca.Network
+	report *Report
+	prev   []ca.NetVehicle
+	counts []int
+	sumVel []int
+}
+
+// WatchNetwork starts watching net (snapshotting its current state).
+func WatchNetwork(net *ca.Network, report *Report) *NetworkWatcher {
+	w := &NetworkWatcher{net: net, report: report}
+	w.prev = make([]ca.NetVehicle, net.TotalVehicles())
+	w.snapshot()
+	return w
+}
+
+func (w *NetworkWatcher) snapshot() {
+	for i := range w.prev {
+		w.prev[i] = w.net.Vehicle(i)
+	}
+}
+
+// AfterStep validates the network state produced by the latest Step.
+func (w *NetworkWatcher) AfterStep() {
+	net := w.net
+	step := net.StepCount()
+	vmax := net.VMax()
+	segs := net.NumSegments()
+	if cap(w.counts) < segs {
+		w.counts = make([]int, segs)
+		w.sumVel = make([]int, segs)
+	}
+	counts, sumVel := w.counts[:segs], w.sumVel[:segs]
+	for s := range counts {
+		counts[s], sumVel[s] = 0, 0
+	}
+	occupied := make(map[[2]int]int, net.TotalVehicles())
+	for i := 0; i < net.TotalVehicles(); i++ {
+		v := net.Vehicle(i)
+		if v.ID != i {
+			w.report.Add("ca", "step %d: vehicle slot %d holds ID %d", step, i, v.ID)
+		}
+		if v.Seg < 0 || v.Seg >= segs || v.Pos < 0 || v.Pos >= net.SegmentLen(v.Seg) {
+			w.report.Add("ca", "step %d: vehicle %d at invalid site (segment %d, site %d)", step, i, v.Seg, v.Pos)
+			continue
+		}
+		if v.Vel < 0 || v.Vel > vmax {
+			w.report.Add("ca", "step %d: vehicle %d velocity %d outside [0,%d]", step, i, v.Vel, vmax)
+		}
+		if other, clash := occupied[[2]int{v.Seg, v.Pos}]; clash {
+			w.report.Add("ca", "step %d: vehicles %d and %d collide on segment %d site %d", step, other, i, v.Seg, v.Pos)
+		}
+		occupied[[2]int{v.Seg, v.Pos}] = i
+		counts[v.Seg]++
+		sumVel[v.Seg] += v.Vel
+
+		p := w.prev[i]
+		if v.Seg == p.Seg && v.Pos >= p.Pos {
+			if v.Pos-p.Pos != v.Vel {
+				w.report.Add("ca", "step %d: vehicle %d moved %d sites with velocity %d", step, i, v.Pos-p.Pos, v.Vel)
+			}
+		} else {
+			// Intersection hop: must land in the chosen successor with path
+			// displacement equal to the velocity.
+			if v.Seg != p.Next {
+				w.report.Add("ca", "step %d: vehicle %d hopped %d -> %d but had chosen %d", step, i, p.Seg, v.Seg, p.Next)
+			} else if d := net.SegmentLen(p.Seg) - p.Pos + v.Pos; d != v.Vel {
+				w.report.Add("ca", "step %d: vehicle %d crossed with displacement %d at velocity %d", step, i, d, v.Vel)
+			}
+		}
+	}
+	for s := 0; s < segs; s++ {
+		if counts[s] != net.SegmentVehicles(s) {
+			w.report.Add("ca", "step %d: segment %d holds %d vehicles but reports %d", step, s, counts[s], net.SegmentVehicles(s))
+		}
+		if counts[s] == 0 {
+			continue
+		}
+		if limit := net.SegmentLen(s) - counts[s] + vmax; sumVel[s] > limit {
+			w.report.Add("ca", "step %d: segment %d total velocity %d exceeds (L-N)+vmax = %d (L=%d, N=%d)",
+				step, s, sumVel[s], limit, net.SegmentLen(s), counts[s])
+		}
+	}
+	w.snapshot()
+}

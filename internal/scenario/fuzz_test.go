@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"testing"
+
+	"cavenet/internal/ca"
+)
+
+// FuzzUrbanSpec throws arbitrary street-grid knobs at spec validation.
+// Any input either fails Validate with an error or normalizes into a spec
+// whose derived quantities respect the documented caps — in particular the
+// grid-side and block-length bounds that keep a hostile spec from forcing
+// quadratic intersection/segment allocations, and the capacity rule that
+// NewGridNetwork would otherwise reject at build time.
+func FuzzUrbanSpec(f *testing.F) {
+	f.Add(3, 3, 150.0, 40, 25, 20, 1, 1, 1000, 8)
+	f.Add(2, 2, 0.0, 0, 0, 0, -1, 0, 0, 0)            // all defaults, no uplink
+	f.Add(64, 64, 10000.0, 1, 1, 1, 63, 63, 1<<30, 1) // every cap edge
+	f.Add(4, 4, 7.5, 100000, 25, 20, 0, 0, 100, 1)
+	f.Add(-5, 7, -1.0, -1, -1, -1, 5, 5, 50, -3)
+	f.Fuzz(func(t *testing.T, rows, cols int, block float64, fleet, green, red, uRow, uCol, uBase, uCount int) {
+		s := Spec{
+			Name:            "fuzz",
+			GridRows:        rows,
+			GridCols:        cols,
+			BlockMeters:     block,
+			GridVehicles:    fleet,
+			GridSignalGreen: green,
+			GridSignalRed:   red,
+		}
+		if uRow >= 0 {
+			s.Uplink = &Uplink{Row: uRow, Col: uCol, ExternalBase: uBase, ExternalCount: uCount}
+		}
+		norm, err := s.Normalized()
+		if err != nil {
+			return
+		}
+		if !norm.Urban() {
+			// Only the all-zero grid tuple may normalize into a ring spec;
+			// any dangling grid knob must have been rejected above.
+			if rows != 0 || cols != 0 || block != 0 || fleet != 0 || green != 0 || red != 0 {
+				t.Fatalf("ring spec accepted dangling grid knobs: %+v", norm)
+			}
+			return
+		}
+		if norm.GridRows > maxGridDim || norm.GridCols > maxGridDim || norm.GridRows < 2 || norm.GridCols < 2 {
+			t.Fatalf("grid %dx%d escaped the side caps", norm.GridRows, norm.GridCols)
+		}
+		if norm.BlockMeters <= 0 || norm.BlockMeters > 10000 {
+			t.Fatalf("block length %v escaped its bounds", norm.BlockMeters)
+		}
+		cells := int(norm.BlockMeters/ca.CellLength + 0.5)
+		if cells < ca.DefaultVMax+1 {
+			cells = ca.DefaultVMax + 1
+		}
+		streets := norm.GridRows*(norm.GridCols-1) + norm.GridCols*(norm.GridRows-1)
+		if norm.GridVehicles < 0 || norm.GridVehicles > streets*(cells/2) {
+			t.Fatalf("fleet %d escaped the capacity rule", norm.GridVehicles)
+		}
+		if norm.Nodes != norm.GridVehicles+norm.rsuCount() {
+			t.Fatalf("Nodes %d != fleet %d + RSU %d", norm.Nodes, norm.GridVehicles, norm.rsuCount())
+		}
+		if u := norm.Uplink; u != nil {
+			if u.Row < 0 || u.Row >= norm.GridRows || u.Col < 0 || u.Col >= norm.GridCols {
+				t.Fatalf("RSU intersection (%d,%d) escaped the grid", u.Row, u.Col)
+			}
+			if u.ExternalBase <= norm.GridVehicles || u.ExternalCount <= 0 || u.ExternalCount > 1<<20 {
+				t.Fatalf("external range [%d,+%d) escaped its bounds", u.ExternalBase, u.ExternalCount)
+			}
+		}
+		// A validated spec must survive a second normalization (idempotence)
+		// and the density-preserving rescale round trip.
+		if err := norm.Validate(); err != nil {
+			t.Fatalf("normalized spec fails re-validation: %v", err)
+		}
+		if norm.GridVehicles > 0 {
+			if _, err := norm.WithVehicles(norm.GridVehicles * 2); err != nil {
+				// Doubling can legitimately overflow capacity or the block
+				// cap; it must fail with an error, never panic.
+				return
+			}
+		}
+	})
+}

@@ -49,6 +49,18 @@ type Result struct {
 	// scenario declares no faults, so fault-free results stay structurally
 	// identical to pre-fault ones.
 	Resilience *fault.Resilience
+	// Uplink summarizes the V2I uplink workload; nil unless the spec
+	// declares an uplink and at least one flow targets its external range.
+	Uplink *UplinkStats
+}
+
+// UplinkStats aggregates the flows addressed to the uplink's external
+// range — the traffic that must exit the MANET through the RSU gateway.
+// Senders cannot mix uplink and in-network destinations (normalize
+// rejects it), so these totals attribute exactly.
+type UplinkStats struct {
+	Sent, Delivered uint64
+	PDR             float64
 }
 
 // TotalPDR reports the delivery ratio across all senders.
@@ -238,14 +250,20 @@ func runOnSource(s *Spec, src mobility.Source, report *check.Report) (*Result, e
 		world.AddHooks(meter.Hooks())
 	}
 
-	// One sink per distinct destination, attached before any source
-	// starts (flows all ride the CBR port).
+	// One sink per distinct destination node, attached before any source
+	// starts (flows all ride the CBR port). External uplink destinations
+	// terminate at the gateway RSU — the MANET-side endpoint of the
+	// advertised range — so every external ID shares the gateway's sink.
 	sinks := make(map[int]*traffic.Sink)
 	for _, f := range s.Flows {
-		if sinks[f.Dst] == nil {
+		node := f.Dst
+		if s.ExternalDst(f.Dst) {
+			node = s.GatewayNode()
+		}
+		if sinks[node] == nil {
 			sk := &traffic.Sink{}
-			world.Node(f.Dst).AttachPort(netsim.PortCBR, sk)
-			sinks[f.Dst] = sk
+			world.Node(node).AttachPort(netsim.PortCBR, sk)
+			sinks[node] = sk
 		}
 	}
 	for _, f := range s.Flows {
@@ -302,6 +320,28 @@ func runOnSource(s *Spec, src mobility.Source, report *check.Report) (*Result, e
 	if meter != nil {
 		r := meter.Result()
 		res.Resilience = &r
+	}
+	if s.Uplink != nil {
+		ext := make(map[int]bool, len(s.Flows))
+		for _, f := range s.Flows {
+			if s.ExternalDst(f.Dst) {
+				ext[f.Src] = true
+			}
+		}
+		if len(ext) > 0 {
+			u := &UplinkStats{}
+			for _, snd := range senders {
+				if !ext[snd] {
+					continue
+				}
+				u.Sent += res.Sent[snd]
+				u.Delivered += res.Delivered[snd]
+			}
+			if u.Sent > 0 {
+				u.PDR = float64(u.Delivered) / float64(u.Sent)
+			}
+			res.Uplink = u
+		}
 	}
 	res.ControlPackets, res.ControlBytes = metrics.RoutingOverhead(world)
 	for _, n := range world.Nodes() {

@@ -45,6 +45,29 @@ type SignalSpec struct {
 	GreenSteps, RedSteps, OffsetSteps int
 }
 
+// Uplink declares the V2I infrastructure uplink of an urban scenario: a
+// fixed roadside unit (RSU) placed at a grid intersection, appended to
+// the node list after the fleet, advertising an external address range
+// via OLSR HNA (the car-to-hotspot workload of the paper's §II). Flows
+// may then address any ID in the external range; vehicles route them to
+// the RSU — the MANET-side endpoint — which delivers them locally.
+// Protocols without network-association support drop such flows
+// explicitly, so the workload stays conservation-clean under every
+// protocol even though only OLSR can complete the uplink.
+type Uplink struct {
+	// Row, Col locate the RSU's intersection on the grid.
+	Row, Col int
+	// ExternalBase and ExternalCount define the advertised external
+	// destination range [ExternalBase, ExternalBase+ExternalCount). The
+	// range must sit above every node ID.
+	ExternalBase, ExternalCount int
+}
+
+// Contains reports whether dst falls in the advertised external range.
+func (u *Uplink) Contains(dst int) bool {
+	return dst >= u.ExternalBase && dst < u.ExternalBase+u.ExternalCount
+}
+
 // Expect declares the metric floors a scenario promises to meet under
 // every routing protocol; the invariant harness reports a violation when a
 // run falls short. Zero values disable a bound.
@@ -98,6 +121,28 @@ type Spec struct {
 	// the run (rush hour): node i is parked in an isolated staging area
 	// until its activation time i·RampSeconds/(N−1), then joins the road.
 	RampSeconds float64
+	// ---- Urban road-network generator ----
+
+	// GridRows and GridCols switch the road generator from ring lanes to
+	// a Manhattan street grid of one-way signalized segments (both must
+	// be >= 2 when either is set; see geometry.Manhattan for the
+	// direction scheme). Grid specs size their fleet with GridVehicles
+	// and reject the ring-only knobs (Lanes, LaneVehicles, CircuitMeters,
+	// Bidirectional, LaneChangeP, Signals, RandomStart, RampSeconds).
+	GridRows, GridCols int
+	// BlockMeters is the street length between adjacent intersections
+	// (default 150 m, a downtown block of 20 CA cells).
+	BlockMeters float64
+	// GridVehicles is the total fleet, apportioned over the grid's
+	// streets proportionally to length (default 40).
+	GridVehicles int
+	// GridSignalGreen and GridSignalRed set every intersection's
+	// exit-signal cycle in CA steps (1 s each); vertical streets run in
+	// antiphase. Both zero means unsignalized intersections.
+	GridSignalGreen, GridSignalRed int
+	// Uplink declares a V2I roadside-unit gateway (urban specs only).
+	Uplink *Uplink
+
 	// Heavy marks a scenario too large for the exhaustive property
 	// suites (every-scenario × every-protocol × 20 seeds) and for the
 	// default sweep catalogue: tests and sweeps cover heavy scenarios
@@ -129,6 +174,10 @@ type Spec struct {
 	DYMONoPathAccumulation bool
 	NoCapture              bool
 	RTSThreshold           int
+	// GPSROracle routes GPSR greedy next-hop selection through the
+	// retained brute-force neighbor scan (the differential oracle)
+	// instead of the spatial-grid fast path; results are bit-identical.
+	GPSROracle bool
 
 	// ---- Fault injection ----
 
@@ -143,8 +192,40 @@ type Spec struct {
 	Expect Expect
 }
 
-// TotalVehicles reports the vehicle count across lanes (after normalize).
+// Urban reports whether the spec uses the road-network (street grid)
+// generator instead of ring lanes.
+func (s *Spec) Urban() bool { return s.GridRows != 0 || s.GridCols != 0 }
+
+// rsuCount reports the number of fixed roadside-unit nodes appended after
+// the fleet.
+func (s *Spec) rsuCount() int {
+	if s.Uplink != nil {
+		return 1
+	}
+	return 0
+}
+
+// GatewayNode reports the RSU gateway's node ID (the first static node
+// after the fleet), or -1 when the spec declares no uplink.
+func (s *Spec) GatewayNode() int {
+	if s.Uplink == nil {
+		return -1
+	}
+	return s.TotalVehicles()
+}
+
+// ExternalDst reports whether dst addresses the uplink's external range
+// (and therefore terminates at the gateway RSU rather than at a node).
+func (s *Spec) ExternalDst(dst int) bool {
+	return s.Uplink != nil && s.Uplink.Contains(dst)
+}
+
+// TotalVehicles reports the vehicle count across lanes — or the grid
+// fleet size for urban specs (after normalize).
 func (s *Spec) TotalVehicles() int {
+	if s.Urban() {
+		return s.GridVehicles
+	}
 	n := 0
 	for _, v := range s.LaneVehicles {
 		n += v
@@ -152,7 +233,78 @@ func (s *Spec) TotalVehicles() int {
 	return n
 }
 
+// maxGridDim caps the street-grid side length: far beyond any plausible
+// workload, small enough that hostile specs (fuzzers, config files)
+// cannot force quadratic intersection/segment allocations.
+const maxGridDim = 64
+
+// normalizeUrban validates and defaults the street-grid generator knobs.
+func (s *Spec) normalizeUrban() error {
+	if s.GridRows < 2 || s.GridCols < 2 {
+		return fmt.Errorf("scenario %s: street grid %dx%d needs at least 2x2 intersections", s.Name, s.GridRows, s.GridCols)
+	}
+	if s.GridRows > maxGridDim || s.GridCols > maxGridDim {
+		return fmt.Errorf("scenario %s: street grid %dx%d exceeds the %d-intersection side cap", s.Name, s.GridRows, s.GridCols, maxGridDim)
+	}
+	if s.Lanes != 0 || len(s.LaneVehicles) != 0 || s.CircuitMeters != 0 || s.Bidirectional ||
+		s.LaneChangeP != 0 || len(s.Signals) != 0 || s.RandomStart || s.RampSeconds != 0 {
+		return fmt.Errorf("scenario %s: ring-road knobs are incompatible with a street grid", s.Name)
+	}
+	if s.BlockMeters == 0 {
+		s.BlockMeters = 150
+	}
+	if minBlock := float64(s.vmax()+1) * ca.CellLength; s.BlockMeters < minBlock {
+		return fmt.Errorf("scenario %s: %v m blocks are shorter than the %v m a street needs (vmax+1 cells)", s.Name, s.BlockMeters, minBlock)
+	}
+	if s.BlockMeters > 10000 {
+		return fmt.Errorf("scenario %s: %v m blocks exceed the 10 km cap", s.Name, s.BlockMeters)
+	}
+	if s.GridVehicles == 0 {
+		s.GridVehicles = 40
+	}
+	if s.GridVehicles < 0 {
+		return fmt.Errorf("scenario %s: negative fleet %d", s.Name, s.GridVehicles)
+	}
+	// Mirror ca.NewGridNetwork's per-street capacity (half the sites of
+	// each street) so over-dense specs fail at validation, not at build.
+	cells := int(s.BlockMeters/ca.CellLength + 0.5)
+	if cells < s.vmax()+1 {
+		cells = s.vmax() + 1
+	}
+	streets := s.GridRows*(s.GridCols-1) + s.GridCols*(s.GridRows-1)
+	if capacity := streets * (cells / 2); s.GridVehicles > capacity {
+		return fmt.Errorf("scenario %s: %d vehicles exceed the grid's capacity of %d", s.Name, s.GridVehicles, capacity)
+	}
+	if s.GridSignalGreen < 0 || s.GridSignalRed < 0 || (s.GridSignalGreen == 0) != (s.GridSignalRed == 0) {
+		return fmt.Errorf("scenario %s: signal cycle %d/%d (both phases positive, or both zero for unsignalized)", s.Name, s.GridSignalGreen, s.GridSignalRed)
+	}
+	if u := s.Uplink; u != nil {
+		if u.Row < 0 || u.Row >= s.GridRows || u.Col < 0 || u.Col >= s.GridCols {
+			return fmt.Errorf("scenario %s: uplink RSU at intersection (%d,%d) outside the %dx%d grid", s.Name, u.Row, u.Col, s.GridRows, s.GridCols)
+		}
+		if u.ExternalCount <= 0 || u.ExternalCount > 1<<20 {
+			return fmt.Errorf("scenario %s: uplink external range size %d", s.Name, u.ExternalCount)
+		}
+		if u.ExternalBase <= s.GridVehicles || u.ExternalBase > 1<<30 {
+			return fmt.Errorf("scenario %s: uplink external base %d must sit above every node ID (fleet %d + RSU)", s.Name, u.ExternalBase, s.GridVehicles)
+		}
+	}
+	return nil
+}
+
 func (s *Spec) normalize() error {
+	if s.Urban() {
+		if err := s.normalizeUrban(); err != nil {
+			return err
+		}
+		return s.normalizeShared()
+	}
+	if s.Uplink != nil {
+		return fmt.Errorf("scenario %s: a V2I uplink needs a street grid for its RSU", s.Name)
+	}
+	if s.BlockMeters != 0 || s.GridVehicles != 0 || s.GridSignalGreen != 0 || s.GridSignalRed != 0 {
+		return fmt.Errorf("scenario %s: street-grid knobs without GridRows/GridCols", s.Name)
+	}
 	if s.Lanes == 0 {
 		s.Lanes = 1
 	}
@@ -186,18 +338,6 @@ func (s *Spec) normalize() error {
 	if s.CircuitMeters < ca.CellLength {
 		return fmt.Errorf("scenario %s: circuit %v m shorter than one cell", s.Name, s.CircuitMeters)
 	}
-	if s.SlowdownP == 0 {
-		s.SlowdownP = 0.3
-	}
-	if s.SlowdownP < 0 || s.SlowdownP > 1 {
-		return fmt.Errorf("scenario %s: slowdown probability %v outside [0,1]", s.Name, s.SlowdownP)
-	}
-	if s.CAWarmup == 0 {
-		s.CAWarmup = 300
-	}
-	if s.LaneSpacingM == 0 {
-		s.LaneSpacingM = 4
-	}
 	if s.LaneChangeP < 0 || s.LaneChangeP > 1 {
 		return fmt.Errorf("scenario %s: lane-change probability %v outside [0,1]", s.Name, s.LaneChangeP)
 	}
@@ -223,14 +363,46 @@ func (s *Spec) normalize() error {
 	if s.RampSeconds < 0 {
 		return fmt.Errorf("scenario %s: negative ramp %v", s.Name, s.RampSeconds)
 	}
-	if s.Nodes == 0 {
-		s.Nodes = s.TotalVehicles()
+	return s.normalizeShared()
+}
+
+// normalizeShared defaults and validates the knobs common to both road
+// generators: CA parameters, station count, protocol, timing, radio and
+// the traffic workload.
+func (s *Spec) normalizeShared() error {
+	if s.SlowdownP == 0 {
+		s.SlowdownP = 0.3
 	}
-	if s.Nodes < 0 || s.Nodes > s.TotalVehicles() {
-		return fmt.Errorf("scenario %s: %d stations for %d vehicles", s.Name, s.Nodes, s.TotalVehicles())
+	if s.SlowdownP < 0 || s.SlowdownP > 1 {
+		return fmt.Errorf("scenario %s: slowdown probability %v outside [0,1]", s.Name, s.SlowdownP)
+	}
+	if s.CAWarmup == 0 {
+		s.CAWarmup = 300
+	}
+	if s.LaneSpacingM == 0 {
+		s.LaneSpacingM = 4
+	}
+	if s.Urban() {
+		// Urban worlds network the whole fleet plus any RSU: the gateway's
+		// node ID is TotalVehicles(), and a partial station count would
+		// shift it silently.
+		want := s.TotalVehicles() + s.rsuCount()
+		if s.Nodes == 0 {
+			s.Nodes = want
+		}
+		if s.Nodes != want {
+			return fmt.Errorf("scenario %s: %d stations for a grid of %d vehicles + %d RSU", s.Name, s.Nodes, s.TotalVehicles(), s.rsuCount())
+		}
+	} else {
+		if s.Nodes == 0 {
+			s.Nodes = s.TotalVehicles()
+		}
+		if s.Nodes < 0 || s.Nodes > s.TotalVehicles() {
+			return fmt.Errorf("scenario %s: %d stations for %d vehicles", s.Name, s.Nodes, s.TotalVehicles())
+		}
 	}
 	switch s.Protocol {
-	case AODV, OLSR, DYMO:
+	case AODV, OLSR, DYMO, GPSR:
 	case "":
 		s.Protocol = AODV
 	default:
@@ -265,11 +437,20 @@ func (s *Spec) normalize() error {
 			s.Flows = append(s.Flows, Flow{Src: i, Dst: 0})
 		}
 	}
+	// A sender must not mix external (uplink) and in-network destinations:
+	// per-sender delivery counters would then conflate V2I and V2V traffic
+	// and the uplink PDR could not be attributed exactly.
+	extSender := make(map[int]bool)
 	for i := range s.Flows {
 		f := &s.Flows[i]
-		if f.Src < 0 || f.Src >= s.Nodes || f.Dst < 0 || f.Dst >= s.Nodes {
+		ext := s.ExternalDst(f.Dst)
+		if f.Src < 0 || f.Src >= s.Nodes || f.Dst < 0 || (!ext && f.Dst >= s.Nodes) {
 			return fmt.Errorf("scenario %s: flow %d endpoints %d->%d outside [0,%d)", s.Name, i, f.Src, f.Dst, s.Nodes)
 		}
+		if was, seen := extSender[f.Src]; seen && was != ext {
+			return fmt.Errorf("scenario %s: flow %d: sender %d mixes uplink and in-network destinations", s.Name, i, f.Src)
+		}
+		extSender[f.Src] = ext
 		if f.Src == f.Dst {
 			return fmt.Errorf("scenario %s: flow %d sends to itself", s.Name, i)
 		}
@@ -323,6 +504,10 @@ func (s Spec) clone() Spec {
 	if s.Flows != nil {
 		s.Flows = append(make([]Flow, 0, len(s.Flows)), s.Flows...)
 	}
+	if s.Uplink != nil {
+		u := *s.Uplink
+		s.Uplink = &u
+	}
 	s.Faults = s.Faults.Clone()
 	return s
 }
@@ -358,8 +543,11 @@ func (s Spec) Shrunk() Spec {
 // over the existing lanes proportionally and the circuit (with its
 // signal positions) is stretched or shrunk by the same factor, so the
 // CA dynamics stay in the same regime — the quick scale-experiment knob
-// behind `cavenet scenario run -nodes`. Flows are kept as declared;
-// scaling below a flow endpoint is a validation error.
+// behind `cavenet scenario run -nodes`. Urban specs rescale the same
+// way: the block length stretches by the fleet factor (snapped to the
+// CA cell grid), so vehicles-per-street-meter is preserved while the
+// grid shape, signals and any uplink stay fixed. Flows are kept as
+// declared; scaling below a flow endpoint is a validation error.
 func (s Spec) WithVehicles(n int) (Spec, error) {
 	s = s.clone()
 	if err := s.normalize(); err != nil {
@@ -373,6 +561,13 @@ func (s Spec) WithVehicles(n int) (Spec, error) {
 		return s, nil
 	}
 	factor := float64(n) / float64(orig)
+	if s.Urban() {
+		s.GridVehicles = n
+		s.BlockMeters = math.Round(s.BlockMeters*factor/ca.CellLength) * ca.CellLength
+		s.Nodes = n + s.rsuCount()
+		err := s.normalize()
+		return s, err
+	}
 	// Largest-remainder apportionment keeps every lane populated and the
 	// counts summing exactly to n.
 	counts := make([]int, len(s.LaneVehicles))

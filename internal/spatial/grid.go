@@ -158,6 +158,58 @@ func (g *Grid) Position(id int) (geometry.Vec2, bool) {
 	return g.items[id].pos, true
 }
 
+// Nearest reports the indexed item strictly within limit meters of pos
+// that minimizes distance, breaking exact-distance ties toward the
+// smallest id. With no such item it reports ok=false.
+//
+// The result is exact and deterministic even though cells are visited in
+// map order: candidates are ranked by the strict total order (distance,
+// id), and a cell is pruned only when the minimum distance from pos to
+// the cell rectangle — a lower bound on the distance to any member —
+// strictly exceeds the best distance seen so far, so no cell that could
+// hold the winner (or a tie for it) is ever skipped. The distance of each
+// surviving candidate is computed with the same Vec2.Dist call a brute
+// scan over the indexed positions would make, which keeps Nearest
+// bit-identical to that scan — the property the geographic-forwarding
+// differential oracle asserts.
+func (g *Grid) Nearest(pos geometry.Vec2, limit float64) (id int, dist float64, ok bool) {
+	if !(limit > 0) || g.count == 0 {
+		return -1, 0, false
+	}
+	best, bestID := limit, -1
+	for key, ids := range g.cells {
+		kx := int32(key >> 32)
+		ky := int32(uint32(key))
+		var dx, dy float64
+		if lo := float64(kx) * g.cell; pos.X < lo {
+			dx = lo - pos.X
+		} else if hi := lo + g.cell; pos.X > hi {
+			dx = pos.X - hi
+		}
+		if lo := float64(ky) * g.cell; pos.Y < lo {
+			dy = lo - pos.Y
+		} else if hi := lo + g.cell; pos.Y > hi {
+			dy = pos.Y - hi
+		}
+		if math.Hypot(dx, dy) > best {
+			continue
+		}
+		for _, cand := range ids {
+			d := pos.Dist(g.items[cand].pos)
+			if d >= limit {
+				continue
+			}
+			if bestID < 0 || d < best || (d == best && int(cand) < bestID) {
+				best, bestID = d, int(cand)
+			}
+		}
+	}
+	if bestID < 0 {
+		return -1, 0, false
+	}
+	return bestID, best, true
+}
+
 // Near appends to buf the ids of every item whose cell intersects the disc
 // of the given radius around pos, and returns the extended slice. The
 // result is a superset of the items within the radius; callers apply their

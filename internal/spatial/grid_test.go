@@ -183,6 +183,111 @@ func TestGridMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// bruteNearest is the reference answer for Nearest: a full scan applying
+// the documented strict (distance, id) order with the same Dist calls.
+func bruteNearest(pos []geometry.Vec2, present []bool, q geometry.Vec2, limit float64) (int, float64, bool) {
+	best, bestID := limit, -1
+	for i := range pos {
+		if !present[i] {
+			continue
+		}
+		d := q.Dist(pos[i])
+		if d >= limit {
+			continue
+		}
+		if bestID < 0 || d < best || (d == best && i < bestID) {
+			best, bestID = d, i
+		}
+	}
+	if bestID < 0 {
+		return -1, 0, false
+	}
+	return bestID, best, true
+}
+
+// TestGridNearestMatchesBruteForce checks Nearest is bit-identical to a
+// brute-force scan across a random insert/move/remove workload, including
+// queries whose limit excludes everything (the detached-radio case).
+func TestGridNearestMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	const n = 150
+	g := NewGrid(550)
+	pos := make([]geometry.Vec2, n)
+	present := make([]bool, n)
+	randPos := func() geometry.Vec2 {
+		return geometry.Vec2{X: rnd.Float64()*6000 - 3000, Y: rnd.Float64()*6000 - 3000}
+	}
+	for i := 0; i < n; i++ {
+		pos[i] = randPos()
+		present[i] = true
+		g.Insert(i, pos[i])
+	}
+	for step := 0; step < 3000; step++ {
+		id := rnd.Intn(n)
+		switch op := rnd.Intn(4); {
+		case op == 0 && present[id]:
+			g.Remove(id)
+			present[id] = false
+		case op == 1 && !present[id]:
+			pos[id] = randPos()
+			present[id] = true
+			g.Insert(id, pos[id])
+		case present[id]:
+			pos[id] = randPos()
+			g.Move(id, pos[id])
+		}
+		q := randPos()
+		limit := rnd.Float64() * 2000 // often excludes every item
+		gotID, gotD, gotOK := g.Nearest(q, limit)
+		wantID, wantD, wantOK := bruteNearest(pos, present, q, limit)
+		if gotID != wantID || gotD != wantD || gotOK != wantOK {
+			t.Fatalf("step %d: Nearest(%v, %v) = (%d, %v, %v), brute force says (%d, %v, %v)",
+				step, q, limit, gotID, gotD, gotOK, wantID, wantD, wantOK)
+		}
+	}
+}
+
+// TestGridNearestTieBreak pins the documented tie rule: exact equal
+// distances resolve to the smallest id, regardless of insertion order or
+// cell layout.
+func TestGridNearestTieBreak(t *testing.T) {
+	g := NewGrid(100)
+	// Mirror-image points around the query — bitwise-equal distances, in
+	// different cells, inserted high id first.
+	g.Insert(9, geometry.Vec2{X: 250, Y: 0})
+	g.Insert(4, geometry.Vec2{X: -250, Y: 0})
+	id, d, ok := g.Nearest(geometry.Vec2{}, 1000)
+	if !ok || id != 4 || d != 250 {
+		t.Fatalf("Nearest = (%d, %v, %v), want (4, 250, true)", id, d, ok)
+	}
+	// Same tie within one cell.
+	g2 := NewGrid(1000)
+	g2.Insert(7, geometry.Vec2{X: 10, Y: 0})
+	g2.Insert(3, geometry.Vec2{X: 0, Y: 10})
+	if id, _, _ := g2.Nearest(geometry.Vec2{}, 50); id != 3 {
+		t.Fatalf("in-cell tie broke to %d, want 3", id)
+	}
+}
+
+// TestGridNearestLimitIsStrict: an item exactly at the limit is not
+// "strictly within" it.
+func TestGridNearestLimitIsStrict(t *testing.T) {
+	g := NewGrid(100)
+	g.Insert(0, geometry.Vec2{X: 300, Y: 0})
+	if _, _, ok := g.Nearest(geometry.Vec2{}, 300); ok {
+		t.Fatal("item at exactly the limit was accepted")
+	}
+	if id, _, ok := g.Nearest(geometry.Vec2{}, 300.0001); !ok || id != 0 {
+		t.Fatal("item just inside the limit was rejected")
+	}
+	if _, _, ok := g.Nearest(geometry.Vec2{}, 0); ok {
+		t.Fatal("non-positive limit accepted an item")
+	}
+	if _, _, ok := NewGrid(100).Nearest(geometry.Vec2{}, 100); ok {
+		t.Fatal("empty grid reported an item")
+	}
+}
+
 func TestGridNearReusesBuffer(t *testing.T) {
 	g := NewGrid(100)
 	for i := 0; i < 32; i++ {
