@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check staticcheck test race sweep-smoke scenario-smoke churn-smoke fuzz-smoke bench-smoke bench-routing-smoke bench-mobility-smoke bench-routing bench ci
+.PHONY: build vet fmt-check staticcheck test race sweep-smoke scenario-smoke churn-smoke fuzz-smoke bench-smoke bench-routing-smoke bench-mobility-smoke bench-kernel-smoke bench-kernel bench-routing bench ci
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace/ -fuzz FuzzParseBonnMotion -fuzztime 5s -run XXX
 	$(GO) test ./internal/fault/ -fuzz FuzzParseSpec -fuzztime 5s -run XXX
 	$(GO) test ./internal/scenario/ -fuzz FuzzUrbanSpec -fuzztime 5s -run XXX
+	$(GO) test ./internal/sim/ -fuzz FuzzKernelDifferential -fuzztime 5s -run XXX
 
 # One iteration of the broadcast scaling bench: catches gross perf
 # regressions (e.g. the culling silently disabled) without the minutes-long
@@ -91,6 +92,18 @@ bench-routing-smoke:
 bench-mobility-smoke:
 	$(GO) test ./internal/mobility/ -bench 'MobilityRecordRoadN1k|MobilityStreamRoadN1k' -benchtime=1x -benchmem -run XXX
 
+# One iteration of the 10k-ticker kernel bench on both queue paths:
+# catches the calendar queue silently losing its O(1) behavior (or the
+# oracle switch breaking) without the full depth table from PERF.md.
+bench-kernel-smoke:
+	$(GO) test ./internal/sim/ -bench 'PeriodicTickers10k' -benchtime=1x -benchmem -run XXX
+
+# Full event-kernel table (mixed workloads plus schedule/pop at
+# 1k/10k/100k pending, calendar vs heap oracle); see the "Event kernel"
+# section of PERF.md.
+bench-kernel:
+	$(GO) test ./internal/sim/ -bench 'PeriodicTickers10k|CancelHeavy|FarFutureOverflow|MetroArrivals|SchedulePopPending' -benchmem -benchtime=2s -run XXX
+
 # Full routing control-plane table (dense vs oracle at N=100/1k plus the
 # steady-state purge); see the "Routing control plane" section of PERF.md.
 bench-routing:
@@ -103,4 +116,4 @@ bench:
 	$(GO) test ./internal/netsim/ -bench 'Connectivity|Components' -benchmem -benchtime=20x -run XXX
 	$(GO) test ./internal/sim/ -bench . -benchmem -run XXX
 
-ci: build vet fmt-check staticcheck test bench-smoke bench-routing-smoke bench-mobility-smoke sweep-smoke scenario-smoke churn-smoke fuzz-smoke
+ci: build vet fmt-check staticcheck test bench-smoke bench-routing-smoke bench-mobility-smoke bench-kernel-smoke sweep-smoke scenario-smoke churn-smoke fuzz-smoke

@@ -73,6 +73,7 @@ func scenarioRun(w io.Writer, args []string) error {
 	format := fs.String("format", "text", "text or json")
 	churn := fs.Float64("churn", 0, "inject node churn at this rate per node per minute (4 s crash outages); shorthand for -faults churn:RATE")
 	gpsrOracle := fs.Bool("gpsr-oracle", false, "route GPSR greedy decisions through the brute-force differential oracle (bit-identical to the spatial-grid fast path)")
+	kernelOracle := fs.Bool("kernel-oracle", false, "run on the kernel's binary-heap differential oracle instead of the calendar event queue (bit-identical, slower)")
 	faults := fs.String("faults", "", "fault plan, ';'-joined clauses: churn:RATE[,DOWNSEC[,graceful]] | blackout:START,DUR[,FRACTION] | partition:START,DUR | impair:A-B,START,DUR[,LOSS[,ATTENDB]]; replaces the scenario's declared faults")
 	// Accept the name before or after the flags.
 	var name string
@@ -127,6 +128,9 @@ func scenarioRun(w io.Writer, args []string) error {
 	}
 	if *gpsrOracle {
 		spec.GPSROracle = true
+	}
+	if *kernelOracle {
+		spec.KernelOracle = true
 	}
 
 	var res *scenario.Result

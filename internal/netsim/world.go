@@ -45,6 +45,11 @@ type WorldConfig struct {
 	Static []geometry.Vec2
 	// MobilityInterval is how often positions refresh (default 100 ms).
 	MobilityInterval sim.Time
+	// KernelOracle runs the world on the kernel's retained binary-heap
+	// event queue instead of the calendar queue. Pop order is
+	// bit-identical, so whole runs reproduce exactly; the heap path is
+	// only useful as a differential cross-check (see sim.KernelConfig).
+	KernelOracle bool
 }
 
 // World is an assembled scenario: kernel, channel, nodes.
@@ -113,7 +118,7 @@ func NewWorld(cfg WorldConfig, factory RouterFactory) (*World, error) {
 		cfg.MobilityInterval = 100 * sim.Millisecond
 	}
 	w := &World{
-		Kernel:  sim.NewKernel(),
+		Kernel:  sim.NewKernelWithConfig(sim.KernelConfig{HeapOracle: cfg.KernelOracle}),
 		cfg:     cfg,
 		src:     rng.NewSource(cfg.Seed),
 		factory: factory,

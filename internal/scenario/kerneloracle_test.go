@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestKernelOracleRunIdentity is the whole-run differential contract for
+// the event kernel: a scenario executed on the retained binary-heap oracle
+// must reproduce the calendar-queue run bit for bit — same metrics, same
+// per-second series, same fault outcomes. The churn entry is the sharpest
+// probe: fault-driven crashes and retransmission timeouts make the run
+// cancellation-heavy, exercising the lazy-cancel path end to end.
+func TestKernelOracleRunIdentity(t *testing.T) {
+	for _, name := range []string{"churn", "manhattan"} {
+		t.Run(name, func(t *testing.T) {
+			spec, ok := Get(name)
+			if !ok {
+				t.Fatalf("%s not registered", name)
+			}
+			run := spec.Shrunk()
+			run.Seed = 17
+			fast, err := Run(run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run.KernelOracle = true
+			oracle, err := Run(run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The result echoes its spec; align the one knob that
+			// legitimately differs so DeepEqual checks only the simulation
+			// outputs.
+			oracle.Spec.KernelOracle = false
+			if !reflect.DeepEqual(fast, oracle) {
+				t.Fatal("kernel oracle and calendar-queue runs diverged")
+			}
+		})
+	}
+}

@@ -217,8 +217,9 @@ func runOnSource(s *Spec, src mobility.Source, report *check.Report) (*Result, e
 			CSRangeM:     s.RangeMeters * 2.2,
 			CaptureRatio: capture,
 		},
-		MAC:      mac.Config{DataRateBPS: s.DataRateBPS, RTSThreshold: s.RTSThreshold},
-		Mobility: src,
+		MAC:          mac.Config{DataRateBPS: s.DataRateBPS, RTSThreshold: s.RTSThreshold},
+		Mobility:     src,
+		KernelOracle: s.KernelOracle,
 	}, s.routerFactory())
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)

@@ -6,6 +6,13 @@
 // run is fully reproducible. The kernel is single-threaded by design — all
 // model code (PHY, MAC, routing, traffic) runs inside event callbacks.
 //
+// The production event queue is a bucketed calendar queue (calendar.go):
+// O(1) amortized schedule and pop for the near-future timer churn that
+// dominates a protocol run. The original container/heap implementation is
+// retained behind KernelConfig.HeapOracle as the differential oracle — both
+// paths pop in the identical strict (time, seq) order, and the randomized
+// differential and fuzz tests assert bit-identical pop sequences.
+//
 // Event records are pooled: once an event fires or is cancelled its record
 // returns to a free list and is reused by a later Schedule, so the steady
 // state of a long run performs no per-event heap allocation. Callers hold
@@ -53,17 +60,56 @@ func (t Time) String() string {
 	return strconv.FormatFloat(t.Seconds(), 'f', 6, 64) + "s"
 }
 
+// Queue-position markers stored in event.index. The heap oracle keeps real
+// indices (>= 0); the calendar queue only records which tier holds the
+// record, because lazy cancellation never needs to locate it.
+const (
+	noIdx          = -1 // not queued
+	calBucketIdx   = -2 // resident in a calendar bucket
+	calOverflowIdx = -3 // resident in the far-future overflow heap
+)
+
 // event is a pooled scheduled-callback record. Exactly one of fn and afn is
 // set while the event is pending. gen increments every time the record is
-// released, invalidating outstanding handles.
+// released, invalidating outstanding handles. dead marks a cancelled record
+// that still physically occupies a calendar bucket (lazy cancellation); it
+// is skipped and recycled when the scan reaches it.
 type event struct {
 	at    Time
 	seq   uint64
 	fn    func()
 	afn   func(any)
 	arg   any
-	index int // position in the heap, -1 once popped or cancelled
+	index int // heap position, or a cal*Idx tier marker, or noIdx
 	gen   uint64
+	dead  bool
+}
+
+// eventLess is the kernel's total order: time, then insertion sequence.
+// Both queue implementations pop in exactly this order — it is the
+// determinism contract every downstream golden depends on.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventCmp is eventLess as a three-way comparison for slices.SortFunc.
+// Sequence numbers are unique, so the order is total and any comparison
+// sort produces the identical permutation — sort stability is irrelevant
+// to the determinism contract.
+func eventCmp(a, b *event) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.seq < b.seq {
+		return -1
+	}
+	return 1
 }
 
 // Handle identifies a scheduled event. It is a small value, cheap to copy
@@ -77,14 +123,18 @@ type Handle struct {
 }
 
 // live reports whether the handle still refers to the pending incarnation
-// of its event record.
+// of its event record. Cancellation bumps the generation immediately (even
+// when the record is reclaimed lazily), so live is false the moment the
+// event stops being pending.
 func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen }
 
 // Scheduled reports whether the event is still pending.
-func (h Handle) Scheduled() bool { return h.live() && h.ev.index >= 0 }
+func (h Handle) Scheduled() bool { return h.live() }
 
 // At reports the time the event is scheduled to fire; it returns 0 once the
-// event has fired, been cancelled, or been recycled.
+// event has fired, been cancelled, or been recycled. Caveat: that sentinel
+// is indistinguishable from a genuinely pending time-zero event — use When
+// where the distinction matters.
 func (h Handle) At() Time {
 	if !h.live() {
 		return 0
@@ -92,16 +142,22 @@ func (h Handle) At() Time {
 	return h.ev.at
 }
 
+// When reports the pending fire time and whether the event is still
+// scheduled; unlike At, a pending time-zero event is unambiguous.
+func (h Handle) When() (Time, bool) {
+	if !h.live() {
+		return 0, false
+	}
+	return h.ev.at, true
+}
+
+// eventQueue is the container/heap implementation — the pre-calendar event
+// queue, retained as the differential oracle (KernelConfig.HeapOracle).
 type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
+func (q eventQueue) Less(i, j int) bool { return eventLess(q[i], q[j]) }
 
 func (q eventQueue) Swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
@@ -120,31 +176,56 @@ func (q *eventQueue) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
-	ev.index = -1
+	ev.index = noIdx
 	*q = old[:n-1]
 	return ev
+}
+
+// KernelConfig selects the event-queue implementation.
+type KernelConfig struct {
+	// HeapOracle switches the kernel to the original binary-heap event
+	// queue. It is the retained differential oracle: pop order is
+	// bit-identical to the calendar queue, so whole runs reproduce exactly.
+	// Use it to cross-check a suspected kernel bug or as the reference side
+	// of a differential test; the calendar path is strictly faster.
+	HeapOracle bool
 }
 
 // Kernel is a discrete-event scheduler. Create one with NewKernel.
 type Kernel struct {
 	now       Time
 	seq       uint64
-	queue     eventQueue
-	free      []*event // recycled event records
+	oracle    bool
+	heapq     eventQueue // oracle path (HeapOracle)
+	cal       calendar   // production path
+	free      []*event   // recycled event records
 	processed uint64
 	stopped   bool
 }
 
-// NewKernel returns an empty kernel positioned at time zero.
+// NewKernel returns an empty kernel positioned at time zero, using the
+// calendar-queue event set.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return NewKernelWithConfig(KernelConfig{})
+}
+
+// NewKernelWithConfig returns an empty kernel with an explicit queue
+// selection; see KernelConfig.
+func NewKernelWithConfig(cfg KernelConfig) *Kernel {
+	return &Kernel{oracle: cfg.HeapOracle}
 }
 
 // Now reports the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Pending reports the number of events waiting in the queue.
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending reports the number of events waiting in the queue. Cancelled
+// records awaiting lazy reclamation are not counted.
+func (k *Kernel) Pending() int {
+	if k.oracle {
+		return len(k.heapq)
+	}
+	return k.cal.pending()
+}
 
 // Processed reports the total number of events executed so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
@@ -157,7 +238,7 @@ func (k *Kernel) alloc(at Time) *event {
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
 	} else {
-		ev = &event{}
+		ev = &event{index: noIdx}
 	}
 	ev.at = at
 	ev.seq = k.seq
@@ -165,18 +246,37 @@ func (k *Kernel) alloc(at Time) *event {
 	return ev
 }
 
-// release invalidates outstanding handles to ev and returns the record to
-// the free list.
-func (k *Kernel) release(ev *event) {
+// invalidate bumps the record's generation (cutting off every outstanding
+// handle) and drops its callback references. The record may still occupy a
+// calendar bucket afterwards; recycle returns it to the free list once it
+// is physically out of the queue.
+func (k *Kernel) invalidate(ev *event) {
 	ev.gen++
 	ev.fn = nil
 	ev.afn = nil
 	ev.arg = nil
+}
+
+// recycle returns a record that is no longer queued to the free list.
+func (k *Kernel) recycle(ev *event) {
+	ev.dead = false
+	ev.index = noIdx
 	k.free = append(k.free, ev)
 }
 
+// release invalidates outstanding handles to ev and returns the record to
+// the free list.
+func (k *Kernel) release(ev *event) {
+	k.invalidate(ev)
+	k.recycle(ev)
+}
+
 func (k *Kernel) push(ev *event) Handle {
-	heap.Push(&k.queue, ev)
+	if k.oracle {
+		heap.Push(&k.heapq, ev)
+	} else {
+		k.cal.insert(k, ev)
+	}
 	return Handle{ev: ev, gen: ev.gen}
 }
 
@@ -224,23 +324,49 @@ func (k *Kernel) AfterArg(d Time, fn func(any), arg any) Handle {
 // Cancel removes a pending event from the queue. It reports whether the
 // event was still pending; cancelling an already-fired, already-cancelled
 // or recycled handle is a harmless no-op.
+//
+// On the calendar path cancellation is lazy: the handle dies immediately
+// (Scheduled reports false, the generation is bumped), but the record stays
+// in its bucket marked dead until the scan reaches it or a compaction sweep
+// reclaims it — there is no positional removal to pay for.
 func (k *Kernel) Cancel(h Handle) bool {
-	if !h.live() || h.ev.index < 0 {
+	if !h.live() {
 		return false
 	}
-	heap.Remove(&k.queue, h.ev.index)
-	h.ev.index = -1
-	k.release(h.ev)
+	ev := h.ev
+	if k.oracle {
+		if ev.index < 0 {
+			return false
+		}
+		heap.Remove(&k.heapq, ev.index)
+		ev.index = noIdx
+		k.release(ev)
+		return true
+	}
+	if ev.index != calBucketIdx && ev.index != calOverflowIdx {
+		return false
+	}
+	k.invalidate(ev)
+	ev.dead = true
+	k.cal.cancelled(k, ev)
 	return true
 }
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
 func (k *Kernel) Step() bool {
-	if len(k.queue) == 0 {
-		return false
+	var ev *event
+	if k.oracle {
+		if len(k.heapq) == 0 {
+			return false
+		}
+		ev = heap.Pop(&k.heapq).(*event)
+	} else {
+		ev = k.cal.pop(k)
+		if ev == nil {
+			return false
+		}
 	}
-	ev := heap.Pop(&k.queue).(*event)
 	k.now = ev.at
 	k.processed++
 	fn, afn, arg := ev.fn, ev.afn, ev.arg
@@ -253,6 +379,24 @@ func (k *Kernel) Step() bool {
 		afn(arg)
 	}
 	return true
+}
+
+// peekTime reports the earliest pending event time without executing it.
+// On the calendar path the lookup may advance the scan cursor and reclaim
+// cancelled records — deterministic state changes that never affect pop
+// order.
+func (k *Kernel) peekTime() (Time, bool) {
+	if k.oracle {
+		if len(k.heapq) == 0 {
+			return 0, false
+		}
+		return k.heapq[0].at, true
+	}
+	ev := k.cal.next(k)
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
 }
 
 // Stop makes the current Run/RunUntil call return after the in-flight event
@@ -271,7 +415,8 @@ func (k *Kernel) Run() {
 func (k *Kernel) RunUntil(end Time) {
 	k.stopped = false
 	for !k.stopped {
-		if len(k.queue) == 0 || k.queue[0].at > end {
+		at, ok := k.peekTime()
+		if !ok || at > end {
 			break
 		}
 		k.Step()

@@ -4,6 +4,16 @@ import (
 	"testing"
 )
 
+// forBothKernels runs a test against the calendar queue and the retained
+// heap oracle; both must satisfy the same observable contract.
+func forBothKernels(t *testing.T, fn func(t *testing.T, k *Kernel)) {
+	t.Helper()
+	t.Run("calendar", func(t *testing.T) { fn(t, NewKernel()) })
+	t.Run("oracle", func(t *testing.T) {
+		fn(t, NewKernelWithConfig(KernelConfig{HeapOracle: true}))
+	})
+}
+
 func TestTimeConversions(t *testing.T) {
 	if got := Seconds(1.5); got != 1500*Millisecond {
 		t.Fatalf("Seconds(1.5) = %v, want %v", got, 1500*Millisecond)
@@ -20,7 +30,10 @@ func TestTimeConversions(t *testing.T) {
 }
 
 func TestKernelOrdersByTime(t *testing.T) {
-	k := NewKernel()
+	forBothKernels(t, testKernelOrdersByTime)
+}
+
+func testKernelOrdersByTime(t *testing.T, k *Kernel) {
 	var order []int
 	k.Schedule(3*Second, func() { order = append(order, 3) })
 	k.Schedule(1*Second, func() { order = append(order, 1) })
@@ -35,7 +48,10 @@ func TestKernelOrdersByTime(t *testing.T) {
 }
 
 func TestKernelFIFOTieBreak(t *testing.T) {
-	k := NewKernel()
+	forBothKernels(t, testKernelFIFOTieBreak)
+}
+
+func testKernelFIFOTieBreak(t *testing.T, k *Kernel) {
 	var order []int
 	for i := 0; i < 10; i++ {
 		i := i
@@ -50,7 +66,10 @@ func TestKernelFIFOTieBreak(t *testing.T) {
 }
 
 func TestKernelCancel(t *testing.T) {
-	k := NewKernel()
+	forBothKernels(t, testKernelCancel)
+}
+
+func testKernelCancel(t *testing.T, k *Kernel) {
 	fired := false
 	ev := k.Schedule(Second, func() { fired = true })
 	if !k.Cancel(ev) {
@@ -76,7 +95,10 @@ func TestKernelCancelZeroHandle(t *testing.T) {
 }
 
 func TestKernelRunUntil(t *testing.T) {
-	k := NewKernel()
+	forBothKernels(t, testKernelRunUntil)
+}
+
+func testKernelRunUntil(t *testing.T, k *Kernel) {
 	var fired []int
 	k.Schedule(1*Second, func() { fired = append(fired, 1) })
 	k.Schedule(5*Second, func() { fired = append(fired, 5) })
@@ -180,8 +202,11 @@ func TestEventScheduledAccessors(t *testing.T) {
 }
 
 func TestKernelManyEventsHeapStress(t *testing.T) {
-	k := NewKernel()
-	// Interleave schedules and cancels to exercise heap indices.
+	forBothKernels(t, testKernelManyEventsStress)
+}
+
+func testKernelManyEventsStress(t *testing.T, k *Kernel) {
+	// Interleave schedules and cancels to exercise queue bookkeeping.
 	var events []Handle
 	for i := 0; i < 1000; i++ {
 		at := Time((i*7919)%997) * Millisecond
@@ -193,9 +218,12 @@ func TestKernelManyEventsHeapStress(t *testing.T) {
 	var last Time
 	count := 0
 	for k.Pending() > 0 {
-		next := k.queue[0].at
+		next, ok := k.peekTime()
+		if !ok {
+			t.Fatal("peekTime reported empty while Pending > 0")
+		}
 		if next < last {
-			t.Fatalf("heap order violated: %v after %v", next, last)
+			t.Fatalf("pop order violated: %v after %v", next, last)
 		}
 		last = next
 		k.Step()
@@ -282,20 +310,62 @@ func TestKernelScheduleArg(t *testing.T) {
 }
 
 func TestKernelScheduleSteadyStateAllocFree(t *testing.T) {
+	forBothKernels(t, func(t *testing.T, k *Kernel) {
+		var sink *Kernel = k
+		// Warm the pool, then check a schedule+run cycle allocates nothing.
+		for i := 0; i < 64; i++ {
+			sink.After(Time(i), noop)
+		}
+		k.Run()
+		allocs := testing.AllocsPerRun(200, func() {
+			sink.AfterArg(Microsecond, noopArg, sink)
+			sink.Run()
+		})
+		if allocs != 0 {
+			t.Fatalf("steady-state ScheduleArg+Run allocated %v times per op", allocs)
+		}
+	})
+}
+
+func TestKernelCancelChurnAllocFree(t *testing.T) {
+	// Lazy cancellation must not leak records: a schedule-heavy loop where
+	// most events are cancelled before firing has to settle into a state
+	// where compaction feeds every record back to the free list.
 	k := NewKernel()
-	var sink *Kernel = k
-	// Warm the pool, then check a schedule+run cycle allocates nothing.
-	for i := 0; i < 64; i++ {
-		sink.After(Time(i), noop)
+	for i := 0; i < 256; i++ {
+		k.Cancel(k.After(Time(i)+Second, noop))
 	}
 	k.Run()
-	allocs := testing.AllocsPerRun(200, func() {
-		sink.AfterArg(Microsecond, noopArg, sink)
-		sink.Run()
+	allocs := testing.AllocsPerRun(500, func() {
+		h := k.AfterArg(Second, noopArg, nil)
+		k.Cancel(h)
 	})
 	if allocs != 0 {
-		t.Fatalf("steady-state ScheduleArg+Run allocated %v times per op", allocs)
+		t.Fatalf("steady-state schedule+cancel allocated %v times per op", allocs)
 	}
+}
+
+func TestHandleWhen(t *testing.T) {
+	forBothKernels(t, func(t *testing.T, k *Kernel) {
+		// A pending time-zero event is ambiguous through At but not When.
+		h := k.Schedule(0, noop)
+		if at, ok := h.When(); !ok || at != 0 {
+			t.Fatalf("When() = (%v, %v), want (0, true) while pending", at, ok)
+		}
+		h2 := k.Schedule(3*Second, noop)
+		if at, ok := h2.When(); !ok || at != 3*Second {
+			t.Fatalf("When() = (%v, %v), want (3s, true)", at, ok)
+		}
+		k.Run()
+		if at, ok := h2.When(); ok || at != 0 {
+			t.Fatalf("When() = (%v, %v) after firing, want (0, false)", at, ok)
+		}
+		h3 := k.Schedule(5*Second, noop)
+		k.Cancel(h3)
+		if _, ok := h3.When(); ok {
+			t.Fatal("When() reports pending after Cancel")
+		}
+	})
 }
 
 func noop()       {}

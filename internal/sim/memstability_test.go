@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Memory-stability pin for the calendar queue's lazy cancellation: dead
+// records are reclaimed by scan, compaction, and rebuild sweeps, so a
+// cancel-heavy workload must settle into a bounded steady state — the free
+// list, the bucket array, and the overflow heap all stop growing no matter
+// how long the churn runs.
+
+// TestKernelCancelChurnMemoryStable runs 1M schedule/cancel cycles against
+// a small live working set and pins the retained structures.
+func TestKernelCancelChurnMemoryStable(t *testing.T) {
+	k := NewKernel()
+
+	// A live backdrop of periodic tickers keeps the queue non-trivial.
+	const liveSet = 256
+	for i := 0; i < liveSet; i++ {
+		i := i
+		var tick func()
+		tick = func() { k.After(Time(i%17+1)*Millisecond, tick) }
+		k.After(Time(i%17+1)*Millisecond, tick)
+	}
+
+	const cycles = 1_000_000
+	warm := cycles / 10
+	var freeHigh, bucketHigh, overflowHigh int
+	measure := func() {
+		if n := len(k.free); n > freeHigh {
+			freeHigh = n
+		}
+		if n := len(k.cal.buckets); n > bucketHigh {
+			bucketHigh = n
+		}
+		if n := len(k.cal.overflow); n > overflowHigh {
+			overflowHigh = n
+		}
+	}
+
+	var before, after runtime.MemStats
+	for i := 0; i < cycles; i++ {
+		// Mix near and far deadlines so both the bucket tier and the
+		// overflow heap see cancelled records.
+		d := Time(i%43+1) * Millisecond
+		if i%11 == 0 {
+			d = Time(i%7+1) * 100 * Second
+		}
+		k.Cancel(k.After(d, noop))
+		if i%1024 == 0 {
+			k.RunUntil(k.Now() + Millisecond)
+		}
+		if i == warm {
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+		}
+		if i >= warm {
+			measure()
+		}
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	// Structural pins: the high-water marks after warm-up must stay within
+	// the compaction bound — O(live set + slack), not O(cycles).
+	if limit := 4 * (liveSet + calDeadSlack + calMinBuckets); freeHigh > limit {
+		t.Fatalf("free list grew to %d records under cancel churn (limit %d)", freeHigh, limit)
+	}
+	if bucketHigh > 16*calMinBuckets {
+		t.Fatalf("bucket array grew to %d under cancel churn", bucketHigh)
+	}
+	if limit := 4 * (liveSet + calDeadSlack); overflowHigh > limit {
+		t.Fatalf("overflow heap grew to %d entries under cancel churn (limit %d)", overflowHigh, limit)
+	}
+
+	// Heap pin: the post-warm-up retained bytes must not drift with cycle
+	// count. 1 MiB of headroom absorbs GC noise; a leak of even one pooled
+	// record per cycle would be ~50 MiB.
+	if after.HeapAlloc > before.HeapAlloc && after.HeapAlloc-before.HeapAlloc > 1<<20 {
+		t.Fatalf("retained heap grew %d bytes across %d cancel cycles",
+			after.HeapAlloc-before.HeapAlloc, cycles-warm)
+	}
+}
