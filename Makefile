@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check staticcheck test race sweep-smoke scenario-smoke churn-smoke fuzz-smoke bench-smoke bench-routing-smoke bench-mobility-smoke bench-kernel-smoke bench-kernel bench-routing bench ci
+.PHONY: build vet fmt-check staticcheck test race sweep-smoke scenario-smoke churn-smoke serve-smoke fuzz-smoke bench-smoke bench-routing-smoke bench-mobility-smoke bench-kernel-smoke bench-kernel bench-routing bench ci
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,13 @@ churn-smoke:
 	$(GO) run ./cmd/cavenet scenario run churn -protocol gpsr -time 20 -seed 2
 	$(GO) run ./cmd/cavenet scenario run highway -time 20 -seed 2 -faults "blackout:6,4,0.5;impair:0-1,2,10,0.3,3"
 
+# The experiment service end to end: start the daemon, submit the golden
+# grid, require the fetched CSV byte-identical to the CLI sweep output,
+# and require a resubmitted grid served wholly from the content-addressed
+# cache (zero new kernel runs by the job counters).
+serve-smoke:
+	$(GO) test ./cmd/cavenet/ -run TestServeSmoke -count=1
+
 # A few seconds of each parser fuzz target: keeps the fuzz harnesses
 # compiling and catches shallow parser regressions in CI. Open-ended
 # hunting: go test ./internal/trace -fuzz FuzzParseNS2
@@ -116,4 +123,4 @@ bench:
 	$(GO) test ./internal/netsim/ -bench 'Connectivity|Components' -benchmem -benchtime=20x -run XXX
 	$(GO) test ./internal/sim/ -bench . -benchmem -run XXX
 
-ci: build vet fmt-check staticcheck test bench-smoke bench-routing-smoke bench-mobility-smoke bench-kernel-smoke sweep-smoke scenario-smoke churn-smoke fuzz-smoke
+ci: build vet fmt-check staticcheck test bench-smoke bench-routing-smoke bench-mobility-smoke bench-kernel-smoke sweep-smoke scenario-smoke churn-smoke serve-smoke fuzz-smoke

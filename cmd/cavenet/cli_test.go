@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExitCodes pins the single-exit-path contract: 0 for success and
+// -h, 2 for usage mistakes, 1 for runtime failures — with no os.Exit
+// anywhere below main, which is what lets these tests (and the serve
+// daemon) call command code without the process dying under them.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"unknown experiment", []string{"frobnicate"}, 2},
+		{"help", []string{"help"}, 0},
+		{"help flag", []string{"--help"}, 0},
+		{"subcommand help", []string{"sweep", "-h"}, 0},
+		{"bad flag", []string{"sweep", "-no-such-flag"}, 2},
+		{"bad flag value", []string{"protocols", "-nodes", "many"}, 2},
+		{"scenario no subcommand", []string{"scenario"}, 2},
+		{"scenario unknown subcommand", []string{"scenario", "frobnicate"}, 2},
+		{"scenario run no name", []string{"scenario", "run"}, 2},
+		{"scenario run unknown name", []string{"scenario", "run", "motorway9"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.args); got != tc.want {
+				t.Fatalf("run(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestUnknownFormatRejectedUpFront: a bad -format must exit 2 before any
+// simulation runs. Each of these would otherwise burn a full sweep or a
+// 100-simulated-second run before noticing; the time bound catches a
+// regression to validate-after-run.
+func TestUnknownFormatRejectedUpFront(t *testing.T) {
+	cases := [][]string{
+		{"sweep", "-format", "xml"},
+		{"scenario", "sweep", "-format", "xml"},
+		{"scenario", "run", "highway", "-format", "xml"},
+	}
+	for _, args := range cases {
+		t.Run(args[0]+"/"+args[len(args)-1], func(t *testing.T) {
+			start := time.Now()
+			if got := run(args); got != 2 {
+				t.Fatalf("run(%q) = %d, want 2", args, got)
+			}
+			if d := time.Since(start); d > 5*time.Second {
+				t.Fatalf("format rejection took %v — it ran the experiment first", d)
+			}
+		})
+	}
+}
+
+// TestSweepOutputFile: -o writes the same bytes stdout gets, locked to
+// the golden file.
+func TestSweepOutputFile(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "sweep.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.csv")
+	args := []string{
+		"sweep", "-nodes", "10,14", "-senders", "2", "-circuit", "1000",
+		"-trials", "2", "-time", "20", "-protocols", "aodv,dymo", "-seed", "1",
+		"-o", path,
+	}
+	if got := run(args); got != 0 {
+		t.Fatalf("run(%q) = %d", args, got)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("-o file differs from golden stdout output:\n%s", got)
+	}
+}
+
+// TestScenarioSweepOutputFile: scenario sweep -o matches its golden too.
+func TestScenarioSweepOutputFile(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "scenario_sweep.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario_sweep.csv")
+	args := []string{
+		"scenario", "sweep", "-scenarios", "highway,sparse",
+		"-protocols", "aodv,dymo", "-trials", "2", "-seed", "1", "-quick",
+		"-o", path,
+	}
+	if got := run(args); got != 0 {
+		t.Fatalf("run(%q) = %d", args, got)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("-o file differs from golden stdout output:\n%s", got)
+	}
+}

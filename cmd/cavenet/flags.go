@@ -1,0 +1,74 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// usageError marks a command-line usage mistake. main maps it to exit
+// code 2 (the flag package's convention) versus 1 for runtime failures.
+type usageError struct {
+	err     error
+	printed bool // the flag package already reported it on stderr
+}
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+// badUsage builds a not-yet-printed usage error; main prints it once.
+func badUsage(format string, args ...any) error {
+	return &usageError{err: fmt.Errorf(format, args...)}
+}
+
+// newFlagSet builds a ContinueOnError flag set: parse failures return to
+// the caller and exit through main's single path instead of os.Exit-ing
+// from library code — the property that lets tests and the serve daemon
+// call command functions without the process dying under them.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+// parseFlags classifies parse failures: -h is a clean exit, anything
+// else is a usage error the flag package already printed.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	switch err := fs.Parse(args); {
+	case err == nil:
+		return nil
+	case errors.Is(err, flag.ErrHelp):
+		return flag.ErrHelp
+	default:
+		return &usageError{err: err, printed: true}
+	}
+}
+
+// parseFormat validates an output format up front, before any simulation
+// runs: an unknown format must fail in milliseconds, not after a
+// minutes-long sweep already burned its CPU budget.
+func parseFormat(val string, allowed ...string) (string, error) {
+	v := strings.ToLower(val)
+	for _, a := range allowed {
+		if v == a {
+			return v, nil
+		}
+	}
+	return "", badUsage("unknown format %q (want %s)", val, strings.Join(allowed, " or "))
+}
+
+// openOutput opens an -o target; "" and "-" mean stdout (wrapped in a
+// no-op closer so callers can close unconditionally).
+func openOutput(path string) (io.WriteCloser, error) {
+	if path == "" || path == "-" {
+		return nopCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }

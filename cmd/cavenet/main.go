@@ -13,6 +13,7 @@
 //	periodogram   Fig. 7  — spectrum of the mean velocity + LRD indicators
 //	protocols     Figs. 8–11 + Table I — protocol evaluation
 //	scenario      the workload catalogue: list, run, check, sweep
+//	serve         HTTP experiment service with a content-addressed result cache
 //	sweep         density × protocol × seed grids on the parallel engine
 //	transient     §IV-B  — transient time of the CA model
 //	rwdecay       §IV-B  — Random Waypoint velocity-decay contrast
@@ -22,48 +23,73 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the single exit path: every command returns its error here and
+// nowhere calls os.Exit, so failures map to one code scheme — 0 success
+// (including -h), 2 usage mistakes, 1 runtime failures — and command
+// functions stay callable from tests and the serve daemon.
+func run(args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, rest := args[0], args[1:]
 	var err error
 	switch cmd {
 	case "fundamental":
-		err = cmdFundamental(args)
+		err = cmdFundamental(rest)
 	case "spacetime":
-		err = cmdSpaceTime(args)
+		err = cmdSpaceTime(rest)
 	case "velocity":
-		err = cmdVelocity(args)
+		err = cmdVelocity(rest)
 	case "periodogram":
-		err = cmdPeriodogram(args)
+		err = cmdPeriodogram(rest)
 	case "protocols":
-		err = cmdProtocols(args)
+		err = cmdProtocols(rest)
 	case "scenario":
-		err = cmdScenario(args)
+		err = cmdScenario(rest)
+	case "serve":
+		err = cmdServe(rest)
 	case "sweep":
-		err = cmdSweep(args)
+		err = cmdSweep(rest)
 	case "transient":
-		err = cmdTransient(args)
+		err = cmdTransient(rest)
 	case "rwdecay":
-		err = cmdRWDecay(args)
+		err = cmdRWDecay(rest)
 	case "trace":
-		err = cmdTrace(args)
+		err = cmdTrace(rest)
 	case "help", "-h", "--help":
 		usage()
+		return 0
 	default:
 		fmt.Fprintf(os.Stderr, "cavenet: unknown experiment %q\n\n", cmd)
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	default:
+		var ue *usageError
+		if errors.As(err, &ue) {
+			if !ue.printed {
+				fmt.Fprintf(os.Stderr, "cavenet %s: %v\n", cmd, err)
+			}
+			return 2
+		}
 		fmt.Fprintf(os.Stderr, "cavenet %s: %v\n", cmd, err)
-		os.Exit(1)
+		return 1
 	}
 }
 
@@ -79,6 +105,7 @@ experiments:
   periodogram   Fig. 7  spectrum + SRD/LRD indicators (CSV + summary)
   protocols     Figs. 8-11, Table I  protocol evaluation (CSV)
   scenario      workload catalogue: list | run <name> | check | sweep (invariant-harnessed)
+  serve         HTTP experiment service: sweep queue + content-addressed result cache
   sweep         Monte-Carlo density x protocol grids, parallel + deterministic (CSV/JSON)
   transient     transient-time measurement
   rwdecay       Random Waypoint velocity decay (CSV)

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
@@ -10,13 +9,13 @@ import (
 )
 
 func cmdFundamental(args []string) error {
-	fs := flag.NewFlagSet("fundamental", flag.ExitOnError)
+	fs := newFlagSet("fundamental")
 	length := fs.Int("L", 400, "lane length in cells")
 	trials := fs.Int("trials", 20, "Monte-Carlo trials per point")
 	iters := fs.Int("iters", 500, "iterations per trial")
 	warmup := fs.Int("warmup", 0, "discarded steps per trial")
 	seed := fs.Int64("seed", 1, "root seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	// The paper's Fig. 4 overlays p=0 and p=0.5.
@@ -50,14 +49,14 @@ func cmdFundamental(args []string) error {
 }
 
 func cmdSpaceTime(args []string) error {
-	fs := flag.NewFlagSet("spacetime", flag.ExitOnError)
+	fs := newFlagSet("spacetime")
 	length := fs.Int("L", 400, "lane length in cells")
 	rho := fs.Float64("rho", 0.1, "vehicle density")
 	p := fs.Float64("p", 0.3, "slowdown probability")
 	steps := fs.Int("steps", 100, "steps to plot")
 	warmup := fs.Int("warmup", 0, "discarded steps")
 	seed := fs.Int64("seed", 1, "root seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	rows, err := cavenet.SpaceTime(cavenet.SpaceTimeConfig{
@@ -77,12 +76,12 @@ func cmdSpaceTime(args []string) error {
 }
 
 func cmdVelocity(args []string) error {
-	fs := flag.NewFlagSet("velocity", flag.ExitOnError)
+	fs := newFlagSet("velocity")
 	length := fs.Int("L", 400, "lane length in cells")
 	p := fs.Float64("p", 0.3, "slowdown probability")
 	steps := fs.Int("steps", 5000, "steps to simulate")
 	seed := fs.Int64("seed", 1, "root seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	// Fig. 6 overlays ρ=0.1 and ρ=0.5.
@@ -104,13 +103,13 @@ func cmdVelocity(args []string) error {
 }
 
 func cmdPeriodogram(args []string) error {
-	fs := flag.NewFlagSet("periodogram", flag.ExitOnError)
+	fs := newFlagSet("periodogram")
 	length := fs.Int("L", 400, "lane length in cells")
 	rho := fs.Float64("rho", 0.05, "vehicle density")
 	p := fs.Float64("p", 0.5, "slowdown probability")
 	steps := fs.Int("steps", 8192, "steps to simulate")
 	seed := fs.Int64("seed", 1, "root seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	res, err := cavenet.Periodogram(cavenet.VelocityConfig{
@@ -125,13 +124,13 @@ func cmdPeriodogram(args []string) error {
 }
 
 func cmdTransient(args []string) error {
-	fs := flag.NewFlagSet("transient", flag.ExitOnError)
+	fs := newFlagSet("transient")
 	length := fs.Int("L", 400, "lane length in cells")
 	rho := fs.Float64("rho", 0.1, "vehicle density")
 	p := fs.Float64("p", 0, "slowdown probability")
 	steps := fs.Int("steps", 2000, "steps to simulate")
 	seed := fs.Int64("seed", 1, "root seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	res, err := cavenet.Transient(cavenet.VelocityConfig{
@@ -147,13 +146,13 @@ func cmdTransient(args []string) error {
 }
 
 func cmdRWDecay(args []string) error {
-	fs := flag.NewFlagSet("rwdecay", flag.ExitOnError)
+	fs := newFlagSet("rwdecay")
 	nodes := fs.Int("nodes", 100, "number of walkers")
 	vmin := fs.Float64("vmin", 0.1, "minimum speed m/s")
 	vmax := fs.Float64("vmax", 20, "maximum speed m/s")
 	dur := fs.Float64("duration", 2000, "seconds to simulate")
 	seed := fs.Int64("seed", 1, "root seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	_, vel := cavenet.RandomWaypointDecay(cavenet.RWDecayConfig{
@@ -168,12 +167,12 @@ func cmdRWDecay(args []string) error {
 }
 
 func cmdTrace(args []string) error {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	fs := newFlagSet("trace")
 	nodes := fs.Int("nodes", 30, "vehicles on the circuit")
 	circuit := fs.Float64("circuit", 3000, "circuit length in meters")
 	dur := fs.Float64("duration", 100, "trace duration in seconds")
 	seed := fs.Int64("seed", 1, "root seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	tr, err := cavenet.CircuitTrace(cavenet.Scenario{

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"math"
 	"os"
@@ -14,7 +13,7 @@ import (
 func secondsToSim(s float64) sim.Time { return sim.Seconds(s) }
 
 func cmdProtocols(args []string) error {
-	fs := flag.NewFlagSet("protocols", flag.ExitOnError)
+	fs := newFlagSet("protocols")
 	protocol := fs.String("protocol", "all", "aodv, olsr, dymo, gpsr or all")
 	nodes := fs.Int("nodes", 30, "vehicles on the circuit (Table I: 30)")
 	circuit := fs.Float64("circuit", 3000, "circuit length in meters (Table I: 3000)")
@@ -22,7 +21,7 @@ func cmdProtocols(args []string) error {
 	seed := fs.Int64("seed", 1, "root seed")
 	etx := fs.Bool("etx", false, "use the OLSR ETX/LQ metric")
 	surface := fs.Bool("surface", false, "print the full goodput surface CSV (Figs. 8-10)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 

@@ -2,7 +2,6 @@ package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -22,7 +21,7 @@ func cmdScenario(args []string) error {
 // scenarioMain is cmdScenario writing to w (golden tests capture it).
 func scenarioMain(w io.Writer, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: cavenet scenario <list|run|check|sweep> [flags]")
+		return badUsage("usage: cavenet scenario <list|run|check|sweep> [flags]")
 	}
 	switch args[0] {
 	case "list":
@@ -34,7 +33,7 @@ func scenarioMain(w io.Writer, args []string) error {
 	case "sweep":
 		return scenarioSweep(w, args[1:])
 	default:
-		return fmt.Errorf("unknown scenario subcommand %q (want list, run, check or sweep)", args[0])
+		return badUsage("unknown scenario subcommand %q (want list, run, check or sweep)", args[0])
 	}
 }
 
@@ -62,7 +61,7 @@ func scenarioList(w io.Writer) error {
 }
 
 func scenarioRun(w io.Writer, args []string) error {
-	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
+	fs := newFlagSet("scenario run")
 	protocol := fs.String("protocol", "", "override the spec's routing protocol (aodv, olsr, dymo, gpsr)")
 	seed := fs.Int64("seed", 0, "override the spec's seed")
 	var simTime float64
@@ -80,13 +79,18 @@ func scenarioRun(w io.Writer, args []string) error {
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		name, args = args[0], args[1:]
 	}
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if name == "" && fs.NArg() == 1 {
 		name = fs.Arg(0)
 	} else if name == "" || fs.NArg() > 0 {
-		return fmt.Errorf("usage: cavenet scenario run <name> [flags]; see 'cavenet scenario list'")
+		return badUsage("usage: cavenet scenario run <name> [flags]; see 'cavenet scenario list'")
+	}
+	// Fail unknown formats before the simulation runs, not after.
+	outFormat, err := parseFormat(*format, "text", "json")
+	if err != nil {
+		return err
 	}
 	spec, ok := scenario.Get(name)
 	if !ok {
@@ -152,7 +156,7 @@ func scenarioRun(w io.Writer, args []string) error {
 		res = r
 	}
 
-	if strings.EqualFold(*format, "json") {
+	if outFormat == "json" {
 		out := struct {
 			*scenario.Result
 			Violations int `json:"violations"`
@@ -207,7 +211,7 @@ func scenarioRun(w io.Writer, args []string) error {
 }
 
 func scenarioCheck(w io.Writer, args []string) error {
-	fs := flag.NewFlagSet("scenario check", flag.ExitOnError)
+	fs := newFlagSet("scenario check")
 	protocols := fs.String("protocols", "all", "comma list of aodv,olsr,dymo,gpsr, or all")
 	seeds := fs.Int("seeds", 3, "seeds per (scenario, protocol) cell")
 	quick := fs.Bool("quick", true, "run the shrunk (test-sized) spec variants")
@@ -216,7 +220,7 @@ func scenarioCheck(w io.Writer, args []string) error {
 	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		names, args = append(names, args[0]), args[1:]
 	}
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	names = append(names, fs.Args()...)
@@ -269,7 +273,7 @@ func scenarioCheck(w io.Writer, args []string) error {
 }
 
 func scenarioSweep(w io.Writer, args []string) error {
-	fs := flag.NewFlagSet("scenario sweep", flag.ExitOnError)
+	fs := newFlagSet("scenario sweep")
 	scenarios := fs.String("scenarios", "all", "comma list of scenario names, or all")
 	protocols := fs.String("protocols", "all", "comma list of aodv,olsr,dymo,gpsr, or all")
 	trials := fs.Int("trials", 5, "seeded replications per cell")
@@ -277,8 +281,15 @@ func scenarioSweep(w io.Writer, args []string) error {
 	workers := fs.Int("workers", 0, "worker goroutines (0 = one per core); any value gives bit-identical output")
 	quick := fs.Bool("quick", false, "sweep the shrunk (test-sized) spec variants")
 	checked := fs.Bool("check", true, "count invariant violations per cell")
+	simTime := fs.Float64("time", 0, "override every spec's simulated seconds (flow windows re-derive)")
+	nodes := fs.Int("nodes", 0, "rescale every spec to this many vehicles at its declared density")
 	format := fs.String("format", "csv", "csv or json")
-	if err := fs.Parse(args); err != nil {
+	output := fs.String("o", "", "write to this file instead of stdout")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	outFormat, err := parseFormat(*format, "csv", "json")
+	if err != nil {
 		return err
 	}
 	var names []string
@@ -292,36 +303,38 @@ func scenarioSweep(w io.Writer, args []string) error {
 		return err
 	}
 	rows, err := scenario.Sweep(scenario.SweepConfig{
-		Scenarios: names,
-		Protocols: protoList,
-		Trials:    *trials,
-		Seed:      *seed,
-		Workers:   *workers,
-		Shrunk:    *quick,
-		Checked:   *checked,
+		Scenarios:       names,
+		Protocols:       protoList,
+		Trials:          *trials,
+		Seed:            *seed,
+		Workers:         *workers,
+		Shrunk:          *quick,
+		Checked:         *checked,
+		OverrideTimeSec: *simTime,
+		OverrideNodes:   *nodes,
 	})
 	if err != nil {
 		return err
 	}
-	switch strings.ToLower(*format) {
-	case "json":
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(rows)
-	case "csv":
-		fmt.Fprintln(w, "# scenario x protocol x seed sweep; metrics are mean over trials with a 95% CI half-width")
-		fmt.Fprintln(w, "scenario,protocol,trials,pdr,pdrCI95,delay_s,delayCI95_s,ctrlPackets,ctrlPacketsCI95,delivered,violations,downtimeSec,faultPDR")
-		for _, r := range rows {
-			fmt.Fprintf(w, "%s,%s,%d,%.4f,%.4f,%.5f,%.5f,%.1f,%.1f,%d,%d,%.1f,%.4f\n",
-				r.Scenario, r.Protocol, r.Trials,
-				r.PDR.Mean, r.PDR.CI95,
-				r.DelaySec.Mean, r.DelaySec.CI95,
-				r.ControlPackets.Mean, r.ControlPackets.CI95,
-				r.Delivered, r.Violations,
-				r.DowntimeSec.Mean, r.FaultPDR.Mean)
+	if *output != "" {
+		f, err := openOutput(*output)
+		if err != nil {
+			return err
 		}
-		return nil
-	default:
-		return fmt.Errorf("unknown format %q", *format)
+		if err := writeScenarioSweep(f, outFormat, rows); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
+	return writeScenarioSweep(w, outFormat, rows)
+}
+
+// writeScenarioSweep renders through the same functions the serve
+// artifact endpoint uses, so CLI and service output are byte-identical.
+func writeScenarioSweep(w io.Writer, format string, rows []scenario.SweepRow) error {
+	if format == "json" {
+		return scenario.WriteSweepJSON(w, rows)
+	}
+	return scenario.WriteSweepCSV(w, rows)
 }

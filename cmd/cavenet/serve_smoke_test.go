@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cavenet/internal/serve"
+)
+
+// TestServeSmoke is the end-to-end gate `make serve-smoke` runs in CI:
+// start the daemon, submit the golden grid, and require (1) the fetched
+// CSV byte-identical to what `cavenet scenario sweep` prints for the
+// same grid, and (2) a resubmission served wholly from cache — zero new
+// kernel runs by the job counters.
+func TestServeSmoke(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"scenarios":["highway","sparse"],"protocols":["aodv","dymo"],"trials":2,"seed":1,"quick":true}`
+	type submitResp struct {
+		ID         string `json:"id"`
+		Total      int    `json:"totalRuns"`
+		CachedRuns int    `json:"cachedRuns"`
+		FreshRuns  int    `json:"freshRuns"`
+	}
+	submit := func() submitResp {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: status %d", resp.StatusCode)
+		}
+		var sub submitResp
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	wait := func(id string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/sweeps/" + id + "/stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var ev struct {
+				Type  string `json:"type"`
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatal(err)
+			}
+			if ev.Type == "done" {
+				if ev.Error != "" {
+					t.Fatalf("sweep failed: %s", ev.Error)
+				}
+				return
+			}
+		}
+		t.Fatalf("stream ended early: %v", sc.Err())
+	}
+	artifact := func(id string) []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/sweeps/" + id + "/artifact?format=csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("artifact: status %d", resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	first := submit()
+	wait(first.ID)
+	served := artifact(first.ID)
+
+	// The CLI's bytes for the identical grid.
+	var cli bytes.Buffer
+	err := scenarioSweep(&cli, []string{
+		"-scenarios", "highway,sparse", "-protocols", "aodv,dymo",
+		"-trials", "2", "-seed", "1", "-quick",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, cli.Bytes()) {
+		t.Fatalf("daemon artifact differs from CLI output:\n--- serve ---\n%s--- cli ---\n%s", served, cli.Bytes())
+	}
+	// And both match the committed golden file.
+	if golden, err := os.ReadFile(filepath.Join("testdata", "scenario_sweep.golden")); err == nil {
+		if !bytes.Equal(served, golden) {
+			t.Fatalf("daemon artifact diverged from scenario_sweep.golden:\n%s", served)
+		}
+	}
+
+	jobsAfterFirst := srv.SnapshotMetrics().JobsDone
+	second := submit()
+	if second.FreshRuns != 0 || second.CachedRuns != second.Total {
+		t.Fatalf("resubmission not wholly cache-served: %+v", second)
+	}
+	wait(second.ID)
+	if m := srv.SnapshotMetrics(); m.JobsDone != jobsAfterFirst {
+		t.Fatalf("resubmission ran %d new jobs", m.JobsDone-jobsAfterFirst)
+	}
+	if !bytes.Equal(artifact(second.ID), served) {
+		t.Fatal("cache-served artifact not byte-identical to the fresh one")
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cavenet/internal/serve"
+)
+
+// cmdServe runs the experiment service until SIGINT/SIGTERM, then
+// drains: admission closes immediately, running jobs finish (up to
+// -drain-timeout), and open connections shut down cleanly.
+func cmdServe(args []string) error {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", "127.0.0.1:8337", "listen address")
+	workers := fs.Int("workers", 0, "concurrent simulation jobs (0 = one per core)")
+	queue := fs.Int("queue", 256, "max outstanding cell jobs; submissions beyond it are rejected with 503")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request handler timeout (result streams are exempt)")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "max wait for running jobs on shutdown")
+	quiet := fs.Bool("quiet", false, "suppress request and job logging")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+
+	lg := log.New(os.Stderr, "cavenet serve: ", log.LstdFlags)
+	reqLog := lg
+	if *quiet {
+		reqLog = log.New(io.Discard, "", 0)
+	}
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *reqTimeout,
+		Log:            reqLog,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	lg.Printf("listening on %s (queue depth %d, code %s)", *addr, *queue, serve.CodeVersion())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately via the default handler
+	lg.Printf("signal received; draining jobs")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		lg.Printf("%v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	lg.Printf("drained; exiting")
+	return nil
+}

@@ -2,9 +2,8 @@ package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
-	"os"
+	"io"
 	"strconv"
 	"strings"
 
@@ -46,7 +45,7 @@ func parseIntList(s string) ([]int, error) {
 }
 
 func cmdSweep(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	fs := newFlagSet("sweep")
 	protocol := fs.String("protocols", "all", "comma list of aodv,olsr,dymo,gpsr, or all")
 	nodesFlag := fs.String("nodes", "30", "comma list of vehicle counts (the density axis)")
 	senders := fs.Int("senders", 8, "CBR senders: nodes 1..N to node 0 (Table I: 8)")
@@ -56,7 +55,13 @@ func cmdSweep(args []string) error {
 	seed := fs.Int64("seed", 1, "root seed; trial t of density d forks seed->d->t")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = one per core); any value gives bit-identical output")
 	format := fs.String("format", "csv", "csv or json")
-	if err := fs.Parse(args); err != nil {
+	output := fs.String("o", "", "write to this file instead of stdout")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	// Validate the render knobs before the sweep runs, not after.
+	outFormat, err := parseFormat(*format, "csv", "json")
+	if err != nil {
 		return err
 	}
 
@@ -92,25 +97,43 @@ func cmdSweep(args []string) error {
 		return err
 	}
 
-	switch strings.ToLower(*format) {
-	case "json":
-		enc := json.NewEncoder(os.Stdout)
+	out, err := openOutput(*output)
+	if err != nil {
+		return err
+	}
+	if err := writeDensitySweep(out, outFormat, pts); err != nil {
+		out.Close()
+		return err
+	}
+	// A close failure on a file is a truncated table: report it.
+	return out.Close()
+}
+
+// writeDensitySweep renders the density-sweep table with every write
+// error-checked: a closed pipe or full disk fails the command instead of
+// silently truncating the output.
+func writeDensitySweep(w io.Writer, format string, pts []cavenet.SweepPoint) error {
+	if format == "json" {
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(pts)
-	case "csv":
-		fmt.Println("# density × protocol sweep; every metric is mean over trials with a 95% CI half-width")
-		fmt.Println("protocol,nodes,densityPerKm,trials,pdr,pdrCI95,goodput_bps,goodputCI95_bps,delay_s,delayCI95_s,ctrlPackets,ctrlPacketsCI95,macRetries,macRetriesCI95")
-		for _, p := range pts {
-			fmt.Printf("%s,%d,%.3f,%d,%.4f,%.4f,%.1f,%.1f,%.5f,%.5f,%.1f,%.1f,%.1f,%.1f\n",
-				p.Protocol, p.Nodes, p.DensityPerKM, p.Trials,
-				p.PDR.Mean, p.PDR.CI95,
-				p.GoodputBPS.Mean, p.GoodputBPS.CI95,
-				p.DelaySec.Mean, p.DelaySec.CI95,
-				p.ControlPackets.Mean, p.ControlPackets.CI95,
-				p.MACRetries.Mean, p.MACRetries.CI95)
-		}
-		return nil
-	default:
-		return fmt.Errorf("unknown format %q", *format)
 	}
+	if _, err := fmt.Fprintln(w, "# density × protocol sweep; every metric is mean over trials with a 95% CI half-width"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "protocol,nodes,densityPerKm,trials,pdr,pdrCI95,goodput_bps,goodputCI95_bps,delay_s,delayCI95_s,ctrlPackets,ctrlPacketsCI95,macRetries,macRetriesCI95"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%d,%.4f,%.4f,%.1f,%.1f,%.5f,%.5f,%.1f,%.1f,%.1f,%.1f\n",
+			p.Protocol, p.Nodes, p.DensityPerKM, p.Trials,
+			p.PDR.Mean, p.PDR.CI95,
+			p.GoodputBPS.Mean, p.GoodputBPS.CI95,
+			p.DelaySec.Mean, p.DelaySec.CI95,
+			p.ControlPackets.Mean, p.ControlPackets.CI95,
+			p.MACRetries.Mean, p.MACRetries.CI95); err != nil {
+			return err
+		}
+	}
+	return nil
 }

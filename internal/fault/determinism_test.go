@@ -1,0 +1,50 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"cavenet/internal/sim"
+)
+
+// residualPlan leaves many nodes and links down at the horizon, at
+// timestamps chosen so every summation order gives a different float
+// total: the regression shape for the map-ordered residual walk that
+// once made DowntimeNodeSec differ between replays of the same plan.
+func residualPlan(nodes int) Plan {
+	var p Plan
+	for n := 0; n < nodes; n++ {
+		// Irrational-ish offsets so partial sums don't round to the same
+		// value under reordering.
+		at := sim.Seconds(1.0 + float64(n)*math.Pi/7.0)
+		p.Events = append(p.Events, Event{At: at, Kind: NodeDown, Node: n})
+		if n%3 == 0 {
+			p.Events = append(p.Events, Event{At: at, Kind: ImpairOn, A: n, B: n + 1, Loss: 0.5})
+		}
+	}
+	return p
+}
+
+// TestResidualDowntimeDeterministic replays DowntimeNodeSec and Windows
+// over a plan full of still-open faults: every call must produce
+// bit-identical output. Go randomizes map iteration per range statement,
+// so a map-ordered residual walk fails this test in a handful of
+// repetitions.
+func TestResidualDowntimeDeterministic(t *testing.T) {
+	p := residualPlan(60)
+	horizon := sim.Seconds(120)
+	wantDown := p.DowntimeNodeSec(horizon)
+	wantWin := p.Windows(horizon)
+	if wantDown <= 0 || len(wantWin) == 0 {
+		t.Fatalf("plan has no residual downtime to measure (down=%v windows=%d)", wantDown, len(wantWin))
+	}
+	for i := 0; i < 200; i++ {
+		if got := p.DowntimeNodeSec(horizon); got != wantDown {
+			t.Fatalf("call %d: DowntimeNodeSec = %v, want %v (residual summation order leaked)", i, got, wantDown)
+		}
+		if got := p.Windows(horizon); !reflect.DeepEqual(got, wantWin) {
+			t.Fatalf("call %d: Windows diverged from first call", i)
+		}
+	}
+}

@@ -216,7 +216,11 @@ func (p Plan) Windows(horizon sim.Time) []Window {
 }
 
 // intervals lists every raw fault interval, unmerged and clipped to
-// [0, horizon].
+// [0, horizon]. Residual open intervals (faults still active at the
+// horizon) are appended in sorted key order — never in map-range order —
+// so the list is identical on every call; a map-ordered walk here once
+// made DowntimeNodeSec and the merged Windows differ between replays of
+// the same plan (float summation order, unstable merge ties).
 func (p Plan) intervals(horizon sim.Time) []Window {
 	var out []Window
 	downAt := make(map[int]sim.Time)
@@ -236,13 +240,42 @@ func (p Plan) intervals(horizon sim.Time) []Window {
 			delete(impairAt, k)
 		}
 	}
-	for _, from := range downAt {
+	for _, from := range sortedResiduals(downAt) {
 		out = append(out, clipWindow(from, horizon, horizon))
 	}
-	for _, from := range impairAt {
-		out = append(out, clipWindow(from, horizon, horizon))
+	for _, k := range sortedPairKeys(impairAt) {
+		out = append(out, clipWindow(impairAt[k], horizon, horizon))
 	}
 	return out
+}
+
+// sortedResiduals returns the map's values ordered by node index.
+func sortedResiduals(m map[int]sim.Time) []sim.Time {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]sim.Time, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}
+
+// sortedPairKeys returns the map's keys in lexicographic pair order.
+func sortedPairKeys(m map[[2]int]sim.Time) [][2]int {
+	keys := make([][2]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
 }
 
 func clipWindow(from, to, horizon sim.Time) Window {
@@ -282,7 +315,7 @@ func (p Plan) DowntimeNodeSec(horizon sim.Time) float64 {
 			delete(downAt, e.Node)
 		}
 	}
-	for _, from := range downAt {
+	for _, from := range sortedResiduals(downAt) {
 		w := clipWindow(from, horizon, horizon)
 		total += (w.To - w.From).Seconds()
 	}

@@ -1,0 +1,34 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Hash returns the canonical content hash of the spec: a SHA-256 over
+// the deterministic JSON encoding of the fully normalized spec. Two
+// specs that normalize to the same workload — regardless of which
+// defaults were spelled out — hash identically, and any material change
+// (a flow, a seed, a fault clause, a protocol) changes the hash.
+//
+// Runs are deterministic (the PR 2 engine contract), so the hash
+// identifies the *result* of a run, not just its input: it is the
+// content address the experiment service's result cache keys on,
+// together with the code version. The encoding walks only exported
+// struct fields in declaration order over slices and plain values (no
+// maps anywhere in Spec), so it is reproducible within one build;
+// cross-build stability is the code-version component's job.
+func (s Spec) Hash() (string, error) {
+	n, err := s.Normalized()
+	if err != nil {
+		return "", fmt.Errorf("scenario: hashing unnormalizable spec: %w", err)
+	}
+	b, err := json.Marshal(n)
+	if err != nil {
+		return "", fmt.Errorf("scenario: encoding spec %s: %w", n.Name, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

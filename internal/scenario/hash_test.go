@@ -1,0 +1,80 @@
+package scenario
+
+import "testing"
+
+// TestHashCanonical pins the hash's identity contract: normalization is
+// the canonical form, so a spec and its fully spelled-out normalization
+// share one hash, and repeated hashing is stable.
+func TestHashCanonical(t *testing.T) {
+	spec, ok := Get("highway")
+	if !ok {
+		t.Fatal("highway scenario missing from catalogue")
+	}
+	h1, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash not stable: %s vs %s", h1, h2)
+	}
+	norm, err := spec.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn, err := norm.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hn != h1 {
+		t.Fatalf("normalized spec hashes differently: %s vs %s", hn, h1)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not a sha256 hex digest", h1)
+	}
+}
+
+// TestHashSensitivity: any material change to the workload must change
+// the content address — the property the serve result cache keys on.
+func TestHashSensitivity(t *testing.T) {
+	base, ok := Get("highway")
+	if !ok {
+		t.Fatal("highway scenario missing from catalogue")
+	}
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Spec){
+		"seed":     func(s *Spec) { s.Seed += 1 },
+		"protocol": func(s *Spec) { s.Protocol = GPSR },
+		"simtime":  func(s *Spec) { s.SimTime *= 2 },
+		"churn":    func(s *Spec) { s.Faults.ChurnRatePerMin = 7 },
+	}
+	for name, mutate := range mutations {
+		s := base.clone()
+		mutate(&s)
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h == h0 {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+	// Distinct scenarios must not collide.
+	other, ok := Get("sparse")
+	if !ok {
+		t.Fatal("sparse scenario missing from catalogue")
+	}
+	ho, err := other.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ho == h0 {
+		t.Error("distinct scenarios share a hash")
+	}
+}

@@ -1,0 +1,97 @@
+// Package serve is the CAVENET experiment service: a long-running HTTP
+// daemon that exposes the scenario catalogue, accepts (scenario ×
+// protocol × seed) sweep grids, schedules their cells on the
+// deterministic parallel engine behind a bounded job queue, streams
+// per-cell results as NDJSON while a grid runs, and serves finished
+// artifacts in the same CSV/JSON dialect the CLI emits.
+//
+// Because runs are deterministic and specs are normalized, a
+// (canonical spec hash, protocol, seed, code version) tuple fully
+// determines a cell's result — so the service keeps a content-addressed
+// result cache and answers repeated cells with a lookup instead of a
+// simulation. Cached and freshly computed responses are byte-identical
+// by construction (same TrialResult values through the same renderer);
+// the differential tests pin it.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"cavenet/internal/scenario"
+)
+
+// codeVersion identifies the running build in cache keys: results are
+// only valid as long as the simulator that produced them. Within one
+// process the version is constant — the in-memory cache can never serve
+// a stale build's result — but keeping it in the key preserves the
+// contract for persistent backends.
+var codeVersion = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			return rev + dirty
+		}
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			return bi.Main.Version
+		}
+	}
+	return "dev"
+}()
+
+// CodeVersion reports the build identity mixed into every cache key.
+func CodeVersion() string { return codeVersion }
+
+// cacheKey derives the content address of one (cell, protocol) run. The
+// spec hash already covers the seed, the protocol and every normalized
+// knob; protocol and seed are mixed in redundantly so the key remains
+// self-describing, and checked runs key separately from unchecked ones
+// (only they carry invariant-violation counts).
+func cacheKey(specHash string, p scenario.Protocol, seed int64, checked bool) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d|%t|%s", specHash, p, seed, checked, codeVersion)))
+	return hex.EncodeToString(sum[:])
+}
+
+// resultCache is the in-memory content-addressed result store. Entries
+// are immutable once written: a key collision can only re-store the
+// identical value (determinism), so Put never compares.
+type resultCache struct {
+	mu sync.RWMutex
+	m  map[string]scenario.TrialResult
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{m: make(map[string]scenario.TrialResult)}
+}
+
+func (c *resultCache) get(key string) (scenario.TrialResult, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.m[key]
+	return r, ok
+}
+
+func (c *resultCache) put(key string, r scenario.TrialResult) {
+	c.mu.Lock()
+	c.m[key] = r
+	c.mu.Unlock()
+}
+
+func (c *resultCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

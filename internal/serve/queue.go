@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// errQueueFull rejects a submission whose cell jobs do not fit in the
+// queue; the handler maps it to 503 so a loaded daemon degrades by
+// refusing work, never by queueing unboundedly.
+var errQueueFull = fmt.Errorf("serve: job queue full")
+
+// jobGate bounds the service's outstanding simulation work. Sweeps run
+// their cells on internal/exp worker pools; the gate sits in front:
+// admission reserves one slot per uncached cell job (all-or-nothing, so
+// a rejected sweep leaves no orphan jobs), and every job start passes
+// through the run tokens that cap cross-sweep parallelism.
+type jobGate struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	outstanding int // admitted jobs not yet finished (queued + running)
+	running     int // jobs currently holding a run token
+	depth       int // outstanding cap
+	tokens      chan struct{}
+	draining    bool
+}
+
+func newJobGate(depth, workers int) *jobGate {
+	g := &jobGate{depth: depth, tokens: make(chan struct{}, workers)}
+	g.cond = sync.NewCond(&g.mu)
+	for i := 0; i < workers; i++ {
+		g.tokens <- struct{}{}
+	}
+	return g
+}
+
+// admit reserves n job slots, or rejects the whole batch: either every
+// cell of a sweep is admitted or none is.
+func (g *jobGate) admit(n int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return fmt.Errorf("serve: draining, not accepting work")
+	}
+	if g.outstanding+n > g.depth {
+		return errQueueFull
+	}
+	g.outstanding += n
+	return nil
+}
+
+// start blocks until a run token is free, marking the job running.
+func (g *jobGate) start() {
+	<-g.tokens
+	g.mu.Lock()
+	g.running++
+	g.mu.Unlock()
+}
+
+// finish releases the job's token and its admission slot.
+func (g *jobGate) finish() {
+	g.mu.Lock()
+	g.running--
+	g.outstanding--
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	g.tokens <- struct{}{}
+}
+
+// abandon releases admission slots for jobs that will never start (a
+// failed sweep skips its remaining cells).
+func (g *jobGate) abandon(n int) {
+	if n == 0 {
+		return
+	}
+	g.mu.Lock()
+	g.outstanding -= n
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// counts reports (queued, running) for the metrics endpoint.
+func (g *jobGate) counts() (queued, running int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.outstanding - g.running, g.running
+}
+
+// drain stops admission and waits until every outstanding job finished
+// or the context expires.
+func (g *jobGate) drain(ctx context.Context) error {
+	g.mu.Lock()
+	g.draining = true
+	g.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		g.mu.Lock()
+		for g.outstanding > 0 {
+			g.cond.Wait()
+		}
+		g.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with %d jobs outstanding: %w", func() int {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			return g.outstanding
+		}(), ctx.Err())
+	}
+}
