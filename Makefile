@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check staticcheck test race sweep-smoke scenario-smoke churn-smoke serve-smoke fuzz-smoke bench-smoke bench-routing-smoke bench-mobility-smoke bench-kernel-smoke bench-kernel bench-routing bench ci
+.PHONY: build vet fmt-check staticcheck test race sweep-smoke scenario-smoke churn-smoke serve-smoke fuzz-smoke bench-smoke bench-routing-smoke bench-mobility-smoke bench-kernel-smoke bench-dataplane-smoke bench-kernel bench-routing bench-dataplane bench ci
 
 build:
 	$(GO) build ./...
@@ -105,6 +105,22 @@ bench-mobility-smoke:
 bench-kernel-smoke:
 	$(GO) test ./internal/sim/ -bench 'PeriodicTickers10k' -benchtime=1x -benchmem -run XXX
 
+# One iteration of the AODV/DYMO data-plane benches on both table paths:
+# catches the dense tables silently allocating (their 0 allocs/op is the
+# point) or the oracle switch breaking, in seconds.
+bench-dataplane-smoke:
+	$(GO) test ./internal/routing/aodv/ -bench 'AODVForward|AODVRREQStorm' -benchtime=1x -benchmem -run XXX
+	$(GO) test ./internal/routing/dymo/ -bench 'DYMOForward|DYMORREQStorm' -benchtime=1x -benchmem -run XXX
+
+# Full AODV/DYMO data-plane table (per-packet forwarding work and the
+# RREQ-storm world, dense vs map oracle); see the "Routing data plane"
+# section of PERF.md.
+bench-dataplane:
+	$(GO) test ./internal/routing/aodv/ -bench AODVForward -benchmem -benchtime=2s -run XXX
+	$(GO) test ./internal/routing/aodv/ -bench AODVRREQStorm -benchmem -benchtime=20x -run XXX
+	$(GO) test ./internal/routing/dymo/ -bench DYMOForward -benchmem -benchtime=2s -run XXX
+	$(GO) test ./internal/routing/dymo/ -bench DYMORREQStorm -benchmem -benchtime=20x -run XXX
+
 # Full event-kernel table (mixed workloads plus schedule/pop at
 # 1k/10k/100k pending, calendar vs heap oracle); see the "Event kernel"
 # section of PERF.md.
@@ -123,4 +139,4 @@ bench:
 	$(GO) test ./internal/netsim/ -bench 'Connectivity|Components' -benchmem -benchtime=20x -run XXX
 	$(GO) test ./internal/sim/ -bench . -benchmem -run XXX
 
-ci: build vet fmt-check staticcheck test bench-smoke bench-routing-smoke bench-mobility-smoke bench-kernel-smoke sweep-smoke scenario-smoke churn-smoke serve-smoke fuzz-smoke
+ci: build vet fmt-check staticcheck test bench-smoke bench-routing-smoke bench-mobility-smoke bench-kernel-smoke bench-dataplane-smoke sweep-smoke scenario-smoke churn-smoke serve-smoke fuzz-smoke

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
@@ -73,6 +75,9 @@ func scenarioRun(w io.Writer, args []string) error {
 	churn := fs.Float64("churn", 0, "inject node churn at this rate per node per minute (4 s crash outages); shorthand for -faults churn:RATE")
 	gpsrOracle := fs.Bool("gpsr-oracle", false, "route GPSR greedy decisions through the brute-force differential oracle (bit-identical to the spatial-grid fast path)")
 	kernelOracle := fs.Bool("kernel-oracle", false, "run on the kernel's binary-heap differential oracle instead of the calendar event queue (bit-identical, slower)")
+	dataPlaneOracle := fs.Bool("dataplane-oracle", false, "route the AODV/DYMO routing tables through the map-based differential oracles instead of the dense-index fast paths (bit-identical, slower)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a post-run heap profile to this file")
 	faults := fs.String("faults", "", "fault plan, ';'-joined clauses: churn:RATE[,DOWNSEC[,graceful]] | blackout:START,DUR[,FRACTION] | partition:START,DUR | impair:A-B,START,DUR[,LOSS[,ATTENDB]]; replaces the scenario's declared faults")
 	// Accept the name before or after the flags.
 	var name string
@@ -135,6 +140,41 @@ func scenarioRun(w io.Writer, args []string) error {
 	}
 	if *kernelOracle {
 		spec.KernelOracle = true
+	}
+	if *dataPlaneOracle {
+		spec.DataPlaneOracle = true
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cavenet: closing %s: %v\n", *cpuProfile, err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle the heap so live bytes reflect retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cavenet: writing %s: %v\n", *memProfile, err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cavenet: closing %s: %v\n", *memProfile, err)
+			}
+		}()
 	}
 
 	var res *scenario.Result

@@ -113,6 +113,19 @@ type QueueDropObserver interface {
 	MACQueueDrop(to Address, payload any)
 }
 
+// SendDoneObserver is an optional Upper extension: when implemented, the
+// MAC reports every unicast frame whose ACK arrived. By that instant every
+// station in range has already decoded the frame (receivers decode at the
+// end of the data airtime, a SIFS plus an ACK airtime before the sender
+// hears the ACK), so the notification is the earliest point at which the
+// sender-side payload pointer is provably dead — the hook the network
+// layer's packet pool uses to reclaim forwarded data packets. Broadcast
+// completions are not reported: their receivers decode the shared payload
+// at the same timestamp as the sender's tx-done.
+type SendDoneObserver interface {
+	MACSendDone(to Address, payload any)
+}
+
 // DownObserver is an optional Upper extension for fault injection: Down
 // flushes the station's custody — the in-flight job and the whole backlog —
 // through it, so the network layer can terminate each packet with an
@@ -174,6 +187,9 @@ type DCF struct {
 	rnd    *rand.Rand
 	addr   Address
 	upper  Upper
+	// sendDone caches the optional SendDoneObserver assertion so the ACK
+	// hot path pays a nil check instead of a type assertion per frame.
+	sendDone SendDoneObserver
 
 	queue   []txJob
 	current *txJob
@@ -194,8 +210,12 @@ type DCF struct {
 	ackSeq      uint16
 	ackFrom     Address
 	seq         uint16
-	lastSeq     map[Address]uint16
-	haveLast    map[Address]bool
+	// Receive dedup state, dense-indexed by sender address (station
+	// addresses are small and dense; data frames never come from
+	// Broadcast). Replaces the two maps the seed used, which cost a map
+	// lookup per received frame.
+	lastSeq  []uint16
+	haveLast []bool
 
 	stats Stats
 }
@@ -205,16 +225,15 @@ type DCF struct {
 func New(k *sim.Kernel, radio *phy.Radio, addr Address, cfg Config, rnd *rand.Rand, upper Upper) *DCF {
 	cfg.normalize()
 	d := &DCF{
-		cfg:      cfg,
-		kernel:   k,
-		radio:    radio,
-		rnd:      rnd,
-		addr:     addr,
-		upper:    upper,
-		cw:       cfg.CWMin,
-		lastSeq:  make(map[Address]uint16),
-		haveLast: make(map[Address]bool),
+		cfg:    cfg,
+		kernel: k,
+		radio:  radio,
+		rnd:    rnd,
+		addr:   addr,
+		upper:  upper,
+		cw:     cfg.CWMin,
 	}
+	d.sendDone, _ = upper.(SendDoneObserver)
 	d.difsTimer = sim.NewTimer(k, d.onDIFS)
 	d.slotTimer = sim.NewTimer(k, d.onSlot)
 	d.ackTimer = sim.NewTimer(k, d.onAckTimeout)
@@ -654,7 +673,11 @@ func (d *DCF) handleAck(frame *Frame) {
 	if d.awaitingAck && frame.From == d.ackFrom && frame.Seq == d.ackSeq {
 		d.awaitingAck = false
 		d.ackTimer.Stop()
+		job := *d.current
 		d.finishJob()
+		if d.sendDone != nil {
+			d.sendDone.MACSendDone(job.to, job.payload)
+		}
 	}
 }
 
@@ -662,12 +685,16 @@ func (d *DCF) handleData(frame *Frame) {
 	switch frame.To {
 	case d.addr:
 		d.sendAckAfterSIFS(frame)
-		if d.haveLast[frame.From] && d.lastSeq[frame.From] == frame.Seq && frame.Retry {
+		from := int(frame.From)
+		if from >= len(d.haveLast) {
+			d.growDedup(from)
+		}
+		if d.haveLast[from] && d.lastSeq[from] == frame.Seq && frame.Retry {
 			d.stats.Duplicates++
 			return
 		}
-		d.lastSeq[frame.From] = frame.Seq
-		d.haveLast[frame.From] = true
+		d.lastSeq[from] = frame.Seq
+		d.haveLast[from] = true
 		d.stats.DataRx++
 		if d.upper != nil {
 			d.upper.MACReceive(frame.Payload, frame.From)
@@ -681,6 +708,17 @@ func (d *DCF) handleData(frame *Frame) {
 		// Overheard frame: honor its NAV reservation.
 		d.observeNAV(frame)
 	}
+}
+
+// growDedup extends the dedup slices to cover sender address from.
+func (d *DCF) growDedup(from int) {
+	n := from + 1
+	ls := make([]uint16, n)
+	copy(ls, d.lastSeq)
+	d.lastSeq = ls
+	hl := make([]bool, n)
+	copy(hl, d.haveLast)
+	d.haveLast = hl
 }
 
 func (d *DCF) sendAckAfterSIFS(frame *Frame) {

@@ -91,9 +91,11 @@ func TestEndToEndFloodDelivery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var delivered []*Packet
+	// Delivery is terminal custody: p is pooled after the hook returns, so
+	// snapshot the value rather than retaining the pointer.
+	var delivered []Packet
 	w.SetHooks(Hooks{
-		DataDelivered: func(n *Node, p *Packet) { delivered = append(delivered, p) },
+		DataDelivered: func(n *Node, p *Packet) { delivered = append(delivered, *p) },
 	})
 	sink := PortFunc(func(p *Packet, at sim.Time) {})
 	w.Node(3).AttachPort(PortCBR, sink)

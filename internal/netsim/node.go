@@ -186,7 +186,9 @@ func (n *Node) SendFrame(next NodeID, p *Packet) {
 	n.mac.Send(mac.Address(next), p, p.Size)
 }
 
-// DeliverLocal hands a data packet to its destination port.
+// DeliverLocal hands a data packet to its destination port. Delivery is a
+// terminal custody event: once the port handler returns, p goes back to
+// the world's packet pool, so neither handlers nor hooks may retain it.
 func (n *Node) DeliverLocal(p *Packet) {
 	n.counters.DataDelivered++
 	if h := n.world.hooks.DataDelivered; h != nil {
@@ -195,13 +197,23 @@ func (n *Node) DeliverLocal(p *Packet) {
 	if handler, ok := n.ports[p.Port]; ok {
 		handler.HandlePacket(p, n.world.Kernel.Now())
 	}
+	n.world.releasePacket(p)
 }
 
 // DropData records a data packet discarded by the router (no route, TTL).
+// A drop is a terminal custody event: once the hooks return, p goes back
+// to the world's packet pool, so callers must not touch it afterwards.
 func (n *Node) DropData(p *Packet, reason string) {
+	n.dropData(p, reason, true)
+}
+
+func (n *Node) dropData(p *Packet, reason string, release bool) {
 	n.counters.DataDropped++
 	if h := n.world.hooks.DataDropped; h != nil {
 		h(n, p, reason)
+	}
+	if release {
+		n.world.releasePacket(p)
 	}
 }
 
@@ -237,8 +249,12 @@ func (u macUpper) MACReceive(payload any, from mac.Address) {
 		return
 	}
 	// Data packets outlive the receive callback (delivery to ports,
-	// forwarding, discovery buffers), so they get a fresh clone.
-	p := shared.Clone()
+	// forwarding, discovery buffers), so each receiver still needs a
+	// private clone — but the clone comes from the pool, because every
+	// data packet now terminates through exactly one custody event that
+	// returns it: DeliverLocal, DropData, or the sender-side MACSendDone
+	// of an acknowledged unicast hop.
+	p := n.world.clonePacket(shared)
 	p.Hops++
 	switch {
 	case p.Port == PortRouting:
@@ -249,6 +265,21 @@ func (u macUpper) MACReceive(payload any, from mac.Address) {
 		// Data in transit: the routing protocol forwards it.
 		n.router.Receive(p, NodeID(from))
 	}
+}
+
+// MACSendDone implements mac.SendDoneObserver: a unicast frame was
+// acknowledged, so the sender-side packet pointer is dead — every receiver
+// in range decoded (and cloned) the frame at least a SIFS before the ACK
+// arrived, and the sending router released custody at SendFrame. Broadcast
+// completions never reach here: their receivers decode the shared pointer
+// at the same timestamp as the sender's tx-done, so the sender's copy must
+// stay live (it is left to the garbage collector, as before pooling).
+func (u macUpper) MACSendDone(to mac.Address, payload any) {
+	p, ok := payload.(*Packet)
+	if !ok {
+		return
+	}
+	u.n.world.releasePacket(p)
 }
 
 // MACSendFailed implements mac.Upper.
@@ -282,5 +313,9 @@ func (u macUpper) MACDownDrop(to mac.Address, payload any) {
 	if !ok || p.Kind != KindData {
 		return
 	}
-	u.n.DropData(p, "node:down")
+	// No pool release here: the flushed frame may still be on the air (a
+	// crash mid-transmission), and its receivers only decode — and clone —
+	// the shared pointer when the signal ends. The packet is left to the
+	// garbage collector instead, as all packets were before pooling.
+	u.n.dropData(p, "node:down", false)
 }

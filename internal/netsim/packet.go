@@ -74,6 +74,16 @@ func (p *Packet) String() string {
 // from the MAC that are not addressed to this node (or are control traffic
 // on PortRouting) enter via Receive. The router sends frames with
 // Node.SendFrame and delivers data with Node.DeliverLocal.
+//
+// Data packets are pooled too, with custody-transfer semantics: the clone
+// a router receives is its own until it hands the packet to exactly one
+// terminal event — Node.DeliverLocal, Node.DropData, or Node.SendFrame
+// (after which the MAC completion releases it). After that call the
+// pointer is dead: the pool may zero and reuse it, so routers must read
+// anything they still need (say, the destination of a dropped packet)
+// before the handoff, and must not park the same pointer in two places.
+// World hooks and PortHandlers observe packets during their terminal
+// events and must copy values, never retain the pointer.
 type Router interface {
 	// Name identifies the protocol ("aodv", "olsr", "dymo", "static", ...).
 	Name() string

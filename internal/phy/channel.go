@@ -238,6 +238,7 @@ func (c *Channel) Transmit(r *Radio, payload any, bytes int, duration sim.Time) 
 	c.transmitted++
 	f := &Frame{ID: c.nextFrameID, Bytes: bytes, Duration: duration, Payload: payload}
 	r.transmitting = true
+	r.busy = true
 	src := r.position
 	// A transmitting radio cannot decode concurrent arrivals.
 	for _, sig := range r.active {
@@ -327,6 +328,7 @@ var (
 		f := r.txFrame
 		r.txFrame = nil
 		r.transmitting = false
+		r.busy = len(r.active) > 0
 		if r.handler != nil {
 			r.handler.RadioTxDone(f)
 		}
@@ -340,6 +342,7 @@ type Radio struct {
 	handler      Handler
 	index        int
 	transmitting bool
+	busy         bool // carrier state, maintained at every tx/signal edge
 	detached     bool
 	txFrame      *Frame
 	active       []*signal
@@ -350,6 +353,7 @@ type signal struct {
 	radio     *Radio
 	frame     *Frame
 	power     float64
+	pos       int // index in radio.active while listed; enables O(1) removal
 	corrupted bool
 }
 
@@ -360,10 +364,10 @@ func (r *Radio) SetHandler(h Handler) { r.handler = h }
 func (r *Radio) Transmitting() bool { return r.transmitting }
 
 // CarrierBusy reports whether the medium is sensed busy at this radio
-// (own transmission or any in-flight signal above the CS threshold).
-func (r *Radio) CarrierBusy() bool {
-	return r.transmitting || len(r.active) > 0
-}
+// (own transmission or any in-flight signal above the CS threshold). The
+// flag is maintained incrementally at every transmit and signal edge, so
+// the DCF's per-slot carrier check is a single field load.
+func (r *Radio) CarrierBusy() bool { return r.busy }
 
 // Position reports the radio's current location.
 func (r *Radio) Position() geometry.Vec2 { return r.position }
@@ -428,8 +432,10 @@ func (r *Radio) signalStart(sig *signal) {
 		r.channel.releaseSignal(sig)
 		return
 	}
-	wasBusy := r.CarrierBusy()
+	wasBusy := r.busy
+	sig.pos = len(r.active)
 	r.active = append(r.active, sig)
+	r.busy = true
 
 	switch {
 	case r.transmitting:
@@ -470,7 +476,7 @@ func (r *Radio) signalStart(sig *signal) {
 		}
 	}
 
-	if !wasBusy && r.CarrierBusy() && r.handler != nil {
+	if !wasBusy && r.handler != nil {
 		r.handler.RadioCarrier(true)
 	}
 	r.channel.kernel.AfterArg(sig.frame.Duration, signalEndFn, sig)
@@ -486,12 +492,17 @@ func capturedOver(ratio, p, q float64) bool {
 }
 
 func (r *Radio) signalEnd(sig *signal) {
-	for i, s := range r.active {
-		if s == sig {
-			r.active = append(r.active[:i], r.active[i+1:]...)
-			break
-		}
+	// Swap-remove: the active list is order-free (its only full traversals
+	// are the strongest-interferer max in signalStart and the corrupt-all
+	// loop in Transmit), so a signal edge costs O(1) regardless of how many
+	// signals overlap.
+	last := len(r.active) - 1
+	if moved := r.active[last]; moved != sig {
+		r.active[sig.pos] = moved
+		moved.pos = sig.pos
 	}
+	r.active[last] = nil
+	r.active = r.active[:last]
 	if r.decoding == sig {
 		r.decoding = nil
 		if !sig.corrupted && !r.transmitting {
@@ -504,7 +515,10 @@ func (r *Radio) signalEnd(sig *signal) {
 		}
 	}
 	r.channel.releaseSignal(sig)
-	if !r.CarrierBusy() && r.handler != nil {
+	// Recompute after the receive callback: a handler that synchronously
+	// transmitted has already re-set busy, and the clear edge must not fire.
+	r.busy = r.transmitting || len(r.active) > 0
+	if !r.busy && r.handler != nil {
 		r.handler.RadioCarrier(false)
 	}
 }

@@ -25,6 +25,11 @@ type Config struct {
 	// BufferCap bounds the number of data packets queued per destination
 	// while discovery runs (default 64, matching ns-2's sendBuffer).
 	BufferCap int
+	// Oracle routes the routing table through the retained map-based
+	// implementation instead of the dense-index fast path. Whole runs are
+	// bit-identical between the two (differential run-identity tests);
+	// the switch lets any run be replayed against the oracle.
+	Oracle bool
 }
 
 func (c *Config) normalize() {
@@ -75,7 +80,10 @@ func (c Config) ringTraversalTime(ttl int) sim.Time {
 	return 2 * c.NodeTraversalTime * sim.Time(ttl+2)
 }
 
-// discovery tracks one in-progress route discovery.
+// discovery tracks one in-progress route discovery. Records (and their
+// timers and buffers) are pooled per router: a discovery is only released
+// after its timer has been stopped or has fired its final time, so a
+// recycled record can never receive a stale callback.
 type discovery struct {
 	dst     netsim.NodeID
 	retries int
@@ -95,12 +103,17 @@ type Router struct {
 	cfg  Config
 	node *netsim.Node
 
-	table       *table
+	table       routeTable
 	seq         uint32
 	rreqID      uint32
 	seen        sim.ExpiringSet[seenKey]
 	discoveries map[netsim.NodeID]*discovery
+	discFree    []*discovery
 	neighbors   map[netsim.NodeID]*sim.Timer // hello liveness
+
+	// rerrBuf is the reusable RERR collection scratch; broadcastRERR
+	// copies it into an exact-size wire slice, so it never escapes.
+	rerrBuf []UnreachableDst
 
 	helloTicker *sim.Ticker
 	purgeTicker *sim.Ticker
@@ -117,9 +130,13 @@ func New(node *netsim.Node, cfg Config) *Router {
 	r := &Router{
 		cfg:         cfg,
 		node:        node,
-		table:       newTable(node.Kernel()),
 		discoveries: make(map[netsim.NodeID]*discovery),
 		neighbors:   make(map[netsim.NodeID]*sim.Timer),
+	}
+	if cfg.Oracle {
+		r.table = newMapTable(node.Kernel())
+	} else {
+		r.table = newDenseTable(node.Kernel())
 	}
 	jitter := func() sim.Time {
 		// ±10% emission jitter, standard to decorrelate HELLO storms.
@@ -185,11 +202,34 @@ func (r *Router) EachBuffered(f func(p *netsim.Packet)) {
 // Table exposes route lookups for tests: it reports the next hop and
 // whether a valid route to dst exists.
 func (r *Router) Table(dst netsim.NodeID) (next netsim.NodeID, hops int, ok bool) {
-	rt := r.table.validRoute(dst)
-	if rt == nil {
-		return 0, 0, false
+	return r.table.validNext(dst)
+}
+
+// newDiscovery takes a discovery record from the pool (or builds one with
+// its timer) and registers it for dst.
+func (r *Router) newDiscovery(dst netsim.NodeID) *discovery {
+	var d *discovery
+	if n := len(r.discFree); n > 0 {
+		d = r.discFree[n-1]
+		r.discFree[n-1] = nil
+		r.discFree = r.discFree[:n-1]
+		d.dst, d.retries, d.ttl = dst, 0, 0
+	} else {
+		d = &discovery{dst: dst}
+		d.timer = sim.NewTimer(r.node.Kernel(), func() { r.discoveryTimeout(d) })
 	}
-	return rt.nextHop, rt.hops, true
+	r.discoveries[dst] = d
+	return d
+}
+
+// releaseDiscovery returns a record whose timer is no longer scheduled to
+// the pool, dropping its buffered-packet references.
+func (r *Router) releaseDiscovery(d *discovery) {
+	for i := range d.buffer {
+		d.buffer[i] = nil
+	}
+	d.buffer = d.buffer[:0]
+	r.discFree = append(r.discFree, d)
 }
 
 // sendControl wraps an AODV message into a control packet and transmits it.
@@ -212,10 +252,10 @@ func (r *Router) sendControl(next netsim.NodeID, dst netsim.NodeID, ttl, size in
 
 // Origin implements netsim.Router.
 func (r *Router) Origin(p *netsim.Packet) {
-	if rt := r.table.validRoute(p.Dst); rt != nil {
+	if next, _, ok := r.table.validNext(p.Dst); ok {
 		r.table.refresh(p.Dst, r.cfg.ActiveRouteTimeout)
-		r.table.refresh(rt.nextHop, r.cfg.ActiveRouteTimeout)
-		r.node.SendFrame(rt.nextHop, p)
+		r.table.refresh(next, r.cfg.ActiveRouteTimeout)
+		r.node.SendFrame(next, p)
 		return
 	}
 	r.bufferAndDiscover(p)
@@ -231,9 +271,8 @@ func (r *Router) bufferAndDiscover(p *netsim.Packet) {
 		d.buffer = append(d.buffer, p)
 		return
 	}
-	d = &discovery{dst: p.Dst, buffer: []*netsim.Packet{p}}
-	d.timer = sim.NewTimer(r.node.Kernel(), func() { r.discoveryTimeout(d) })
-	r.discoveries[p.Dst] = d
+	d = r.newDiscovery(p.Dst)
+	d.buffer = append(d.buffer, p)
 	r.sendRREQ(d)
 }
 
@@ -252,11 +291,9 @@ func (r *Router) sendRREQ(d *discovery) {
 		}
 	}
 	d.ttl = ttl
-	var dstSeq uint32
-	dstSeqKnown := false
-	if rt := r.table.lookup(d.dst); rt != nil && rt.seqKnown {
-		dstSeq = rt.seq
-		dstSeqKnown = true
+	dstSeq, dstSeqKnown, _ := r.table.lastSeq(d.dst)
+	if !dstSeqKnown {
+		dstSeq = 0
 	}
 	msg := &RREQ{
 		ID:          r.rreqID,
@@ -272,7 +309,7 @@ func (r *Router) sendRREQ(d *discovery) {
 }
 
 func (r *Router) discoveryTimeout(d *discovery) {
-	if r.table.validRoute(d.dst) != nil {
+	if _, _, ok := r.table.validNext(d.dst); ok {
 		r.flushBuffer(d)
 		return
 	}
@@ -283,6 +320,7 @@ func (r *Router) discoveryTimeout(d *discovery) {
 			r.node.DropData(p, "aodv:no-route")
 		}
 		delete(r.discoveries, d.dst)
+		r.releaseDiscovery(d)
 		return
 	}
 	r.sendRREQ(d)
@@ -291,9 +329,15 @@ func (r *Router) discoveryTimeout(d *discovery) {
 func (r *Router) flushBuffer(d *discovery) {
 	delete(r.discoveries, d.dst)
 	d.timer.Stop()
-	for _, p := range d.buffer {
+	for i, p := range d.buffer {
+		d.buffer[i] = nil
+		// Origin may open a fresh discovery for the same destination if
+		// the route evaporated mid-flush; d is already unregistered, so
+		// the two records never alias.
 		r.Origin(p)
 	}
+	d.buffer = d.buffer[:0]
+	r.releaseDiscovery(d)
 }
 
 // Receive implements netsim.Router.
@@ -320,24 +364,24 @@ func (r *Router) forwardData(p *netsim.Packet, from netsim.NodeID) {
 		r.node.DropData(p, "aodv:ttl")
 		return
 	}
-	rt := r.table.validRoute(p.Dst)
-	if rt == nil {
+	next, _, ok := r.table.validNext(p.Dst)
+	if !ok {
 		// RFC 3561 §6.11 case (ii): data for a destination we cannot reach.
+		// DropData may recycle p, so read the destination first.
+		dst := p.Dst
 		r.node.DropData(p, "aodv:no-forward-route")
-		seq := uint32(0)
-		if old := r.table.lookup(p.Dst); old != nil {
-			seq = old.seq
-		}
-		r.broadcastRERR([]UnreachableDst{{Dst: p.Dst, Seq: seq}})
+		seq, _, _ := r.table.lastSeq(dst)
+		r.rerrBuf = append(r.rerrBuf[:0], UnreachableDst{Dst: dst, Seq: seq})
+		r.broadcastRERR(r.rerrBuf)
 		return
 	}
 	// Active data refreshes source, destination and next-hop routes.
 	r.table.refresh(p.Dst, r.cfg.ActiveRouteTimeout)
-	r.table.refresh(rt.nextHop, r.cfg.ActiveRouteTimeout)
+	r.table.refresh(next, r.cfg.ActiveRouteTimeout)
 	r.table.refresh(p.Src, r.cfg.ActiveRouteTimeout)
 	r.table.refresh(from, r.cfg.ActiveRouteTimeout)
 	r.node.NoteForward(p)
-	r.node.SendFrame(rt.nextHop, p)
+	r.node.SendFrame(next, p)
 }
 
 func (r *Router) handleRREQ(p *netsim.Packet, msg *RREQ, from netsim.NodeID) {
@@ -355,8 +399,7 @@ func (r *Router) handleRREQ(p *netsim.Packet, msg *RREQ, from netsim.NodeID) {
 	r.table.update(from, 0, false, 1, from, r.cfg.ActiveRouteTimeout)
 	hops := msg.HopCount + 1
 	minLifetime := 2*r.cfg.netTraversalTime() - sim.Time(2*hops)*r.cfg.NodeTraversalTime
-	rev := r.table.update(msg.Src, msg.SrcSeq, true, hops, from, minLifetime)
-	_ = rev
+	r.table.update(msg.Src, msg.SrcSeq, true, hops, from, minLifetime)
 
 	if msg.Dst == me {
 		// RFC 3561 §6.6.1: destination replies, seq = max(own, RREQ's).
@@ -373,15 +416,15 @@ func (r *Router) handleRREQ(p *netsim.Packet, msg *RREQ, from netsim.NodeID) {
 		return
 	}
 	// Intermediate node with a fresh-enough valid route may answer (§6.6.2).
-	if rt := r.table.validRoute(msg.Dst); rt != nil && rt.seqKnown &&
-		(!msg.DstSeqKnown || int32(rt.seq-msg.DstSeq) >= 0) {
-		rt.addPrecursor(from)
+	if rtHops, rtSeq, rtSeqKnown, rtExpires, ok := r.table.replyInfo(msg.Dst); ok && rtSeqKnown &&
+		(!msg.DstSeqKnown || int32(rtSeq-msg.DstSeq) >= 0) {
+		r.table.addPrecursor(msg.Dst, from)
 		rep := &RREP{
-			HopCount: rt.hops,
+			HopCount: rtHops,
 			Dst:      msg.Dst,
-			DstSeq:   rt.seq,
+			DstSeq:   rtSeq,
 			Src:      msg.Src,
-			Lifetime: int64((rt.expiresAt - r.node.Kernel().Now()) / sim.Millisecond),
+			Lifetime: int64((rtExpires - r.node.Kernel().Now()) / sim.Millisecond),
 		}
 		r.sendControl(from, msg.Src, netsim.DefaultTTL, rrepBytes, rep)
 		return
@@ -404,7 +447,7 @@ func (r *Router) handleRREP(p *netsim.Packet, msg *RREP, from netsim.NodeID) {
 	hops := msg.HopCount + 1
 	lifetime := sim.Time(msg.Lifetime) * sim.Millisecond
 	// Forward route to the replied destination (§6.7).
-	fwdRoute := r.table.update(msg.Dst, msg.DstSeq, true, hops, from, lifetime)
+	r.table.update(msg.Dst, msg.DstSeq, true, hops, from, lifetime)
 	r.table.update(from, 0, false, 1, from, r.cfg.ActiveRouteTimeout)
 
 	if msg.Src == me {
@@ -415,19 +458,17 @@ func (r *Router) handleRREP(p *netsim.Packet, msg *RREP, from netsim.NodeID) {
 		return
 	}
 	// Relay toward the originator along the reverse path.
-	rev := r.table.validRoute(msg.Src)
-	if rev == nil {
+	revNext, _, ok := r.table.validNext(msg.Src)
+	if !ok {
 		return // reverse route evaporated; the originator will retry
 	}
-	fwdRoute.addPrecursor(rev.nextHop)
-	if next := r.table.validRoute(msg.Dst); next != nil {
-		if back := r.table.lookup(from); back != nil {
-			back.addPrecursor(rev.nextHop)
-		}
+	r.table.addPrecursor(msg.Dst, revNext)
+	if _, _, ok := r.table.validNext(msg.Dst); ok {
+		r.table.addPrecursor(from, revNext)
 	}
 	fwd := *msg
 	fwd.HopCount = hops
-	r.sendControl(rev.nextHop, msg.Src, p.TTL-1, rrepBytes, &fwd)
+	r.sendControl(revNext, msg.Src, p.TTL-1, rrepBytes, &fwd)
 }
 
 func (r *Router) sendHello() {
@@ -465,40 +506,29 @@ func (r *Router) LinkFailure(next netsim.NodeID, p *netsim.Packet) {
 }
 
 func (r *Router) linkBroken(neighbor netsim.NodeID) {
-	broken := r.table.routesVia(neighbor)
-	if len(broken) == 0 {
-		return
-	}
-	var unreachable []UnreachableDst
-	for _, rt := range broken {
-		r.table.invalidate(rt.dst)
-		unreachable = append(unreachable, UnreachableDst{Dst: rt.dst, Seq: rt.seq})
-	}
-	r.broadcastRERR(unreachable)
+	r.rerrBuf = r.table.breakVia(neighbor, r.rerrBuf[:0])
+	r.broadcastRERR(r.rerrBuf)
 }
 
+// broadcastRERR emits a RERR carrying the given unreachable set. The
+// slice is copied at exact size onto the wire message — receivers retain
+// RERR payloads past this call, so the reusable scratch must not escape.
 func (r *Router) broadcastRERR(unreachable []UnreachableDst) {
 	if len(unreachable) == 0 {
 		return
 	}
-	msg := &RERR{Unreachable: unreachable}
-	r.sendControl(netsim.BroadcastID, netsim.BroadcastID, 1, rerrSize(len(unreachable)), msg)
+	wire := make([]UnreachableDst, len(unreachable))
+	copy(wire, unreachable)
+	msg := &RERR{Unreachable: wire}
+	r.sendControl(netsim.BroadcastID, netsim.BroadcastID, 1, rerrSize(len(wire)), msg)
 }
 
 func (r *Router) handleRERR(msg *RERR, from netsim.NodeID) {
-	var propagate []UnreachableDst
+	r.rerrBuf = r.rerrBuf[:0]
 	for _, u := range msg.Unreachable {
-		rt := r.table.lookup(u.Dst)
-		if rt == nil || rt.state != routeValid || rt.nextHop != from {
-			continue
-		}
-		rt.state = routeInvalid
-		if int32(u.Seq-rt.seq) > 0 {
-			rt.seq = u.Seq
-		}
-		if len(rt.precursors) > 0 {
-			propagate = append(propagate, UnreachableDst{Dst: u.Dst, Seq: rt.seq})
+		if seq, propagate, matched := r.table.rerrApply(u.Dst, from, u.Seq); matched && propagate {
+			r.rerrBuf = append(r.rerrBuf, UnreachableDst{Dst: u.Dst, Seq: seq})
 		}
 	}
-	r.broadcastRERR(propagate)
+	r.broadcastRERR(r.rerrBuf)
 }

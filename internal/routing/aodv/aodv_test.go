@@ -1,6 +1,7 @@
 package aodv
 
 import (
+	"math/rand"
 	"testing"
 
 	"cavenet/internal/geometry"
@@ -226,78 +227,156 @@ func TestRouterName(t *testing.T) {
 	}
 }
 
-// Unit tests for the routing-table rules.
+// Unit tests for the routing-table rules, run against both the dense fast
+// path and the map oracle.
+
+func eachTable(t *testing.T, f func(t *testing.T, k *sim.Kernel, tbl routeTable)) {
+	t.Helper()
+	t.Run("dense", func(t *testing.T) {
+		k := sim.NewKernel()
+		f(t, k, newDenseTable(k))
+	})
+	t.Run("oracle", func(t *testing.T) {
+		k := sim.NewKernel()
+		f(t, k, newMapTable(k))
+	})
+}
 
 func TestTableSequenceRules(t *testing.T) {
-	k := sim.NewKernel()
-	tbl := newTable(k)
-	tbl.update(5, 10, true, 3, 1, sim.Second)
-	// Older sequence number must not overwrite.
-	tbl.update(5, 9, true, 1, 2, sim.Second)
-	r := tbl.validRoute(5)
-	if r.nextHop != 1 || r.hops != 3 {
-		t.Fatalf("stale update accepted: %+v", r)
-	}
-	// Same seq, shorter path wins.
-	tbl.update(5, 10, true, 2, 3, sim.Second)
-	if r := tbl.validRoute(5); r.nextHop != 3 || r.hops != 2 {
-		t.Fatalf("shorter path rejected: %+v", r)
-	}
-	// Newer seq always wins, even when longer.
-	tbl.update(5, 11, true, 7, 4, sim.Second)
-	if r := tbl.validRoute(5); r.nextHop != 4 || r.hops != 7 {
-		t.Fatalf("newer seq rejected: %+v", r)
-	}
+	eachTable(t, func(t *testing.T, k *sim.Kernel, tbl routeTable) {
+		tbl.update(5, 10, true, 3, 1, sim.Second)
+		// Older sequence number must not overwrite.
+		tbl.update(5, 9, true, 1, 2, sim.Second)
+		if next, hops, ok := tbl.validNext(5); !ok || next != 1 || hops != 3 {
+			t.Fatalf("stale update accepted: next=%d hops=%d ok=%v", next, hops, ok)
+		}
+		// Same seq, shorter path wins.
+		tbl.update(5, 10, true, 2, 3, sim.Second)
+		if next, hops, ok := tbl.validNext(5); !ok || next != 3 || hops != 2 {
+			t.Fatalf("shorter path rejected: next=%d hops=%d ok=%v", next, hops, ok)
+		}
+		// Newer seq always wins, even when longer.
+		tbl.update(5, 11, true, 7, 4, sim.Second)
+		if next, hops, ok := tbl.validNext(5); !ok || next != 4 || hops != 7 {
+			t.Fatalf("newer seq rejected: next=%d hops=%d ok=%v", next, hops, ok)
+		}
+	})
 }
 
 func TestTableExpiry(t *testing.T) {
-	k := sim.NewKernel()
-	tbl := newTable(k)
-	tbl.update(5, 1, true, 1, 1, sim.Second)
-	if tbl.validRoute(5) == nil {
-		t.Fatal("fresh route should be valid")
-	}
-	k.Schedule(2*sim.Second, func() {})
-	k.Run()
-	if tbl.validRoute(5) != nil {
-		t.Fatal("expired route should be invalid")
-	}
+	eachTable(t, func(t *testing.T, k *sim.Kernel, tbl routeTable) {
+		tbl.update(5, 1, true, 1, 1, sim.Second)
+		if _, _, ok := tbl.validNext(5); !ok {
+			t.Fatal("fresh route should be valid")
+		}
+		k.Schedule(2*sim.Second, func() {})
+		k.Run()
+		if _, _, ok := tbl.validNext(5); ok {
+			t.Fatal("expired route should be invalid")
+		}
+	})
 }
 
-func TestTableInvalidateBumpsSeq(t *testing.T) {
-	k := sim.NewKernel()
-	tbl := newTable(k)
-	tbl.update(5, 7, true, 1, 1, sim.Second)
-	r := tbl.invalidate(5)
-	if r == nil || r.seq != 8 {
-		t.Fatalf("invalidate should bump seq: %+v", r)
-	}
-	if tbl.invalidate(5) != nil {
-		t.Fatal("double invalidate should be nil")
-	}
+func TestTableBreakViaBumpsSeq(t *testing.T) {
+	eachTable(t, func(t *testing.T, k *sim.Kernel, tbl routeTable) {
+		tbl.update(5, 7, true, 1, 1, sim.Second)
+		got := tbl.breakVia(1, nil)
+		if len(got) != 1 || got[0].Dst != 5 || got[0].Seq != 8 {
+			t.Fatalf("breakVia should bump seq: %+v", got)
+		}
+		if got := tbl.breakVia(1, nil); len(got) != 0 {
+			t.Fatalf("double breakVia should find nothing: %+v", got)
+		}
+	})
 }
 
-func TestRoutesVia(t *testing.T) {
-	k := sim.NewKernel()
-	tbl := newTable(k)
-	tbl.update(5, 1, true, 2, 9, sim.Second)
-	tbl.update(6, 1, true, 3, 9, sim.Second)
-	tbl.update(7, 1, true, 1, 8, sim.Second)
-	via := tbl.routesVia(9)
-	if len(via) != 2 {
-		t.Fatalf("routesVia = %d entries, want 2", len(via))
-	}
+func TestTableBreakVia(t *testing.T) {
+	eachTable(t, func(t *testing.T, k *sim.Kernel, tbl routeTable) {
+		tbl.update(5, 1, true, 2, 9, sim.Second)
+		tbl.update(6, 1, true, 3, 9, sim.Second)
+		tbl.update(7, 1, true, 1, 8, sim.Second)
+		if via := tbl.breakVia(9, nil); len(via) != 2 {
+			t.Fatalf("breakVia = %d entries, want 2", len(via))
+		}
+		if _, _, ok := tbl.validNext(7); !ok {
+			t.Fatal("route via another neighbor must survive")
+		}
+	})
 }
 
 func TestSeqWraparound(t *testing.T) {
+	eachTable(t, func(t *testing.T, k *sim.Kernel, tbl routeTable) {
+		// Near-wraparound: 2^32-1 then 1 — signed comparison must treat 1
+		// as newer.
+		tbl.update(5, ^uint32(0), true, 2, 1, sim.Second)
+		tbl.update(5, 1, true, 5, 2, sim.Second)
+		if next, _, ok := tbl.validNext(5); !ok || next != 2 {
+			t.Fatalf("wraparound comparison failed: next=%d ok=%v", next, ok)
+		}
+	})
+}
+
+// TestTableLazyPurgeMatchesEager drives both implementations through the
+// same update/refresh/purge schedule and checks the observable state stays
+// identical — the dense path's lazy ExpiryHeap must flip exactly the
+// entries the oracle's eager scan flips, at the same tick.
+func TestTableLazyPurgeMatchesEager(t *testing.T) {
 	k := sim.NewKernel()
-	tbl := newTable(k)
-	// Near-wraparound: 2^32-1 then 1 — signed comparison must treat 1 as
-	// newer.
-	tbl.update(5, ^uint32(0), true, 2, 1, sim.Second)
-	tbl.update(5, 1, true, 5, 2, sim.Second)
-	if r := tbl.validRoute(5); r.nextHop != 2 {
-		t.Fatalf("wraparound comparison failed: %+v", r)
+	dense := newDenseTable(k)
+	oracle := newMapTable(k)
+	both := [...]routeTable{dense, oracle}
+
+	rng := rand.New(rand.NewSource(42))
+	for step := 0; step < 400; step++ {
+		k.Schedule(k.Now()+sim.Time(rng.Int63n(int64(200*sim.Millisecond))), func() {})
+		k.Run()
+		dst := netsim.NodeID(rng.Intn(12))
+		switch rng.Intn(5) {
+		case 0:
+			seq, hops := uint32(rng.Intn(8)), 1+rng.Intn(4)
+			next := netsim.NodeID(rng.Intn(4))
+			life := sim.Time(1+rng.Intn(3)) * sim.Second
+			for _, tb := range both {
+				tb.update(dst, seq, true, hops, next, life)
+			}
+		case 1:
+			for _, tb := range both {
+				tb.refresh(dst, sim.Second)
+			}
+		case 2:
+			for _, tb := range both {
+				tb.purgeExpired()
+			}
+		case 3:
+			n := netsim.NodeID(rng.Intn(4))
+			got := dense.breakVia(n, nil)
+			want := oracle.breakVia(n, nil)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: breakVia count %d != %d", step, len(got), len(want))
+			}
+		case 4:
+			seq := uint32(rng.Intn(10))
+			from := netsim.NodeID(rng.Intn(4))
+			gs, gp, gm := dense.rerrApply(dst, from, seq)
+			ws, wp, wm := oracle.rerrApply(dst, from, seq)
+			if gs != ws || gp != wp || gm != wm {
+				t.Fatalf("step %d: rerrApply (%d,%v,%v) != (%d,%v,%v)", step, gs, gp, gm, ws, wp, wm)
+			}
+		}
+		for dst := netsim.NodeID(0); dst < 12; dst++ {
+			gn, gh, gok := dense.validNext(dst)
+			wn, wh, wok := oracle.validNext(dst)
+			if gn != wn || gh != wh || gok != wok {
+				t.Fatalf("step %d dst %d: dense (%d,%d,%v) != oracle (%d,%d,%v)",
+					step, dst, gn, gh, gok, wn, wh, wok)
+			}
+			gs, gk, gok2 := dense.lastSeq(dst)
+			ws, wk, wok2 := oracle.lastSeq(dst)
+			if gs != ws || gk != wk || gok2 != wok2 {
+				t.Fatalf("step %d dst %d: lastSeq (%d,%v,%v) != (%d,%v,%v)",
+					step, dst, gs, gk, gok2, ws, wk, wok2)
+			}
+		}
 	}
 }
 

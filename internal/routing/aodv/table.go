@@ -13,7 +13,52 @@ const (
 	routeInvalid
 )
 
-// route is one routing-table entry (RFC 3561 §2).
+// routeTable is the table contract both implementations satisfy: the
+// dense-index fast path (dense.go) and the retained map-based oracle
+// below, selected by Config.Oracle. The interface is strictly
+// value-based — no method hands out a pointer into table storage —
+// because the dense path keeps entries in a growable slice, where an
+// escaping pointer would dangle across inserts.
+//
+// Several methods share a read side effect the RFC's active-route check
+// has in the oracle: reading a valid-but-expired entry flips it to
+// invalid on the spot. The flip timing (on read, and at the periodic
+// purge) is part of the contract — RERR contents depend on which entries
+// are still state-valid — and the run-identity tests pin both
+// implementations to it.
+type routeTable interface {
+	// validNext reports the forwarding state of a live, unexpired route
+	// to dst.
+	validNext(dst netsim.NodeID) (next netsim.NodeID, hops int, ok bool)
+	// replyInfo reports what an intermediate RREP answer needs from a
+	// live route (RFC 3561 §6.6.2). Same flip side effect as validNext.
+	replyInfo(dst netsim.NodeID) (hops int, seq uint32, seqKnown bool, expiresAt sim.Time, ok bool)
+	// lastSeq reports the stored sequence state for dst regardless of
+	// route validity (RREQ destination-seq seeding, RERR case ii).
+	lastSeq(dst netsim.NodeID) (seq uint32, seqKnown bool, ok bool)
+	// update installs or refreshes a route per RFC 3561 §6.2.
+	update(dst netsim.NodeID, seq uint32, seqKnown bool, hops int, next netsim.NodeID, lifetime sim.Time)
+	// refresh extends the lifetime of a valid route (data traffic keeps
+	// active routes alive, RFC 3561 §6.2).
+	refresh(dst netsim.NodeID, lifetime sim.Time)
+	// addPrecursor marks dst's entry, when one exists, as having
+	// precursors (the only precursor fact the protocol ever reads).
+	addPrecursor(dst, prev netsim.NodeID)
+	// breakVia invalidates every valid route whose next hop is the
+	// broken neighbor, bumping each sequence number and appending the
+	// (dst, bumped seq) pairs to buf (RFC 3561 §6.11 case i).
+	breakVia(neighbor netsim.NodeID, buf []UnreachableDst) []UnreachableDst
+	// rerrApply processes one received RERR entry (§6.11): matched when
+	// a valid route to dst via from existed — it is flipped invalid
+	// without a seq bump, adopting the reported seq when newer — and
+	// propagate when that route had precursors. seqOut is the entry's
+	// sequence number after adoption.
+	rerrApply(dst, from netsim.NodeID, seq uint32) (seqOut uint32, propagate, matched bool)
+	// purgeExpired retires expired valid routes (periodic tick).
+	purgeExpired()
+}
+
+// route is one routing-table entry (RFC 3561 §2) of the map oracle.
 type route struct {
 	dst        netsim.NodeID
 	seq        uint32
@@ -32,23 +77,21 @@ func (r *route) addPrecursor(id netsim.NodeID) {
 	r.precursors[id] = struct{}{}
 }
 
-// table is the per-node routing table.
-type table struct {
+// mapTable is the retained map-based oracle implementation.
+type mapTable struct {
 	kernel *sim.Kernel
 	routes map[netsim.NodeID]*route
 }
 
-func newTable(k *sim.Kernel) *table {
-	return &table{kernel: k, routes: make(map[netsim.NodeID]*route)}
+var _ routeTable = (*mapTable)(nil)
+
+func newMapTable(k *sim.Kernel) *mapTable {
+	return &mapTable{kernel: k, routes: make(map[netsim.NodeID]*route)}
 }
 
-// lookup returns the entry for dst if it exists (valid or not).
-func (t *table) lookup(dst netsim.NodeID) *route {
-	return t.routes[dst]
-}
-
-// validRoute returns a live, unexpired route to dst or nil.
-func (t *table) validRoute(dst netsim.NodeID) *route {
+// validRoute returns a live, unexpired route to dst or nil, flipping an
+// expired valid entry to invalid.
+func (t *mapTable) validRoute(dst netsim.NodeID) *route {
 	r := t.routes[dst]
 	if r == nil || r.state != routeValid {
 		return nil
@@ -60,10 +103,34 @@ func (t *table) validRoute(dst netsim.NodeID) *route {
 	return r
 }
 
-// update installs or refreshes a route following the RFC 3561 §6.2 rules:
-// accept when the entry is new, the sequence number is newer, equal-seq with
-// fewer hops, or the existing entry is invalid/unknown-seq.
-func (t *table) update(dst netsim.NodeID, seq uint32, seqKnown bool, hops int, next netsim.NodeID, lifetime sim.Time) *route {
+func (t *mapTable) validNext(dst netsim.NodeID) (netsim.NodeID, int, bool) {
+	r := t.validRoute(dst)
+	if r == nil {
+		return 0, 0, false
+	}
+	return r.nextHop, r.hops, true
+}
+
+func (t *mapTable) replyInfo(dst netsim.NodeID) (int, uint32, bool, sim.Time, bool) {
+	r := t.validRoute(dst)
+	if r == nil {
+		return 0, 0, false, 0, false
+	}
+	return r.hops, r.seq, r.seqKnown, r.expiresAt, true
+}
+
+func (t *mapTable) lastSeq(dst netsim.NodeID) (uint32, bool, bool) {
+	r := t.routes[dst]
+	if r == nil {
+		return 0, false, false
+	}
+	return r.seq, r.seqKnown, true
+}
+
+// update follows the RFC 3561 §6.2 rules: accept when the entry is new,
+// the sequence number is newer, equal-seq with fewer hops, or the
+// existing entry is invalid/unknown-seq.
+func (t *mapTable) update(dst netsim.NodeID, seq uint32, seqKnown bool, hops int, next netsim.NodeID, lifetime sim.Time) {
 	now := t.kernel.Now()
 	r := t.routes[dst]
 	if r == nil {
@@ -77,7 +144,7 @@ func (t *table) update(dst netsim.NodeID, seq uint32, seqKnown bool, hops int, n
 			if now+lifetime > r.expiresAt {
 				r.expiresAt = now + lifetime
 			}
-			return r
+			return
 		}
 	}
 	r.seq = seq
@@ -88,12 +155,9 @@ func (t *table) update(dst netsim.NodeID, seq uint32, seqKnown bool, hops int, n
 	if now+lifetime > r.expiresAt {
 		r.expiresAt = now + lifetime
 	}
-	return r
 }
 
-// refresh extends the lifetime of a valid route (data traffic keeps active
-// routes alive, RFC 3561 §6.2).
-func (t *table) refresh(dst netsim.NodeID, lifetime sim.Time) {
+func (t *mapTable) refresh(dst netsim.NodeID, lifetime sim.Time) {
 	if r := t.validRoute(dst); r != nil {
 		exp := t.kernel.Now() + lifetime
 		if exp > r.expiresAt {
@@ -102,32 +166,43 @@ func (t *table) refresh(dst netsim.NodeID, lifetime sim.Time) {
 	}
 }
 
-// invalidate marks the route to dst broken, bumping its sequence number so
-// stale information cannot resurrect it (RFC 3561 §6.11). It returns the
-// entry or nil.
-func (t *table) invalidate(dst netsim.NodeID) *route {
-	r := t.routes[dst]
-	if r == nil || r.state != routeValid {
-		return nil
+func (t *mapTable) addPrecursor(dst, prev netsim.NodeID) {
+	if r := t.routes[dst]; r != nil {
+		r.addPrecursor(prev)
 	}
-	r.state = routeInvalid
-	r.seq++
-	return r
 }
 
-// routesVia returns the valid routes whose next hop is the given neighbor.
-func (t *table) routesVia(next netsim.NodeID) []*route {
-	var out []*route
+// breakVia invalidates the valid routes through the broken neighbor,
+// bumping each sequence number so stale information cannot resurrect
+// them (RFC 3561 §6.11). Map iteration order varies, but RERR entries
+// are processed independently by every receiver and the wire size
+// depends only on the count, so the order never reaches the results —
+// the same argument that lets the dense path use insertion order.
+func (t *mapTable) breakVia(next netsim.NodeID, buf []UnreachableDst) []UnreachableDst {
 	for _, r := range t.routes {
 		if r.state == routeValid && r.nextHop == next {
-			out = append(out, r)
+			r.state = routeInvalid
+			r.seq++
+			buf = append(buf, UnreachableDst{Dst: r.dst, Seq: r.seq})
 		}
 	}
-	return out
+	return buf
+}
+
+func (t *mapTable) rerrApply(dst, from netsim.NodeID, seq uint32) (uint32, bool, bool) {
+	r := t.routes[dst]
+	if r == nil || r.state != routeValid || r.nextHop != from {
+		return 0, false, false
+	}
+	r.state = routeInvalid
+	if int32(seq-r.seq) > 0 {
+		r.seq = seq
+	}
+	return r.seq, len(r.precursors) > 0, true
 }
 
 // purgeExpired flips expired valid routes to invalid.
-func (t *table) purgeExpired() {
+func (t *mapTable) purgeExpired() {
 	now := t.kernel.Now()
 	for _, r := range t.routes {
 		if r.state == routeValid && now >= r.expiresAt {

@@ -1,0 +1,207 @@
+package dymo
+
+import (
+	"cavenet/internal/netsim"
+	"cavenet/internal/sim"
+)
+
+// denseTable is the production routing table: entries live in a flat
+// slice addressed through interned indices, so the per-packet path
+// (validNext + refresh on every forwarded frame) does no map work and no
+// allocation once the destination set has been seen.
+//
+// Expiry is epoch-stamped rather than heap-driven: the periodic purge
+// only records its tick time (lastPurge), and the flip an eager scan
+// would have performed is applied lazily the next time the entry is
+// touched — an entry whose expiresAt is at or before lastPurge behaves as
+// if the purge had flipped it. That deferral is unobservable because a
+// purge flip has no side effect beyond the state bit (no sequence bump),
+// and every consumer of the state bit (validNext, refresh, update's
+// keep-branch guard, breakVia, rerrApply) runs the emulation first. AODV's
+// dense table uses an ExpiryHeap instead; that approach needs lifetimes
+// to be non-shrinking, which DYMO's reset-on-accept update rule violates
+// (a route can be invalidated and relearned with a shorter lifetime).
+//
+// Interning is hybrid, as in AODV: real node ids map through a direct
+// slice; ids outside [0, denseDirectLimit) — synthetic external uplink
+// addresses, whose bases validate up to 1<<30 — fall back to a map the
+// steady-state path never touches.
+type denseTable struct {
+	kernel    *sim.Kernel
+	timeout   sim.Time
+	direct    []int32                 // NodeID -> entry index + 1; 0 = absent
+	ext       map[netsim.NodeID]int32 // entry index for ids outside the direct range
+	entries   []denseEntry
+	lastPurge sim.Time
+}
+
+// denseDirectLimit bounds the direct-slice id range; beyond it (synthetic
+// external destinations validate up to 1<<30) the map fallback applies.
+const denseDirectLimit = 1 << 16
+
+type denseEntry struct {
+	dst       netsim.NodeID
+	seq       uint32
+	seqKnown  bool
+	valid     bool
+	hops      int
+	nextHop   netsim.NodeID
+	expiresAt sim.Time
+}
+
+var _ routeTable = (*denseTable)(nil)
+
+func newDenseTable(k *sim.Kernel, timeout sim.Time) *denseTable {
+	return &denseTable{kernel: k, timeout: timeout, lastPurge: -1}
+}
+
+// index returns the entry index for id, or -1 when no entry exists.
+func (t *denseTable) index(id netsim.NodeID) int32 {
+	if i := int(id); i >= 0 && i < len(t.direct) {
+		return t.direct[i] - 1
+	}
+	if int(id) >= 0 && int(id) < denseDirectLimit {
+		return -1
+	}
+	if x, ok := t.ext[id]; ok {
+		return x
+	}
+	return -1
+}
+
+// intern returns the entry index for id, creating an empty slot on first
+// sight.
+func (t *denseTable) intern(id netsim.NodeID) int32 {
+	if x := t.index(id); x >= 0 {
+		return x
+	}
+	x := int32(len(t.entries))
+	t.entries = append(t.entries, denseEntry{dst: id})
+	if i := int(id); i >= 0 && i < denseDirectLimit {
+		for len(t.direct) <= i {
+			t.direct = append(t.direct, 0)
+		}
+		t.direct[i] = x + 1
+	} else {
+		if t.ext == nil {
+			t.ext = make(map[netsim.NodeID]int32)
+		}
+		t.ext[id] = x
+	}
+	return x
+}
+
+// stateValid reports whether e is state-valid in the oracle's sense,
+// applying the deferred purge flip: if a purge tick has passed the entry's
+// deadline since it became valid, the eager scan would have flipped it.
+func (t *denseTable) stateValid(e *denseEntry) bool {
+	if !e.valid {
+		return false
+	}
+	if e.expiresAt <= t.lastPurge {
+		e.valid = false
+		return false
+	}
+	return true
+}
+
+// liveEntry returns dst's entry if it is state-valid and unexpired,
+// flipping a valid-but-expired entry to invalid (the oracle's read side
+// effect). The pointer is only valid until the next intern.
+func (t *denseTable) liveEntry(dst netsim.NodeID) *denseEntry {
+	x := t.index(dst)
+	if x < 0 {
+		return nil
+	}
+	e := &t.entries[x]
+	if !t.stateValid(e) {
+		return nil
+	}
+	if t.kernel.Now() >= e.expiresAt {
+		e.valid = false
+		return nil
+	}
+	return e
+}
+
+func (t *denseTable) validNext(dst netsim.NodeID) (netsim.NodeID, int, bool) {
+	e := t.liveEntry(dst)
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.nextHop, e.hops, true
+}
+
+func (t *denseTable) lastSeq(dst netsim.NodeID) (uint32, bool, bool) {
+	x := t.index(dst)
+	if x < 0 {
+		return 0, false, false
+	}
+	e := &t.entries[x]
+	return e.seq, e.seqKnown, true
+}
+
+func (t *denseTable) update(dst netsim.NodeID, seq uint32, seqKnown bool, hops int, next netsim.NodeID) {
+	now := t.kernel.Now()
+	x := t.intern(dst)
+	e := &t.entries[x]
+	if t.stateValid(e) && e.seqKnown && seqKnown {
+		newer := int32(seq-e.seq) > 0
+		sameShorter := seq == e.seq && hops < e.hops
+		if !newer && !sameShorter {
+			if now+t.timeout > e.expiresAt {
+				e.expiresAt = now + t.timeout
+			}
+			return
+		}
+	}
+	e.seq = seq
+	e.seqKnown = seqKnown
+	e.hops = hops
+	e.nextHop = next
+	e.valid = true
+	e.expiresAt = now + t.timeout
+}
+
+func (t *denseTable) refresh(dst netsim.NodeID) {
+	if e := t.liveEntry(dst); e != nil {
+		exp := t.kernel.Now() + t.timeout
+		if exp > e.expiresAt {
+			e.expiresAt = exp
+		}
+	}
+}
+
+func (t *denseTable) breakVia(neighbor netsim.NodeID, buf []AddrBlock) []AddrBlock {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if t.stateValid(e) && e.nextHop == neighbor {
+			e.valid = false
+			e.seq++
+			buf = append(buf, AddrBlock{Addr: e.dst, Seq: e.seq})
+		}
+	}
+	return buf
+}
+
+func (t *denseTable) rerrApply(dst, from netsim.NodeID, seq uint32) (uint32, bool) {
+	x := t.index(dst)
+	if x < 0 {
+		return 0, false
+	}
+	e := &t.entries[x]
+	if !t.stateValid(e) || e.nextHop != from {
+		return 0, false
+	}
+	e.valid = false
+	if int32(seq-e.seq) > 0 {
+		e.seq = seq
+	}
+	return e.seq, true
+}
+
+// purgeExpired records the tick; the flips it implies are applied lazily
+// by stateValid on the next touch of each affected entry.
+func (t *denseTable) purgeExpired() {
+	t.lastPurge = t.kernel.Now()
+}

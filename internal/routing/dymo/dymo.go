@@ -75,6 +75,11 @@ type Config struct {
 	// PathAccumulation can be disabled for the ablation bench, reducing
 	// DYMO to an AODV-like protocol.
 	PathAccumulation *bool
+	// Oracle routes the routing table through the retained map-based
+	// implementation instead of the dense-index fast path. Whole runs are
+	// bit-identical between the two (differential run-identity tests);
+	// the switch lets any run be replayed against the oracle.
+	Oracle bool
 }
 
 func (c *Config) normalize() {
@@ -116,6 +121,10 @@ type route struct {
 	valid     bool
 }
 
+// discovery tracks one in-progress route discovery. Records (and their
+// timers and buffers) are pooled per router: a discovery is only released
+// after its timer has been stopped or has fired its final time, so a
+// recycled record can never receive a stale callback.
 type discovery struct {
 	dst     netsim.NodeID
 	retries int
@@ -139,10 +148,15 @@ type Router struct {
 	node *netsim.Node
 
 	seq         uint32
-	routes      map[netsim.NodeID]*route
+	table       routeTable
 	discoveries map[netsim.NodeID]*discovery
+	discFree    []*discovery
 	seen        sim.ExpiringSet[seenKey]
 	neighbors   map[netsim.NodeID]*sim.Timer
+
+	// rerrBuf is the reusable RERR collection scratch; floodRERR copies
+	// it into an exact-size wire slice, so it never escapes.
+	rerrBuf []AddrBlock
 
 	helloTicker *sim.Ticker
 	purgeTicker *sim.Ticker
@@ -159,9 +173,13 @@ func New(node *netsim.Node, cfg Config) *Router {
 	r := &Router{
 		cfg:         cfg,
 		node:        node,
-		routes:      make(map[netsim.NodeID]*route),
 		discoveries: make(map[netsim.NodeID]*discovery),
 		neighbors:   make(map[netsim.NodeID]*sim.Timer),
+	}
+	if cfg.Oracle {
+		r.table = newMapTable(node.Kernel(), cfg.RouteTimeout)
+	} else {
+		r.table = newDenseTable(node.Kernel(), cfg.RouteTimeout)
 	}
 	jitter := func() sim.Time {
 		span := int64(cfg.HelloInterval / 5)
@@ -209,64 +227,45 @@ func (r *Router) EachBuffered(f func(p *netsim.Packet)) {
 
 // Table reports the valid route to dst, if any (for tests).
 func (r *Router) Table(dst netsim.NodeID) (next netsim.NodeID, hops int, ok bool) {
-	rt := r.validRoute(dst)
-	if rt == nil {
-		return 0, 0, false
-	}
-	return rt.nextHop, rt.hops, true
+	return r.table.validNext(dst)
 }
 
 func (r *Router) now() sim.Time { return r.node.Kernel().Now() }
 
-func (r *Router) validRoute(dst netsim.NodeID) *route {
-	rt := r.routes[dst]
-	if rt == nil || !rt.valid {
-		return nil
-	}
-	if r.now() >= rt.expiresAt {
-		rt.valid = false
-		return nil
-	}
-	return rt
-}
-
 // updateRoute applies the draft's route-update rules (same sequence-number
-// discipline as AODV).
-func (r *Router) updateRoute(dst netsim.NodeID, seq uint32, seqKnown bool, hops int, next netsim.NodeID) *route {
+// discipline as AODV), guarding against self-routes.
+func (r *Router) updateRoute(dst netsim.NodeID, seq uint32, seqKnown bool, hops int, next netsim.NodeID) {
 	if dst == r.node.ID() {
-		return nil
+		return
 	}
-	now := r.now()
-	rt := r.routes[dst]
-	if rt == nil {
-		rt = &route{dst: dst}
-		r.routes[dst] = rt
-	} else if rt.valid && rt.seqKnown && seqKnown {
-		newer := int32(seq-rt.seq) > 0
-		sameShorter := seq == rt.seq && hops < rt.hops
-		if !newer && !sameShorter {
-			if now+r.cfg.RouteTimeout > rt.expiresAt {
-				rt.expiresAt = now + r.cfg.RouteTimeout
-			}
-			return rt
-		}
-	}
-	rt.seq = seq
-	rt.seqKnown = seqKnown
-	rt.hops = hops
-	rt.nextHop = next
-	rt.valid = true
-	rt.expiresAt = now + r.cfg.RouteTimeout
-	return rt
+	r.table.update(dst, seq, seqKnown, hops, next)
 }
 
-func (r *Router) refresh(dst netsim.NodeID) {
-	if rt := r.validRoute(dst); rt != nil {
-		exp := r.now() + r.cfg.RouteTimeout
-		if exp > rt.expiresAt {
-			rt.expiresAt = exp
-		}
+// newDiscovery takes a discovery record from the pool (or builds one with
+// its timer) and registers it for dst.
+func (r *Router) newDiscovery(dst netsim.NodeID) *discovery {
+	var d *discovery
+	if n := len(r.discFree); n > 0 {
+		d = r.discFree[n-1]
+		r.discFree[n-1] = nil
+		r.discFree = r.discFree[:n-1]
+		d.dst, d.retries = dst, 0
+	} else {
+		d = &discovery{dst: dst}
+		d.timer = sim.NewTimer(r.node.Kernel(), func() { r.discoveryTimeout(d) })
 	}
+	r.discoveries[dst] = d
+	return d
+}
+
+// releaseDiscovery returns a record whose timer is no longer scheduled to
+// the pool, dropping its buffered-packet references.
+func (r *Router) releaseDiscovery(d *discovery) {
+	for i := range d.buffer {
+		d.buffer[i] = nil
+	}
+	d.buffer = d.buffer[:0]
+	r.discFree = append(r.discFree, d)
 }
 
 func (r *Router) sendControl(next netsim.NodeID, ttl, size int, msg any) {
@@ -290,10 +289,10 @@ func (r *Router) sendControl(next netsim.NodeID, ttl, size int, msg any) {
 
 // Origin implements netsim.Router.
 func (r *Router) Origin(p *netsim.Packet) {
-	if rt := r.validRoute(p.Dst); rt != nil {
-		r.refresh(p.Dst)
-		r.refresh(rt.nextHop)
-		r.node.SendFrame(rt.nextHop, p)
+	if next, _, ok := r.table.validNext(p.Dst); ok {
+		r.table.refresh(p.Dst)
+		r.table.refresh(next)
+		r.node.SendFrame(next, p)
 		return
 	}
 	d := r.discoveries[p.Dst]
@@ -305,9 +304,8 @@ func (r *Router) Origin(p *netsim.Packet) {
 		d.buffer = append(d.buffer, p)
 		return
 	}
-	d = &discovery{dst: p.Dst, buffer: []*netsim.Packet{p}}
-	d.timer = sim.NewTimer(r.node.Kernel(), func() { r.discoveryTimeout(d) })
-	r.discoveries[p.Dst] = d
+	d = r.newDiscovery(p.Dst)
+	d.buffer = append(d.buffer, p)
 	r.sendRREQ(d)
 }
 
@@ -317,8 +315,8 @@ func (r *Router) sendRREQ(d *discovery) {
 		Target: d.dst,
 		Orig:   AddrBlock{Addr: r.node.ID(), Seq: r.seq},
 	}
-	if rt := r.routes[d.dst]; rt != nil && rt.seqKnown {
-		msg.TargetSeq = rt.seq
+	if seq, seqKnown, ok := r.table.lastSeq(d.dst); ok && seqKnown {
+		msg.TargetSeq = seq
 		msg.TargetSeqKnown = true
 	}
 	r.markSeen(seenKey{orig: r.node.ID(), seq: r.seq})
@@ -329,7 +327,7 @@ func (r *Router) sendRREQ(d *discovery) {
 }
 
 func (r *Router) discoveryTimeout(d *discovery) {
-	if r.validRoute(d.dst) != nil {
+	if _, _, ok := r.table.validNext(d.dst); ok {
 		r.flush(d)
 		return
 	}
@@ -339,6 +337,7 @@ func (r *Router) discoveryTimeout(d *discovery) {
 			r.node.DropData(p, "dymo:no-route")
 		}
 		delete(r.discoveries, d.dst)
+		r.releaseDiscovery(d)
 		return
 	}
 	r.sendRREQ(d)
@@ -347,9 +346,15 @@ func (r *Router) discoveryTimeout(d *discovery) {
 func (r *Router) flush(d *discovery) {
 	delete(r.discoveries, d.dst)
 	d.timer.Stop()
-	for _, p := range d.buffer {
+	for i, p := range d.buffer {
+		d.buffer[i] = nil
+		// Origin may open a fresh discovery for the same destination if
+		// the route evaporated mid-flush; d is already unregistered, so
+		// the two records never alias.
 		r.Origin(p)
 	}
+	d.buffer = d.buffer[:0]
+	r.releaseDiscovery(d)
 }
 
 // Receive implements netsim.Router.
@@ -376,22 +381,22 @@ func (r *Router) forwardData(p *netsim.Packet, from netsim.NodeID) {
 		r.node.DropData(p, "dymo:ttl")
 		return
 	}
-	rt := r.validRoute(p.Dst)
-	if rt == nil {
+	next, _, ok := r.table.validNext(p.Dst)
+	if !ok {
+		// DropData may recycle p, so read the destination first.
+		dst := p.Dst
 		r.node.DropData(p, "dymo:no-forward-route")
-		seq := uint32(0)
-		if old := r.routes[p.Dst]; old != nil {
-			seq = old.seq
-		}
-		r.floodRERR([]AddrBlock{{Addr: p.Dst, Seq: seq}})
+		seq, _, _ := r.table.lastSeq(dst)
+		r.rerrBuf = append(r.rerrBuf[:0], AddrBlock{Addr: dst, Seq: seq})
+		r.floodRERR(r.rerrBuf)
 		return
 	}
-	r.refresh(p.Dst)
-	r.refresh(p.Src)
-	r.refresh(rt.nextHop)
-	r.refresh(from)
+	r.table.refresh(p.Dst)
+	r.table.refresh(p.Src)
+	r.table.refresh(next)
+	r.table.refresh(from)
 	r.node.NoteForward(p)
-	r.node.SendFrame(rt.nextHop, p)
+	r.node.SendFrame(next, p)
 }
 
 // installFromRM learns routes from every address block carried by a routing
@@ -438,11 +443,11 @@ func (r *Router) handleRM(p *netsim.Packet, msg *RM, from netsim.NodeID) {
 				Target:  msg.Orig.Addr,
 				Orig:    AddrBlock{Addr: me, Seq: r.seq},
 			}
-			rt := r.validRoute(msg.Orig.Addr)
-			if rt == nil {
+			next, _, ok := r.table.validNext(msg.Orig.Addr)
+			if !ok {
 				return
 			}
-			r.sendControl(rt.nextHop, r.cfg.HopLimit, rmBytes(rep), rep)
+			r.sendControl(next, r.cfg.HopLimit, rmBytes(rep), rep)
 			return
 		}
 		// Intermediate: append ourselves and re-flood.
@@ -456,7 +461,7 @@ func (r *Router) handleRM(p *netsim.Packet, msg *RM, from netsim.NodeID) {
 			Orig:           msg.Orig,
 			HopCount:       msg.HopCount + 1,
 		}
-		fwd.Path = append(append([]AddrBlock{}, msg.Path...), r.pathEntry())
+		fwd.Path = appendPath(msg.Path, r.pathEntry())
 		r.sendControl(netsim.BroadcastID, p.TTL-1, rmBytes(fwd), fwd)
 		return
 	}
@@ -468,8 +473,8 @@ func (r *Router) handleRM(p *netsim.Packet, msg *RM, from netsim.NodeID) {
 		}
 		return
 	}
-	rt := r.validRoute(msg.Target)
-	if rt == nil {
+	next, _, ok := r.table.validNext(msg.Target)
+	if !ok {
 		return
 	}
 	fwd := &RM{
@@ -478,8 +483,8 @@ func (r *Router) handleRM(p *netsim.Packet, msg *RM, from netsim.NodeID) {
 		Orig:     msg.Orig,
 		HopCount: msg.HopCount + 1,
 	}
-	fwd.Path = append(append([]AddrBlock{}, msg.Path...), r.pathEntry())
-	r.sendControl(rt.nextHop, p.TTL-1, rmBytes(fwd), fwd)
+	fwd.Path = appendPath(msg.Path, r.pathEntry())
+	r.sendControl(next, p.TTL-1, rmBytes(fwd), fwd)
 }
 
 func (r *Router) pathEntry() AddrBlock {
@@ -487,6 +492,15 @@ func (r *Router) pathEntry() AddrBlock {
 		r.seq++
 	}
 	return AddrBlock{Addr: r.node.ID(), Seq: r.seq}
+}
+
+// appendPath builds the forwarded accumulation path in one exact-size
+// allocation (the old double-append grew a zero-cap slice twice).
+func appendPath(path []AddrBlock, self AddrBlock) []AddrBlock {
+	out := make([]AddrBlock, len(path)+1)
+	copy(out, path)
+	out[len(path)] = self
+	return out
 }
 
 func (r *Router) sendHello() {
@@ -518,43 +532,37 @@ func (r *Router) LinkFailure(next netsim.NodeID, p *netsim.Packet) {
 }
 
 func (r *Router) linkBroken(neighbor netsim.NodeID) {
-	var lost []AddrBlock
-	for _, rt := range r.routes {
-		if rt.valid && rt.nextHop == neighbor {
-			rt.valid = false
-			rt.seq++
-			lost = append(lost, AddrBlock{Addr: rt.dst, Seq: rt.seq})
-		}
-	}
-	r.floodRERR(lost)
+	r.rerrBuf = r.table.breakVia(neighbor, r.rerrBuf[:0])
+	r.floodRERR(r.rerrBuf)
 }
 
 // floodRERR multicasts a RERR "to all nodes in range"; receivers that lose
 // routes re-flood, spreading the breakage information (paper §III-B.3).
+// floodRERR multicasts a RERR carrying the given unreachable set. The
+// slice is copied at exact size onto the wire message — receivers retain
+// RERR payloads past this call, so the reusable scratch must not escape.
 func (r *Router) floodRERR(lost []AddrBlock) {
 	if len(lost) == 0 {
 		return
 	}
-	msg := &RERR{Unreachable: lost, HopLimit: r.cfg.HopLimit}
-	r.sendControl(netsim.BroadcastID, r.cfg.HopLimit, rerrBytes(len(lost)), msg)
+	wire := make([]AddrBlock, len(lost))
+	copy(wire, lost)
+	msg := &RERR{Unreachable: wire, HopLimit: r.cfg.HopLimit}
+	r.sendControl(netsim.BroadcastID, r.cfg.HopLimit, rerrBytes(len(wire)), msg)
 }
 
 func (r *Router) handleRERR(msg *RERR, from netsim.NodeID) {
-	var invalidated []AddrBlock
+	r.rerrBuf = r.rerrBuf[:0]
 	for _, u := range msg.Unreachable {
-		rt := r.routes[u.Addr]
-		if rt == nil || !rt.valid || rt.nextHop != from {
-			continue
+		if seq, matched := r.table.rerrApply(u.Addr, from, u.Seq); matched {
+			r.rerrBuf = append(r.rerrBuf, AddrBlock{Addr: u.Addr, Seq: seq})
 		}
-		rt.valid = false
-		if int32(u.Seq-rt.seq) > 0 {
-			rt.seq = u.Seq
-		}
-		invalidated = append(invalidated, AddrBlock{Addr: u.Addr, Seq: rt.seq})
 	}
-	if len(invalidated) > 0 && msg.HopLimit > 1 {
-		fwd := &RERR{Unreachable: invalidated, HopLimit: msg.HopLimit - 1}
-		r.sendControl(netsim.BroadcastID, fwd.HopLimit, rerrBytes(len(invalidated)), fwd)
+	if len(r.rerrBuf) > 0 && msg.HopLimit > 1 {
+		wire := make([]AddrBlock, len(r.rerrBuf))
+		copy(wire, r.rerrBuf)
+		fwd := &RERR{Unreachable: wire, HopLimit: msg.HopLimit - 1}
+		r.sendControl(netsim.BroadcastID, fwd.HopLimit, rerrBytes(len(wire)), fwd)
 	}
 }
 
@@ -569,11 +577,6 @@ func (r *Router) markSeen(key seenKey) {
 func (r *Router) SeenEntries() int { return r.seen.Len() }
 
 func (r *Router) purge() {
-	now := r.now()
-	for _, rt := range r.routes {
-		if rt.valid && now >= rt.expiresAt {
-			rt.valid = false
-		}
-	}
-	r.seen.Expire(now)
+	r.table.purgeExpired()
+	r.seen.Expire(r.now())
 }

@@ -1,0 +1,159 @@
+package dymo
+
+import (
+	"cavenet/internal/netsim"
+	"cavenet/internal/sim"
+)
+
+// routeTable is the routing-table contract both implementations satisfy:
+// the dense-index fast path (dense.go) and the retained map-based oracle
+// below, selected by Config.Oracle. As with the AODV split, the interface
+// is strictly value-based — no method hands out a pointer into table
+// storage, because the dense path keeps entries in a growable slice where
+// an escaping pointer would dangle across inserts.
+//
+// Reading a valid-but-expired entry through validNext or refresh flips it
+// to invalid on the spot, mirroring the oracle's read side effect; the
+// periodic purge retires the rest. The flip timing is part of the contract
+// (breakVia bumps sequence numbers only on still-valid entries) and the
+// run-identity tests pin both implementations to it.
+type routeTable interface {
+	// validNext reports the forwarding state of a live, unexpired route.
+	validNext(dst netsim.NodeID) (next netsim.NodeID, hops int, ok bool)
+	// lastSeq reports the stored sequence state for dst regardless of
+	// route validity (RREQ target-seq seeding, RERR case ii).
+	lastSeq(dst netsim.NodeID) (seq uint32, seqKnown bool, ok bool)
+	// update installs or refreshes a route per the draft's rules; the
+	// accepted entry's lifetime is reset to RouteTimeout from now.
+	update(dst netsim.NodeID, seq uint32, seqKnown bool, hops int, next netsim.NodeID)
+	// refresh extends a valid route's lifetime to RouteTimeout from now.
+	refresh(dst netsim.NodeID)
+	// breakVia invalidates every valid route whose next hop is the broken
+	// neighbor, bumping each sequence number and appending the (dst,
+	// bumped seq) pairs to buf.
+	breakVia(neighbor netsim.NodeID, buf []AddrBlock) []AddrBlock
+	// rerrApply processes one received RERR entry: matched when a valid
+	// route to dst via from existed — it is flipped invalid without a seq
+	// bump, adopting the reported seq when newer. seqOut is the entry's
+	// sequence number after adoption.
+	rerrApply(dst, from netsim.NodeID, seq uint32) (seqOut uint32, matched bool)
+	// purgeExpired retires expired valid routes (periodic tick).
+	purgeExpired()
+}
+
+// mapTable is the retained map-based oracle implementation.
+type mapTable struct {
+	kernel  *sim.Kernel
+	timeout sim.Time
+	routes  map[netsim.NodeID]*route
+}
+
+var _ routeTable = (*mapTable)(nil)
+
+func newMapTable(k *sim.Kernel, timeout sim.Time) *mapTable {
+	return &mapTable{kernel: k, timeout: timeout, routes: make(map[netsim.NodeID]*route)}
+}
+
+// validRoute returns a live, unexpired route to dst or nil, flipping an
+// expired valid entry to invalid.
+func (t *mapTable) validRoute(dst netsim.NodeID) *route {
+	rt := t.routes[dst]
+	if rt == nil || !rt.valid {
+		return nil
+	}
+	if t.kernel.Now() >= rt.expiresAt {
+		rt.valid = false
+		return nil
+	}
+	return rt
+}
+
+func (t *mapTable) validNext(dst netsim.NodeID) (netsim.NodeID, int, bool) {
+	rt := t.validRoute(dst)
+	if rt == nil {
+		return 0, 0, false
+	}
+	return rt.nextHop, rt.hops, true
+}
+
+func (t *mapTable) lastSeq(dst netsim.NodeID) (uint32, bool, bool) {
+	rt := t.routes[dst]
+	if rt == nil {
+		return 0, false, false
+	}
+	return rt.seq, rt.seqKnown, true
+}
+
+// update applies the draft's route-update rules (same sequence-number
+// discipline as AODV, but an accepted update resets the lifetime instead
+// of stretching it).
+func (t *mapTable) update(dst netsim.NodeID, seq uint32, seqKnown bool, hops int, next netsim.NodeID) {
+	now := t.kernel.Now()
+	rt := t.routes[dst]
+	if rt == nil {
+		rt = &route{dst: dst}
+		t.routes[dst] = rt
+	} else if rt.valid && rt.seqKnown && seqKnown {
+		newer := int32(seq-rt.seq) > 0
+		sameShorter := seq == rt.seq && hops < rt.hops
+		if !newer && !sameShorter {
+			if now+t.timeout > rt.expiresAt {
+				rt.expiresAt = now + t.timeout
+			}
+			return
+		}
+	}
+	rt.seq = seq
+	rt.seqKnown = seqKnown
+	rt.hops = hops
+	rt.nextHop = next
+	rt.valid = true
+	rt.expiresAt = now + t.timeout
+}
+
+func (t *mapTable) refresh(dst netsim.NodeID) {
+	if rt := t.validRoute(dst); rt != nil {
+		exp := t.kernel.Now() + t.timeout
+		if exp > rt.expiresAt {
+			rt.expiresAt = exp
+		}
+	}
+}
+
+// breakVia invalidates the valid routes through the broken neighbor. Map
+// iteration order varies, but RERR entries are processed independently by
+// every receiver and the wire size depends only on the count, so the order
+// never reaches the results — the same argument that lets the dense path
+// use insertion order.
+func (t *mapTable) breakVia(neighbor netsim.NodeID, buf []AddrBlock) []AddrBlock {
+	for _, rt := range t.routes {
+		if rt.valid && rt.nextHop == neighbor {
+			rt.valid = false
+			rt.seq++
+			buf = append(buf, AddrBlock{Addr: rt.dst, Seq: rt.seq})
+		}
+	}
+	return buf
+}
+
+func (t *mapTable) rerrApply(dst, from netsim.NodeID, seq uint32) (uint32, bool) {
+	rt := t.routes[dst]
+	if rt == nil || !rt.valid || rt.nextHop != from {
+		return 0, false
+	}
+	rt.valid = false
+	if int32(seq-rt.seq) > 0 {
+		rt.seq = seq
+	}
+	return rt.seq, true
+}
+
+// purgeExpired flips expired valid routes to invalid.
+func (t *mapTable) purgeExpired() {
+	now := t.kernel.Now()
+	for _, rt := range t.routes {
+		if rt.valid && now >= rt.expiresAt {
+			rt.valid = false
+		}
+	}
+}

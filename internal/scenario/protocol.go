@@ -70,13 +70,15 @@ func (s *Spec) routerFactory() netsim.RouterFactory {
 		}
 	case DYMO:
 		pa := !s.DYMONoPathAccumulation
+		oracle := s.DataPlaneOracle
 		return func(n *netsim.Node) netsim.Router {
-			return dymo.New(n, dymo.Config{PathAccumulation: &pa})
+			return dymo.New(n, dymo.Config{PathAccumulation: &pa, Oracle: oracle})
 		}
 	default:
 		er := !s.AODVNoExpandingRing
+		oracle := s.DataPlaneOracle
 		return func(n *netsim.Node) netsim.Router {
-			return aodv.New(n, aodv.Config{ExpandingRing: &er})
+			return aodv.New(n, aodv.Config{ExpandingRing: &er, Oracle: oracle})
 		}
 	}
 }

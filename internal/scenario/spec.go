@@ -178,6 +178,10 @@ type Spec struct {
 	// retained brute-force neighbor scan (the differential oracle)
 	// instead of the spatial-grid fast path; results are bit-identical.
 	GPSROracle bool
+	// DataPlaneOracle routes the AODV and DYMO routing tables through
+	// their retained map-based implementations (the differential oracles)
+	// instead of the dense-index fast paths; results are bit-identical.
+	DataPlaneOracle bool
 	// KernelOracle runs the simulation on the kernel's retained
 	// binary-heap event queue instead of the calendar queue; pop order
 	// (and therefore every result) is bit-identical, only slower.

@@ -60,6 +60,10 @@ type calendar struct {
 	ovLive   int
 	ovDead   int
 
+	// shrinkStreak counts consecutive pops that left the queue below the
+	// shrink threshold; see pop for the hysteresis it implements.
+	shrinkStreak int
+
 	scratch []*event // rebuild staging, reused across rebuilds
 }
 
@@ -266,8 +270,22 @@ func (c *calendar) pop(k *Kernel) *event {
 	b.dropHead()
 	c.bLive--
 	ev.index = noIdx
+	// Shrink hysteresis: rebuilding down the moment the live count dips
+	// under a quarter of the bucket count made a fleet that drains and
+	// re-arms within one tick (the MetroArrivals shape: ~10k events popped
+	// and rescheduled at every mobility beat) thrash a shrink rebuild at
+	// the bottom of every drain and a grow rebuild right after. Only
+	// shrink once the queue has stayed small for a full bucket-count's
+	// worth of pops — a transient drain never gets that far, while a
+	// genuinely settled queue still compacts. Rebuilds do not affect pop
+	// order, so the hysteresis is invisible to the heap oracle.
 	if total := c.bLive + c.ovLive; total*4 < len(c.buckets) && len(c.buckets) > calMinBuckets {
-		c.rebuild(k)
+		c.shrinkStreak++
+		if c.shrinkStreak > len(c.buckets) {
+			c.rebuild(k)
+		}
+	} else {
+		c.shrinkStreak = 0
 	}
 	return ev
 }
@@ -354,6 +372,7 @@ func (c *calendar) rebuild(k *Kernel) {
 	}
 	c.overflow = c.overflow[:0]
 	c.bLive, c.bDead, c.ovLive, c.ovDead = 0, 0, 0, 0
+	c.shrinkStreak = 0
 
 	n := len(s)
 	size := calMinBuckets

@@ -10,6 +10,7 @@ import (
 	"cavenet/internal/geometry"
 	"cavenet/internal/mobility"
 	"cavenet/internal/netsim"
+	"cavenet/internal/routing/aodv"
 	"cavenet/internal/routing/dymo"
 	"cavenet/internal/routing/olsr"
 	"cavenet/internal/scenario/check"
@@ -217,6 +218,70 @@ func TestDYMOSeenTableSteadyOverLongRun(t *testing.T) {
 	if !anyTraffic {
 		t.Fatal("scenario generated no route discoveries; test is vacuous")
 	}
+}
+
+// dataPlaneSteadyAtScale is the N=1000 steady-state pin behind
+// TestAODVDataPlaneSteadyAtScale and TestDYMODataPlaneSteadyAtScale: on a
+// static 25×40 grid with four long-lived CBR flows, the second minute of
+// the run must allocate no more than the first (discovery floods, table
+// growth and pool fills all happen up front; steady forwarding reuses
+// dense table slots and pooled packets) and must not grow the retained
+// heap beyond a small settle margin.
+func dataPlaneSteadyAtScale(t *testing.T, factory netsim.RouterFactory) {
+	const (
+		n      = 1000
+		window = 60 * sim.Second
+	)
+	w, err := netsim.NewWorld(netsim.WorldConfig{
+		Nodes: n, Seed: 7, Static: gridPositions(n, 25, 180),
+	}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &traffic.Sink{}
+	w.Node(0).AttachPort(netsim.PortCBR, sink)
+	// Senders 2–10 hops out; every flow outlives both windows, so the
+	// traffic offered to the second minute is identical to the first.
+	for _, s := range []int{55, 130, 260, 380} {
+		traffic.NewCBR(w.Node(s), traffic.CBRConfig{
+			Dst: 0, PacketBytes: 128, Rate: 5, Stop: 2 * window,
+		}).Start()
+	}
+
+	var ms runtime.MemStats
+	measure := func() (mallocs uint64, retained uint64) {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		return ms.Mallocs, ms.HeapAlloc
+	}
+	m0, _ := measure()
+	w.Run(window)
+	m1, r1 := measure()
+	w.Run(2 * window)
+	m2, r2 := measure()
+
+	if sink.Received == 0 {
+		t.Fatal("no packets delivered; the pin is vacuous")
+	}
+	warm, steady := m1-m0, m2-m1
+	if steady > warm+warm/10 {
+		t.Fatalf("steady minute allocated %d objects vs %d during warm-up — the data plane is allocating per packet", steady, warm)
+	}
+	if r2 > r1+r1/4+1<<20 {
+		t.Fatalf("retained heap grew %d B → %d B over the steady minute", r1, r2)
+	}
+}
+
+func TestAODVDataPlaneSteadyAtScale(t *testing.T) {
+	dataPlaneSteadyAtScale(t, func(node *netsim.Node) netsim.Router {
+		return aodv.New(node, aodv.Config{})
+	})
+}
+
+func TestDYMODataPlaneSteadyAtScale(t *testing.T) {
+	dataPlaneSteadyAtScale(t, func(node *netsim.Node) netsim.Router {
+		return dymo.New(node, dymo.Config{})
+	})
 }
 
 // TestLedgerMemoryBoundedUnderChurn pins the invariant harness's own
